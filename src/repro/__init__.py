@@ -1,0 +1,50 @@
+"""ElGA reproduction: elastic and scalable dynamic graph analysis.
+
+A from-scratch Python reproduction of *ElGA* (Gabert, Sancak, Özkaya,
+Pınar, Çatalyürek — SC '21): a distributed, dynamic, elastic
+vertex-centric graph analysis system, rebuilt on a deterministic
+discrete-event simulator with calibrated cost models.
+
+Quick start::
+
+    import numpy as np
+    from repro import ElGA, PageRank
+
+    elga = ElGA(nodes=4, agents_per_node=4, seed=1)
+    elga.ingest_edges(np.array([0, 1, 2]), np.array([1, 2, 0]))
+    result = elga.run(PageRank())
+    print(result.values)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.cluster.config import ClusterConfig
+from repro.core.algorithms import DegreeCount, PageRank, PersonalizedPageRank, SSSP, WCC
+from repro.core.engine import ElGA
+from repro.core.program import RunSpec, VertexProgram
+from repro.core.superstep import RunResult
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.stream import EdgeBatch
+from repro.hashing.ring import ConsistentHashRing
+from repro.sketch.countmin import CountMinSketch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "ConsistentHashRing",
+    "CountMinSketch",
+    "DegreeCount",
+    "DynamicGraph",
+    "EdgeBatch",
+    "ElGA",
+    "PageRank",
+    "PersonalizedPageRank",
+    "RunResult",
+    "RunSpec",
+    "SSSP",
+    "VertexProgram",
+    "WCC",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Baseline systems from the evaluation (§4.2, §4.8).
+
+* :class:`~repro.baselines.blogel.Blogel` — the state-of-the-art static
+  BSP system (C++/MPI, CSR, vertex partitioning), plus its Voronoi
+  variant (Blogel-Vor).
+* :class:`~repro.baselines.graphx.GraphX` — the Spark-based snapshot
+  engine with its three vertex-cut partitioners, including the
+  recompute-from-prior-output dynamic strategy of Figure 15.
+* :class:`~repro.baselines.stinger.Stinger` — the shared-memory dynamic
+  graph system with batch WCC maintenance (Figure 13).
+* :func:`~repro.baselines.gapbs.gapbs_wcc` — the shared-memory static
+  WCC (COST comparison, §4.8).
+
+Every baseline executes its algorithm for real (results are exact and
+cross-checked against ElGA's), while its *runtime* is modeled with the
+same calibrated cost constants the simulator uses — per-partition work,
+cut/shuffle volume, synchronization, and fixed overheads — so relative
+performance reflects the mechanisms the paper identifies, not the
+Python interpreter.
+"""
+
+from repro.baselines.blogel import Blogel, BlogelResult
+from repro.baselines.gapbs import gapbs_wcc
+from repro.baselines.graphx import GraphX, GraphXResult, graphx_would_oom
+from repro.baselines.stinger import Stinger
+
+__all__ = [
+    "Blogel",
+    "BlogelResult",
+    "GraphX",
+    "GraphXResult",
+    "Stinger",
+    "gapbs_wcc",
+    "graphx_would_oom",
+]

@@ -1,0 +1,21 @@
+"""Benchmark harness utilities (§4's methodology).
+
+"Following standard distributed graph system experimental methodologies
+[29], we run five independent trials for each experiment.  We report
+the means and, assuming a t-distribution as the sample size is small,
+we show the 95% confidence intervals for the mean."  :mod:`bench.stats`
+is that methodology; :mod:`bench.runner` formats the tables and series
+each ``benchmarks/bench_*.py`` file prints.
+"""
+
+from repro.bench.runner import Series, Table, print_experiment_header
+from repro.bench.stats import TrialStats, t_confidence_interval, trials
+
+__all__ = [
+    "Series",
+    "Table",
+    "TrialStats",
+    "print_experiment_header",
+    "t_confidence_interval",
+    "trials",
+]

@@ -1,0 +1,148 @@
+"""Command-line interface: ``python -m repro ...``.
+
+The reproduction equivalent of the artifact's ``scripts/`` directory —
+a way to drive ElGA on the registry datasets without writing code.
+
+Commands
+--------
+``datasets``
+    List the Table 2 registry with paper-scale and generated sizes.
+``run``
+    Build a cluster, ingest a dataset, run an algorithm, and print a
+    result summary (per-superstep simulated times, top vertices).
+``query``
+    Run an algorithm, then answer point queries through a ClientProxy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.bench.runner import Table
+from repro.core import ElGA, PageRank, PersonalizedPageRank, SSSP, WCC
+from repro.gen import DATASETS, load_dataset
+
+
+def _build_algorithm(name: str, source: Optional[int], max_iters: int):
+    if name == "pagerank":
+        return PageRank(max_iters=max_iters), "sync"
+    if name == "wcc":
+        return WCC(max_iters=max_iters), "sync"
+    if name == "sssp":
+        if source is None:
+            raise SystemExit("sssp requires --source")
+        return SSSP(source=source, max_iters=max_iters), "async"
+    if name == "ppr":
+        if source is None:
+            raise SystemExit("ppr requires --source")
+        return PersonalizedPageRank(source=source, max_iters=max_iters), "sync"
+    raise SystemExit(f"unknown algorithm {name!r}")
+
+
+def _build_engine(args) -> ElGA:
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    elga = ElGA(
+        nodes=args.nodes,
+        agents_per_node=args.agents_per_node,
+        seed=args.seed,
+        keep_reference=False,
+    )
+    report = elga.ingest_edges(data.us, data.vs, n_streamers=min(4, args.nodes * 2))
+    print(
+        f"loaded {args.dataset}: {elga.global_m} edges on "
+        f"{elga.n_agents} agents "
+        f"({report['edges_per_second']:,.0f} edges/s simulated ingest)"
+    )
+    return elga
+
+
+def cmd_datasets(args) -> int:
+    table = Table(["name", "family", "paper n", "paper m", "A-BTER", "gen n", "gen m"])
+    for name, spec in DATASETS.items():
+        table.add_row(
+            name,
+            spec.family,
+            f"{spec.paper_n:.2g}",
+            f"{spec.paper_m:.2g}",
+            f"×{spec.abter_scale}" if spec.abter_scale else "—",
+            spec.base_n,
+            spec.base_m,
+        )
+    table.show()
+    return 0
+
+
+def cmd_run(args) -> int:
+    program, default_mode = _build_algorithm(args.algorithm, args.source, args.max_iters)
+    mode = args.mode or default_mode
+    elga = _build_engine(args)
+    result = elga.run(program, mode=mode)
+    steps = result.steps if result.steps is not None else "async"
+    print(
+        f"{args.algorithm}: {steps} superstep(s), "
+        f"{result.sim_seconds * 1e3:.3f} ms simulated"
+    )
+    if result.steps is not None:
+        per_step = ", ".join(f"{d * 1e3:.3f}" for d in result.per_step_seconds())
+        print(f"per-superstep ms: {per_step}")
+    table = Table(["vertex", "value"])
+    for vertex, value in result.top_k(args.top):
+        table.add_row(vertex, value)
+    table.show()
+    return 0
+
+
+def cmd_query(args) -> int:
+    program, default_mode = _build_algorithm(args.algorithm, args.source, args.max_iters)
+    elga = _build_engine(args)
+    elga.run(program, mode=args.mode or default_mode)
+    for vertex in args.vertices:
+        value = elga.query(vertex, program.name)
+        print(f"vertex {vertex}: {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ElGA reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the Table 2 dataset registry")
+
+    def add_common(p):
+        p.add_argument("--dataset", default="twitter-2010", choices=sorted(DATASETS))
+        p.add_argument("--scale", type=float, default=0.2, help="dataset scale factor")
+        p.add_argument("--nodes", type=int, default=2)
+        p.add_argument("--agents-per-node", type=int, default=4)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--algorithm", default="pagerank", choices=["pagerank", "wcc", "sssp", "ppr"]
+        )
+        p.add_argument("--source", type=int, default=None, help="source vertex (sssp/ppr)")
+        p.add_argument("--max-iters", type=int, default=50)
+        p.add_argument("--mode", choices=["sync", "async"], default=None)
+
+    run_p = sub.add_parser("run", help="run an algorithm on a registry dataset")
+    add_common(run_p)
+    run_p.add_argument("--top", type=int, default=10, help="result rows to print")
+
+    query_p = sub.add_parser("query", help="run, then answer point queries")
+    add_common(query_p)
+    query_p.add_argument("vertices", type=int, nargs="+", help="vertex ids to query")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"datasets": cmd_datasets, "run": cmd_run, "query": cmd_query}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

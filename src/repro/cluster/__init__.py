@@ -1,0 +1,29 @@
+"""The ElGA cluster: shared-nothing entities and protocols (§3).
+
+This package implements every participant from Figure 1 — Agents,
+Streamers, ClientProxies — plus the directory system (Directories and
+the DirectoryMaster), wired over the simulated ZeroMQ fabric.  The
+orchestration entry point is :class:`~repro.cluster.cluster.ElGACluster`;
+most users should go through the higher-level facade in
+:mod:`repro.core.engine` instead.
+"""
+
+from repro.cluster.agent import Agent
+from repro.cluster.autoscaler import ReactiveAutoscaler
+from repro.cluster.client import ClientProxy
+from repro.cluster.cluster import ElGACluster
+from repro.cluster.config import ClusterConfig
+from repro.cluster.directory import Directory, DirectoryMaster, DirectoryState
+from repro.cluster.streamer import Streamer
+
+__all__ = [
+    "Agent",
+    "ClientProxy",
+    "ClusterConfig",
+    "Directory",
+    "DirectoryMaster",
+    "DirectoryState",
+    "ElGACluster",
+    "ReactiveAutoscaler",
+    "Streamer",
+]

@@ -1,0 +1,1392 @@
+"""Agents: graph shards, vertex-centric compute, and elasticity (§3.4).
+
+An Agent holds a shard of the dynamic graph in memory and runs the
+vertex-centric model on it.  It operates as a state machine: it
+continuously receives packets and either executes the algorithm on its
+vertices, sends updates to other Agents, or receives updates.  Key
+behaviors, each mapped to the paper:
+
+* **Edge stores** — each edge is stored twice (the paper keeps both in-
+  and out-edges): the *out-copy* of (u, v) lives with u's placement,
+  the *in-copy* with v's.  For a non-split vertex both copies of all
+  its edges land on a single Agent; a split (high-degree) vertex's
+  copies are spread over its replica set.
+* **Forwarding** — every incoming packet is checked against the current
+  directory state; if this Agent is no longer (or never was) the
+  correct destination, the packet is forwarded to the best known owner
+  (§3, eventual consistency).
+* **Future iterations** — messages for a future superstep are buffered
+  until the computation catches up (§3.4).
+* **Batching** — while a computation runs, edge changes are buffered
+  and applied when the run ends (§3.4).
+* **Replica synchronization** — between supersteps, split vertices
+  reconcile: replicas send partial aggregates to the primary, which
+  applies the update and pushes the new value (and global out-degree)
+  back (§3.4, "updates that are sent to their replicas").
+* **Elasticity** — on a directory update the Agent re-evaluates the
+  owner of every resident edge and forwards misplaced ones; a leaving
+  Agent drains completely, waits, then disconnects (§3.4.3).
+
+Compute is vectorized per superstep (numpy over the shard's edge
+arrays) and *simulated time* is charged per operation through the
+calibrated :class:`~repro.cluster.costmodel.CostModel`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.directory import DirectoryState
+from repro.cluster.metrics import AgentMetrics
+from repro.net.message import Message, PacketType
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a package import cycle
+    from repro.core.program import RunSpec
+from repro.net.sockets import PushSocket
+from repro.partition.placer import EdgePlacer
+from repro.hashing.ring import ConsistentHashRing
+from repro.sim.entity import Entity
+from repro.sketch.countmin import CountMinSketch
+
+
+class _VertexTable:
+    """Vectorized per-run vertex state for one Agent's shard."""
+
+    def __init__(self, ids: np.ndarray):
+        n = len(ids)
+        self.ids = ids  # sorted int64
+        self.values = np.zeros(n)
+        self.accum = np.zeros(n)
+        self.got = np.zeros(n, dtype=bool)
+        self.active = np.zeros(n, dtype=bool)
+        # Local out-degree (this shard's out-copies) is immutable per
+        # run; the *total* is what primaries establish by summing the
+        # replicas' locals and push back with each replica round.
+        self.out_deg_local = np.zeros(n)
+        self.out_deg_total = np.zeros(n)
+        self.split_k = np.ones(n, dtype=np.int64)
+        self.is_primary = np.ones(n, dtype=bool)
+
+    def pos(self, vertex_ids: np.ndarray) -> np.ndarray:
+        """Positions of (present) vertex ids in the table."""
+        p = np.searchsorted(self.ids, vertex_ids)
+        if len(vertex_ids) and (
+            p.max(initial=0) >= len(self.ids) or not np.array_equal(self.ids[p], vertex_ids)
+        ):
+            missing = np.asarray(vertex_ids)[
+                (p >= len(self.ids)) | (self.ids[np.minimum(p, len(self.ids) - 1)] != vertex_ids)
+            ]
+            raise KeyError(f"vertices not hosted here: {missing[:5]}...")
+        return p
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+
+class _RunState:
+    """Per-run bookkeeping (one algorithm execution)."""
+
+    def __init__(self, spec: "RunSpec"):
+        self.spec = spec
+        self.program = spec.program
+        self.ctx = {"global_n": spec.global_n}
+        self.table: Optional[_VertexTable] = None
+        self.suspended = False
+        # Edge routing caches (built with the table).
+        self.out_src_pos = np.empty(0, np.int64)
+        self.out_dst_raw = np.empty(0, np.int64)
+        self.out_segments: List[Tuple[int, int, int]] = []
+        self.in_src_pos = np.empty(0, np.int64)
+        self.in_dst_raw = np.empty(0, np.int64)
+        self.in_segments: List[Tuple[int, int, int]] = []
+        # Split-vertex choreography.
+        self.my_split: Dict[int, List[int]] = {}  # vertex -> replica list
+        # Per-round state.
+        self.round = -1
+        self.step = 0
+        self.phase = "init"
+        self.outstanding_acks = 0
+        self.expected_syncs: Dict[int, int] = {}
+        self.sync_partials: Dict[int, List[Tuple[float, bool, float]]] = {}
+        self.expected_values: Set[int] = set()
+        self.initial_work_done = False
+        self.ready_sent = False
+        self.round_stats: Dict[str, float] = {}
+        self.future_buffer: Dict[int, List[dict]] = {}  # step -> payloads
+
+
+class Agent(Entity):
+    """One ElGA Agent (one per core in the paper's deployment).
+
+    Created by :class:`~repro.cluster.cluster.ElGACluster`; joins the
+    system by subscribing to its Directory and announcing itself, after
+    which the directory broadcast brings it the global state it needs.
+    """
+
+    def __init__(
+        self,
+        network,
+        config: ClusterConfig,
+        agent_id: int,
+        node: int,
+        directory_address: int,
+        weight: float = 1.0,
+    ):
+        super().__init__(network, f"agent-{agent_id}", config.seed)
+        self.config = config
+        self.agent_id = agent_id
+        self.node = node
+        # Capacity weight (§3.4.2 heterogeneous extension): scales this
+        # agent's virtual-position count on every participant's ring.
+        self.weight = float(weight)
+        self.directory_address = directory_address
+        self.push = PushSocket(self)
+        self.metrics = AgentMetrics()
+
+        # Edge stores: out-copy (keyed by source) and in-copy (keyed by
+        # destination) adjacency sets — "flat hash maps with vectors".
+        self.out_store: Dict[int, Set[int]] = {}
+        self.in_store: Dict[int, Set[int]] = {}
+        self.n_out_edges = 0
+        self.n_in_edges = 0
+
+        # Algorithm state persisted across runs (locally persistent
+        # model): program name -> vertex -> (value, active).
+        self.persistent: Dict[str, Dict[int, float]] = {}
+        self.persistent_active: Dict[str, Set[int]] = {}
+
+        # Directory view.
+        self.dstate: Optional[DirectoryState] = None
+        self.ring: Optional[ConsistentHashRing] = None
+        self.placer: Optional[EdgePlacer] = None
+        self._pending_state: Optional[DirectoryState] = None
+
+        # Dynamic-update plumbing.
+        self.sketch_delta = CountMinSketch(
+            config.sketch_width, config.sketch_depth, seed=config.seed
+        )
+        self._delta_count = 0
+        self._reported_split: Set[int] = set()
+        self._buffered_updates: List[dict] = []
+        self._pre_state_buffer: List[Tuple[dict, bool]] = []
+        self._pre_run_data: List[Tuple[str, dict, int]] = []
+
+        # Elasticity.
+        self.leaving = False
+        self._migration_acks_pending = 0
+
+        self.run: Optional[_RunState] = None
+
+        self._subscribe_and_join()
+
+    # ------------------------------------------------------------------
+    # bootstrap
+    # ------------------------------------------------------------------
+
+    def _subscribe_and_join(self) -> None:
+        self.push.push(
+            self.directory_address,
+            PacketType.SUBSCRIBE,
+            [
+                PacketType.DIRECTORY_UPDATE,
+                PacketType.SUPERSTEP_ADVANCE,
+                PacketType.RUN_START,
+            ],
+        )
+        self.push.push(
+            self.directory_address,
+            PacketType.AGENT_JOIN,
+            {
+                "agent_id": self.agent_id,
+                "address": self.address,
+                "node": self.node,
+                "weight": self.weight,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def handle_message(self, message: Message) -> None:
+        ptype = message.ptype
+        if ptype == PacketType.DIRECTORY_UPDATE:
+            self._on_directory_update(message.payload)
+        elif ptype == PacketType.EDGE_UPDATE:
+            self._on_edge_update(message.payload, count_in_sketch=True)
+        elif ptype == PacketType.EDGE_MIGRATE:
+            self._on_edge_update(message.payload, count_in_sketch=False)
+        elif ptype == PacketType.EDGE_MIGRATE_ACK:
+            self._on_migrate_ack()
+        elif ptype == PacketType.EDGE_UPDATE_ACK:
+            pass  # agents don't originate EDGE_UPDATEs
+        elif ptype == PacketType.RUN_START:
+            self._on_run_start(message.payload)
+        elif ptype == PacketType.SUPERSTEP_ADVANCE:
+            self._on_advance(message.payload)
+        elif ptype == PacketType.VERTEX_MSG:
+            self._on_vertex_msg(message.payload, message.src)
+        elif ptype == PacketType.REPLICA_SYNC:
+            self._on_replica_sync(message.payload, message.src)
+        elif ptype == PacketType.REPLICA_VALUE:
+            self._on_replica_value(message.payload, message.src)
+        elif ptype == PacketType.VERTEX_MSG_ACK:
+            self._on_data_ack()
+        elif ptype == PacketType.CLIENT_QUERY:
+            self._on_client_query(message)
+        else:
+            raise ValueError(f"Agent {self.agent_id} got unexpected {ptype.name}")
+
+    # ------------------------------------------------------------------
+    # directory updates, migration, elasticity (§3.4.3)
+    # ------------------------------------------------------------------
+
+    def _on_directory_update(self, state: DirectoryState) -> None:
+        if self.dstate is not None and state.version <= self.dstate.version:
+            return
+        if self.run is not None and not self.run.suspended:
+            # Placement must stay stable while a superstep's messages are
+            # in flight; adopt once the engine suspends or ends the run.
+            self._pending_state = state
+            return
+        self._adopt_state(state)
+
+    def _adopt_state(self, state: DirectoryState) -> None:
+        self.dstate = state
+        self._pending_state = None
+        self.ring = ConsistentHashRing(
+            state.agent_ids(),
+            virtual_factor=self.config.virtual_factor,
+            hash_fn=self.config.hash_fn,
+            seed=self.config.seed,
+            weights=state.weights,
+        )
+        self.placer = EdgePlacer(
+            self.ring,
+            state.sketch,
+            replication_threshold=self.config.replication_threshold,
+            hash_fn=self.config.hash_fn,
+            split_gate=state.split_vertices,
+        )
+        # Membership decides the leaving state: a just-joined agent may
+        # see one last broadcast predating its join (it is simply not a
+        # member *yet*), while a departing agent is never re-added.
+        self.leaving = self.agent_id not in state.agents
+        self._migrate_misplaced()
+        # Degrees may have crossed the split threshold between sketch
+        # flushes; every new global sketch warrants a fresh look at the
+        # vertices resident here.
+        self._recheck_splits()
+        if self._pre_state_buffer:
+            buffered, self._pre_state_buffer = self._pre_state_buffer, []
+            for payload, count_in_sketch in buffered:
+                self._on_edge_update(payload, count_in_sketch)
+
+    def _recheck_splits(self) -> None:
+        hosted = np.fromiter(
+            sorted(set(self.out_store) | set(self.in_store)), dtype=np.int64
+        )
+        self._check_split_threshold(hosted)
+
+    def _store_arrays(self, store: Dict[int, Set[int]]) -> Tuple[np.ndarray, np.ndarray]:
+        total = sum(len(s) for s in store.values())
+        keys = np.empty(total, dtype=np.int64)
+        vals = np.empty(total, dtype=np.int64)
+        pos = 0
+        for key in sorted(store):
+            others = store[key]
+            if not others:
+                continue
+            n = len(others)
+            keys[pos : pos + n] = key
+            vals[pos : pos + n] = sorted(others)
+            pos += n
+        return keys[:pos], vals[:pos]
+
+    def _migrate_misplaced(self) -> None:
+        """Re-evaluate every resident edge's owner; forward the rest.
+
+        The paper's straightforward approach: recompute the correct
+        destination for all current edges, remove and forward any that
+        no longer belong here (§3.4.3).
+        """
+        if self.placer is None or len(self.ring) == 0:
+            return
+        costs = self.config.costs
+        total_edges = self.n_out_edges + self.n_in_edges
+        self.charge(costs.elga_migrate_check * total_edges)
+        for role, store in (("out", self.out_store), ("in", self.in_store)):
+            keys, others = self._store_arrays(store)
+            if len(keys) == 0:
+                continue
+            if role == "out":
+                owners = self.placer.owner_of_edges(keys, others)
+                us, vs = keys, others
+            else:
+                owners = self.placer.owner_of_edges(keys, others)
+                us, vs = others, keys
+            wrong = owners != self.agent_id
+            if not wrong.any():
+                continue
+            moving_owner = owners[wrong]
+            moving_u = us[wrong]
+            moving_v = vs[wrong]
+            self.charge(costs.elga_migrate_op * int(wrong.sum()))
+            self.metrics.edges_migrated += int(wrong.sum())
+            # Remove locally.
+            for key, other in zip(keys[wrong], others[wrong]):
+                store[int(key)].discard(int(other))
+            removed = int(wrong.sum())
+            if role == "out":
+                self.n_out_edges -= removed
+            else:
+                self.n_in_edges -= removed
+            # Group by destination agent and ship, with vertex state.
+            order = np.argsort(moving_owner, kind="stable")
+            moving_owner = moving_owner[order]
+            moving_u = moving_u[order]
+            moving_v = moving_v[order]
+            bounds = np.flatnonzero(np.diff(moving_owner)) + 1
+            starts = np.concatenate([[0], bounds])
+            ends = np.concatenate([bounds, [len(moving_owner)]])
+            for s, e in zip(starts, ends):
+                target = int(moving_owner[s])
+                # Ship algorithm state only for the endpoints this agent
+                # *owns* (the copy's keyed vertex): it is a replica of
+                # those and its persisted values are fresh.  Values for
+                # the opposite endpoints may be stale leftovers from an
+                # earlier placement epoch and must not travel.
+                owned = np.unique(moving_u[s:e] if role == "out" else moving_v[s:e])
+                values = {
+                    prog: {
+                        int(v): vals[int(v)] for v in owned if int(v) in vals
+                    }
+                    for prog, vals in self.persistent.items()
+                }
+                active = {
+                    prog: [int(v) for v in owned if int(v) in act]
+                    for prog, act in self.persistent_active.items()
+                }
+                payload = {
+                    "role": role,
+                    "actions": np.ones(e - s, dtype=np.int8),
+                    "us": moving_u[s:e],
+                    "vs": moving_v[s:e],
+                    "reply_to": self.address,
+                    "token": -1,
+                    "values": values,
+                    "active": active,
+                }
+                self.push.push(
+                    self._agent_address(target), PacketType.EDGE_MIGRATE, payload
+                )
+                self._migration_acks_pending += 1
+        self._prune_stores()
+        self._prune_departed_state()
+        self._maybe_finish_leaving()
+
+    def _prune_departed_state(self) -> None:
+        """Drop algorithm state for vertices that migrated away.
+
+        Keeps per-agent memory at O((n + m)/P) (Goal 2) and prevents
+        stale values from ever being re-shipped or re-collected.
+        """
+        hosted = set(self.out_store) | set(self.in_store)
+        for store in self.persistent.values():
+            for vertex in [v for v in store if v not in hosted]:
+                del store[vertex]
+        for act in self.persistent_active.values():
+            act &= hosted
+
+    def _prune_stores(self) -> None:
+        for store in (self.out_store, self.in_store):
+            empty = [k for k, s in store.items() if not s]
+            for k in empty:
+                del store[k]
+
+    def _on_migrate_ack(self) -> None:
+        self._migration_acks_pending -= 1
+        self._maybe_finish_leaving()
+
+    def _maybe_finish_leaving(self) -> None:
+        if (
+            self.leaving
+            and self._migration_acks_pending == 0
+            and self.n_out_edges == 0
+            and self.n_in_edges == 0
+        ):
+            # "Only when it has no edges and has waited a period of time
+            # will it disconnect."
+            self.kernel.schedule(1e-3, self._final_detach)
+
+    def _final_detach(self) -> None:
+        if (
+            self.leaving
+            and self._migration_acks_pending == 0
+            and self.n_out_edges == 0
+            and self.n_in_edges == 0
+            and self.network.is_attached(self.address)
+        ):
+            self.push.push(self.directory_address, PacketType.SUBSCRIBE, {"remove": True})
+            self.detach()
+
+    def initiate_leave(self) -> None:
+        """Graceful departure (the paper's SIGINT handler, §3.4.3).
+
+        The agent only signals the directory; the next directory update
+        excludes it, at which point normal migration drains every edge,
+        and the agent disconnects after a grace period.
+        """
+        self.push.push(
+            self.directory_address, PacketType.AGENT_LEAVE, {"agent_id": self.agent_id}
+        )
+
+    def _agent_address(self, agent_id: int) -> int:
+        try:
+            return self.dstate.agents[agent_id]
+        except (KeyError, AttributeError):
+            raise LookupError(f"agent {agent_id} not in directory state") from None
+
+    # ------------------------------------------------------------------
+    # dynamic updates (ingest, forwarding, sketch maintenance)
+    # ------------------------------------------------------------------
+
+    def _on_edge_update(self, payload: dict, count_in_sketch: bool) -> None:
+        if self.placer is None:
+            # A just-created agent can receive edges (e.g. migration
+            # from peers that already saw its join) before its own first
+            # directory broadcast lands; hold them until it does.
+            self._pre_state_buffer.append((payload, count_in_sketch))
+            return
+        if self.run is not None and not self.run.suspended and count_in_sketch:
+            # "While a batch is running, the graph does not change: any
+            # edge changes are buffered."
+            self._buffered_updates.append(payload)
+            return
+        self._apply_edge_update(payload, count_in_sketch)
+
+    def _apply_edge_update(self, payload: dict, count_in_sketch: bool) -> None:
+        costs = self.config.costs
+        role = payload["role"]
+        actions = np.asarray(payload["actions"], dtype=np.int8)
+        us = np.asarray(payload["us"], dtype=np.int64)
+        vs = np.asarray(payload["vs"], dtype=np.int64)
+        own = us if role == "out" else vs
+        other = vs if role == "out" else us
+        n = len(own)
+        if n == 0:
+            return
+        if not count_in_sketch:
+            # Migration acks are hop-by-hop: acknowledge receipt to the
+            # sending hop now; if rows forward onward, *we* become the
+            # hop owner awaiting the next ack.
+            reply_to = payload.get("reply_to")
+            if reply_to is not None and reply_to >= 0:
+                self.push.push(
+                    reply_to,
+                    PacketType.EDGE_MIGRATE_ACK,
+                    {"token": payload.get("token")},
+                )
+        self.charge(
+            n
+            * costs.placement_lookup_cost(
+                self.config.sketch_width,
+                self.config.sketch_depth,
+                max(1, len(self.ring) * self.config.virtual_factor),
+            )
+        )
+        owners = self.placer.owner_of_edges(own, other)
+        mine = owners == self.agent_id
+        # Forward misplaced changes to the best known destination.
+        if (~mine).any():
+            self.metrics.updates_forwarded += int((~mine).sum())
+            fwd_owner = owners[~mine]
+            order = np.argsort(fwd_owner, kind="stable")
+            idx = np.nonzero(~mine)[0][order]
+            fwd_owner = fwd_owner[order]
+            bounds = np.flatnonzero(np.diff(fwd_owner)) + 1
+            for s, e in zip(
+                np.concatenate([[0], bounds]), np.concatenate([bounds, [len(idx)]])
+            ):
+                rows = idx[s:e]
+                fwd = {
+                    "role": role,
+                    "actions": actions[rows],
+                    "us": us[rows],
+                    "vs": vs[rows],
+                    # Updates carry the original requester (the final
+                    # applier acks it); migrations ack hop-by-hop, so we
+                    # take over as the hop awaiting the next ack.
+                    "reply_to": payload["reply_to"] if count_in_sketch else self.address,
+                    "token": payload["token"],
+                }
+                for extra in ("values", "active"):
+                    if extra in payload:
+                        fwd[extra] = payload[extra]
+                if count_in_sketch:
+                    ptype = PacketType.EDGE_UPDATE
+                else:
+                    ptype = PacketType.EDGE_MIGRATE
+                    self._migration_acks_pending += 1
+                self.push.push(self._agent_address(int(fwd_owner[s])), ptype, fwd)
+
+        # Apply local changes.
+        store = self.out_store if role == "out" else self.in_store
+        applied_vertices: List[int] = []
+        n_applied = 0
+        rows = np.nonzero(mine)[0]
+        for i in rows:
+            key = int(own[i])
+            val = int(other[i])
+            bucket = store.get(key)
+            if actions[i] > 0:  # insert
+                if bucket is None:
+                    bucket = store[key] = set()
+                if val not in bucket:
+                    bucket.add(val)
+                    n_applied += 1
+                    applied_vertices.append(key)
+            else:  # remove
+                if bucket is not None and val in bucket:
+                    bucket.remove(val)
+                    n_applied += 1
+                    applied_vertices.append(-key - 1)  # negative = decrement
+                    if not bucket:
+                        del store[key]
+        inserts = [v for v in applied_vertices if v >= 0]
+        removes = [-v - 1 for v in applied_vertices if v < 0]
+        if role == "out":
+            self.n_out_edges += len(inserts) - len(removes)
+        else:
+            self.n_in_edges += len(inserts) - len(removes)
+        self.charge(costs.elga_ingest_op * max(n_applied, 1))
+        self.metrics.updates_applied += n_applied
+
+        if count_in_sketch and n_applied:
+            if inserts:
+                self.sketch_delta.add(np.asarray(inserts, dtype=np.int64))
+            if removes:
+                self.sketch_delta.remove(np.asarray(removes, dtype=np.int64))
+            self._delta_count += n_applied
+            self._check_split_threshold(np.unique(np.asarray(inserts, dtype=np.int64)))
+            if self._delta_count >= self.config.sketch_flush_every:
+                self.flush_sketch()
+
+        # Migrated vertex state rides along with the edges — but only
+        # the final owner keeps it (a forwarding hop that merged values
+        # for edges passing through would hoard stale state).
+        if len(rows):
+            kept = {int(own[i]) for i in rows}
+            for prog, values in payload.get("values", {}).items():
+                dest = self.persistent.setdefault(prog, {})
+                dest.update({int(k): v for k, v in values.items() if int(k) in kept})
+            for prog, actives in payload.get("active", {}).items():
+                self.persistent_active.setdefault(prog, set()).update(
+                    int(v) for v in actives if int(v) in kept
+                )
+
+        # Update acks go end-to-end to the original requester, counting
+        # edges terminally handled here (forwarded rows are acked by
+        # their final applier).  Migration acks were already sent
+        # hop-by-hop above.
+        if count_in_sketch:
+            reply_to = payload.get("reply_to")
+            if reply_to is not None and reply_to >= 0 and len(rows):
+                self.push.push(
+                    reply_to,
+                    PacketType.EDGE_UPDATE_ACK,
+                    {"token": payload.get("token"), "count": int(len(rows))},
+                )
+
+    def _check_split_threshold(self, vertices: np.ndarray) -> None:
+        """Report vertices whose estimated degree crossed the split
+        threshold so the directory can registry-broadcast them."""
+        if len(vertices) == 0 or self.dstate is None:
+            return
+        est = self.dstate.sketch.query(vertices) + self.sketch_delta.query(vertices)
+        crossing = vertices[est >= self.config.replication_threshold]
+        fresh = [
+            int(v)
+            for v in crossing
+            if int(v) not in self._reported_split
+            and int(v) not in self.dstate.split_vertices
+        ]
+        if fresh:
+            self._reported_split.update(fresh)
+            self.push.push(
+                self.directory_address,
+                PacketType.SPLIT_REPORT,
+                np.asarray(fresh, dtype=np.int64),
+            )
+
+    def report_metrics(self) -> None:
+        """Push the current metric snapshot to this agent's Directory.
+
+        §3.4.3: ElGA's autoscaling API collects Agent metrics (graph
+        change rates, client query rates, superstep times) through the
+        Directories.  The cluster orchestrator (or an autoscaler
+        driver) triggers reports at its sampling cadence.
+        """
+        self.push.push(
+            self.directory_address,
+            PacketType.METRIC_REPORT,
+            {"agent_id": self.agent_id, "metrics": self.metrics.snapshot()},
+        )
+
+    def flush_sketch(self) -> None:
+        """Push accumulated degree deltas to the directory."""
+        if self.sketch_delta.is_empty():
+            return
+        self.push.push(
+            self.directory_address, PacketType.SKETCH_DELTA, self.sketch_delta.copy()
+        )
+        self.sketch_delta.clear()
+        self._delta_count = 0
+
+    # ------------------------------------------------------------------
+    # client queries (low-latency path)
+    # ------------------------------------------------------------------
+
+    def _on_client_query(self, message: Message) -> None:
+        self.charge(self.config.costs.elga_query_op)
+        self.metrics.queries_served += 1
+        payload = message.payload
+        vertex = int(payload["vertex"])
+        prog = payload.get("program")
+        value = None
+        if self.run is not None and self.run.table is not None and (
+            prog is None or prog == self.run.program.name
+        ):
+            table = self.run.table
+            idx = np.searchsorted(table.ids, vertex)
+            if idx < len(table.ids) and table.ids[idx] == vertex:
+                value = float(table.values[idx])
+        if value is None and prog is not None:
+            value = self.persistent.get(prog, {}).get(vertex)
+        reply = {"vertex": vertex, "value": value, "token": payload.get("token")}
+        self.push.push(message.src, PacketType.CLIENT_REPLY, reply)
+
+    # ------------------------------------------------------------------
+    # run lifecycle: table construction
+    # ------------------------------------------------------------------
+
+    def _hosted_vertex_ids(self) -> np.ndarray:
+        ids = set(self.out_store) | set(self.in_store)
+        # A replica of a split vertex participates in replica sync even
+        # if the second-level hash assigned it no edges.
+        if self.dstate is not None and self.dstate.split_vertices:
+            for v in self.dstate.split_vertices:
+                k = int(self.placer.replication_factor(v)[0])
+                if k > 1 and self.agent_id in self.ring.successors(int(v), k):
+                    ids.add(int(v))
+        return np.array(sorted(ids), dtype=np.int64)
+
+    def _build_table(self, run: _RunState, resume: bool) -> None:
+        costs = self.config.costs
+        spec = run.spec
+        program = run.program
+        ids = self._hosted_vertex_ids()
+        table = _VertexTable(ids)
+        run.table = table
+        self.charge(costs.elga_vertex_op * len(ids))
+
+        # Local out-degree (sum over out-copies held here).
+        out_keys, out_others = self._store_arrays(self.out_store)
+        if len(ids):
+            local_outdeg = np.zeros(len(ids))
+            if len(out_keys):
+                np.add.at(local_outdeg, table.pos(out_keys), 1.0)
+            table.out_deg_local = local_outdeg
+            table.out_deg_total = local_outdeg.copy()
+
+        # Split bookkeeping.
+        run.my_split = {}
+        if len(ids) and self.dstate.split_vertices:
+            present_split = [int(v) for v in self.dstate.split_vertices if v in set(ids.tolist())]
+            for v in present_split:
+                k = int(self.placer.replication_factor(v)[0])
+                if k <= 1:
+                    continue
+                replicas = self.ring.successors(v, k)
+                if self.agent_id not in replicas:
+                    continue
+                run.my_split[v] = replicas
+                p = int(table.pos(np.array([v]))[0])
+                table.split_k[p] = k
+                table.is_primary[p] = replicas[0] == self.agent_id
+
+        # Values: persisted (incremental/resume) or fresh.
+        persisted = self.persistent.get(program.name, {})
+        if len(ids):
+            if (spec.incremental or resume) and persisted:
+                table.values = np.array(
+                    [persisted.get(int(v), np.nan) for v in ids], dtype=np.float64
+                )
+                fresh = np.isnan(table.values)
+                if fresh.any():
+                    table.values[fresh] = program.initial_value(ids[fresh], run.ctx)
+            else:
+                table.values = program.initial_value(ids, run.ctx)
+            table.accum = np.full(len(ids), program.identity)
+            table.got = np.zeros(len(ids), dtype=bool)
+
+        # Activation.
+        if len(ids):
+            if resume:
+                act = self.persistent_active.get(program.name, set())
+                table.active = np.array([int(v) in act for v in ids], dtype=bool)
+            elif spec.incremental:
+                activate = getattr(spec, "activate", None)
+                table.active = np.zeros(len(ids), dtype=bool)
+                if activate is not None and len(activate):
+                    hits = np.isin(ids, activate)
+                    table.active[hits] = True
+            else:
+                table.active = program.initially_active(ids, table.values, run.ctx)
+
+        # Edge routing caches (destination agent per edge copy).
+        ring_positions = max(1, len(self.ring) * self.config.virtual_factor)
+        lookup = costs.placement_lookup_cost(
+            self.config.sketch_width, self.config.sketch_depth, ring_positions
+        )
+        if len(out_keys):
+            dest = self.placer.owner_of_edges(out_others, out_keys)
+            self.charge(lookup * len(out_keys))
+            run.out_src_pos, run.out_dst_raw, run.out_segments = self._routing(
+                table, out_keys, out_others, dest
+            )
+        else:
+            run.out_src_pos = np.empty(0, np.int64)
+            run.out_dst_raw = np.empty(0, np.int64)
+            run.out_segments = []
+        if program.needs_in_and_out:
+            in_keys, in_others = self._store_arrays(self.in_store)
+            if len(in_keys):
+                # In-copy (u, v) is stored keyed by v; the reverse
+                # message (v -> u) goes to the holder of the out-copy.
+                dest = self.placer.owner_of_edges(in_others, in_keys)
+                self.charge(lookup * len(in_keys))
+                run.in_src_pos, run.in_dst_raw, run.in_segments = self._routing(
+                    table, in_keys, in_others, dest
+                )
+            else:
+                run.in_src_pos = np.empty(0, np.int64)
+                run.in_dst_raw = np.empty(0, np.int64)
+                run.in_segments = []
+
+    def _routing(
+        self,
+        table: _VertexTable,
+        src_keys: np.ndarray,
+        dst_raw: np.ndarray,
+        dest_agents: np.ndarray,
+    ):
+        """Sort edges by destination agent; return (src positions in
+        table, raw destination vertex ids, segments)."""
+        order = np.argsort(dest_agents, kind="stable")
+        src_pos = table.pos(src_keys[order])
+        dst = dst_raw[order]
+        dest_sorted = dest_agents[order]
+        bounds = np.flatnonzero(np.diff(dest_sorted)) + 1
+        starts = np.concatenate([[0], bounds]).astype(np.int64)
+        ends = np.concatenate([bounds, [len(dest_sorted)]]).astype(np.int64)
+        segments = [
+            (int(dest_sorted[s]), int(s), int(e)) for s, e in zip(starts, ends)
+        ]
+        return src_pos, dst, segments
+
+    # ------------------------------------------------------------------
+    # run lifecycle: rounds
+    # ------------------------------------------------------------------
+
+    def _on_run_start(self, spec: "RunSpec") -> None:
+        run = _RunState(spec)
+        self.run = run
+        self._build_table(run, resume=False)
+        run.round = 0
+        run.step = 0
+        run.phase = "init"
+        if spec.mode == "async":
+            self._async_initial_scatter()
+            return
+        self._split_round_begin()
+        self._start_scatter_wave()
+        run.initial_work_done = True
+        self._check_ready()
+
+    def _on_advance(self, payload: dict) -> None:
+        run = self.run
+        if run is None and payload.get("phase") == "resume" and "spec" in payload:
+            # This agent joined during the suspension; bootstrap the run
+            # from the spec the resume broadcast carries.
+            run = self.run = _RunState(payload["spec"])
+            run.suspended = True
+        if run is None or payload.get("run_id") != run.spec.run_id:
+            return
+        if self._pre_run_data:
+            # Data messages that raced ahead of the run bootstrap: file
+            # them under their rounds; _replay_future drains in order.
+            for kind, data_payload, src in self._pre_run_data:
+                run.future_buffer.setdefault(data_payload["round"], []).append(
+                    {"kind": kind, "payload": data_payload, "src": src}
+                )
+            self._pre_run_data = []
+        phase = payload["phase"]
+        if phase == "halt":
+            self.finalize_run(persist=True)
+            return
+        run.round = int(payload["round"])
+        run.step = int(payload["step"])
+        run.phase = phase
+        run.ready_sent = False
+        run.initial_work_done = False
+        run.round_stats = {}
+        if phase == "resume":
+            run.suspended = False
+            self._build_table(run, resume=True)
+            self._split_round_begin()
+            self._start_scatter_wave()
+        elif phase == "step":
+            self._apply_phase()
+            # Split partials must be snapshotted before scatter refills
+            # the accumulators with this round's local messages.
+            self._split_round_begin()
+            self._scatter_fresh_actives()
+        elif phase == "apply_only":
+            self._apply_phase()
+            self._split_round_begin()
+        else:
+            raise ValueError(f"unknown advance phase {phase!r}")
+        run.initial_work_done = True
+        self._replay_future(run.step)
+        self._check_ready()
+
+    def _apply_phase(self) -> None:
+        """Apply the previous superstep's aggregates (non-split rows)."""
+        run = self.run
+        table = run.table
+        costs = self.config.costs
+        if len(table) == 0:
+            return
+        normal = table.split_k == 1
+        if normal.any():
+            old = table.values[normal]
+            # Programs that need per-row identity (e.g. personalized
+            # PageRank's teleport vector) read it from the context.
+            run.ctx["_vertex_ids"] = table.ids[normal]
+            new, active = run.program.apply(
+                old, table.accum[normal], table.got[normal], run.ctx
+            )
+            self.charge(costs.elga_vertex_op * int(normal.sum()))
+            table.values[normal] = new
+            table.active[normal] = active
+            stats = run.program.step_stats(old, new, active)
+            for key, value in stats.items():
+                run.round_stats[key] = run.round_stats.get(key, 0.0) + value
+        table.accum[normal] = run.program.identity
+        table.got[normal] = False
+        # Split rows are applied by their primaries once partials arrive.
+
+    def _split_round_begin(self) -> None:
+        """Start the replica choreography for this round (§3.4).
+
+        Non-primary replicas send their partial aggregates (plus local
+        out-degree) to the primary; primaries register how many partials
+        to expect.  Applies — and the value push back to replicas —
+        happen in :meth:`_maybe_apply_split` as partials arrive.
+        """
+        run = self.run
+        table = run.table
+        if not run.my_split:
+            return
+        # Snapshot every split row's partial *now*, before this round's
+        # scatter starts refilling the accumulators.
+        by_primary: Dict[int, List[Tuple[int, float, bool, float]]] = {}
+        run.expected_syncs = {}
+        for v in sorted(run.my_split):
+            replicas = run.my_split[v]
+            p = int(table.pos(np.array([v]))[0])
+            snapshot = (
+                v,
+                float(table.accum[p]),
+                bool(table.got[p]),
+                float(table.out_deg_local[p]),
+            )
+            table.accum[p] = run.program.identity
+            table.got[p] = False
+            if replicas[0] == self.agent_id:
+                run.expected_syncs[v] = len(replicas) - 1
+                run.sync_partials.setdefault(v, []).append(snapshot[1:])
+            else:
+                by_primary.setdefault(replicas[0], []).append(snapshot)
+                run.expected_values.add(v)
+        for primary, rows in sorted(by_primary.items()):
+            payload = {
+                "step": run.step,
+                "round": run.round,
+                "verts": np.array([r[0] for r in rows], dtype=np.int64),
+                "partials": np.array([r[1] for r in rows]),
+                "got": np.array([r[2] for r in rows], dtype=bool),
+                "outdeg": np.array([r[3] for r in rows]),
+            }
+            self._send_data(primary, PacketType.REPLICA_SYNC, payload)
+            self.metrics.replica_syncs += 1
+        # A primary with zero remote partials outstanding can apply now.
+        self._maybe_apply_split()
+
+    def _on_replica_sync(self, payload: dict, src: int) -> None:
+        run = self.run
+        if run is None:
+            self._pre_run_data.append(("sync", payload, src))
+            self._ack_data(src)
+            return
+        if payload["round"] != run.round or not run.initial_work_done:
+            run.future_buffer.setdefault(payload["round"], []).append(
+                {"kind": "sync", "payload": payload, "src": src}
+            )
+            self._ack_data(src)
+            return
+        self._ingest_replica_sync(payload)
+        self._ack_data(src)
+        self._check_ready()
+
+    def _ingest_replica_sync(self, payload: dict) -> None:
+        run = self.run
+        for v, partial, got, outdeg in zip(
+            payload["verts"], payload["partials"], payload["got"], payload["outdeg"]
+        ):
+            v = int(v)
+            run.sync_partials.setdefault(v, []).append((float(partial), bool(got), float(outdeg)))
+            run.expected_syncs[v] = run.expected_syncs.get(v, 0) - 1
+        self._maybe_apply_split()
+
+    def _maybe_apply_split(self) -> None:
+        """Primary side: apply any split vertex whose partials are all in,
+        then push the new value (and degree total) to the replicas."""
+        run = self.run
+        table = run.table
+        ready = [v for v, remaining in run.expected_syncs.items() if remaining <= 0]
+        if not ready:
+            return
+        program = run.program
+        by_replica: Dict[int, List[Tuple[int, float, bool, float]]] = {}
+        newly_scatterable: List[int] = []
+        for v in sorted(ready):
+            del run.expected_syncs[v]
+            partials = run.sync_partials.pop(v, [])
+            p = int(table.pos(np.array([v]))[0])
+            # Combine purely from the snapshots (the primary's own was
+            # added at round begin); the live accumulator already holds
+            # *this* round's incoming messages and must not leak in.
+            agg = program.identity
+            got = False
+            outdeg = 0.0
+            for partial, pgot, poutdeg in partials:
+                agg = program.ufunc(agg, partial)
+                got = got or pgot
+                outdeg += poutdeg
+            table.out_deg_total[p] = outdeg
+            if run.phase == "init" or run.phase == "resume":
+                # Initial rounds only establish degree totals; values and
+                # activation were set at table build.
+                new_value = float(table.values[p])
+                active = bool(table.active[p])
+            else:
+                old = table.values[p : p + 1]
+                run.ctx["_vertex_ids"] = table.ids[p : p + 1]
+                new, act = program.apply(
+                    old, np.array([agg]), np.array([got]), run.ctx
+                )
+                stats = program.step_stats(old, new, act)
+                for key, value in stats.items():
+                    run.round_stats[key] = run.round_stats.get(key, 0.0) + value
+                new_value = float(new[0])
+                active = bool(act[0])
+                table.values[p] = new_value
+                table.active[p] = active
+            # Do NOT reset accum/got here: they already hold this
+            # round's incoming messages (the snapshot was taken at
+            # round begin).
+            newly_scatterable.append(p)
+            for replica in run.my_split[v][1:]:
+                by_replica.setdefault(replica, []).append((v, new_value, active, table.out_deg_total[p]))
+        for replica, rows in sorted(by_replica.items()):
+            payload = {
+                "step": run.step,
+                "round": run.round,
+                "verts": np.array([r[0] for r in rows], dtype=np.int64),
+                "values": np.array([r[1] for r in rows]),
+                "active": np.array([r[2] for r in rows], dtype=bool),
+                "outdeg": np.array([r[3] for r in rows]),
+            }
+            self._send_data(replica, PacketType.REPLICA_VALUE, payload)
+        if run.phase != "apply_only" and newly_scatterable:
+            self._scatter_positions(np.asarray(newly_scatterable, dtype=np.int64))
+
+    def _on_replica_value(self, payload: dict, src: int) -> None:
+        run = self.run
+        if run is None:
+            self._pre_run_data.append(("value", payload, src))
+            self._ack_data(src)
+            return
+        if payload["round"] != run.round or not run.initial_work_done:
+            run.future_buffer.setdefault(payload["round"], []).append(
+                {"kind": "value", "payload": payload, "src": src}
+            )
+            self._ack_data(src)
+            return
+        self._ingest_replica_value(payload)
+        self._ack_data(src)
+        self._check_ready()
+
+    def _ingest_replica_value(self, payload: dict) -> None:
+        run = self.run
+        table = run.table
+        pos = table.pos(np.asarray(payload["verts"], dtype=np.int64))
+        table.values[pos] = payload["values"]
+        table.active[pos] = payload["active"]
+        table.out_deg_total[pos] = payload["outdeg"]
+        for v in payload["verts"]:
+            run.expected_values.discard(int(v))
+        if run.phase != "apply_only":
+            self._scatter_positions(pos)
+
+    # ------------------------------------------------------------------
+    # scatter
+    # ------------------------------------------------------------------
+
+    def _start_scatter_wave(self) -> None:
+        """Initial scatter of a round: all active non-split vertices plus
+        active split *primaries-with-known-degree*… split vertices always
+        wait for the replica round, so only non-split rows go now."""
+        table = self.run.table
+        if len(table) == 0:
+            return
+        mask = table.active & (table.split_k == 1)
+        self._scatter_positions(np.flatnonzero(mask))
+
+    def _scatter_fresh_actives(self) -> None:
+        table = self.run.table
+        if len(table) == 0:
+            return
+        mask = table.active & (table.split_k == 1)
+        self._scatter_positions(np.flatnonzero(mask))
+
+    def _scatter_positions(self, positions: np.ndarray) -> None:
+        """Send this round's messages for the given table rows."""
+        run = self.run
+        table = run.table
+        if len(positions) == 0:
+            return
+        program = run.program
+        costs = self.config.costs
+        active_rows = positions[table.active[positions]]
+        if len(active_rows) == 0:
+            return
+        send_mask = np.zeros(len(table), dtype=bool)
+        send_mask[active_rows] = True
+        values = program.scatter_values(table.values, table.out_deg_total)
+        self._scatter_direction(
+            send_mask, values, run.out_src_pos, run.out_dst_raw, run.out_segments
+        )
+        if program.needs_in_and_out:
+            self._scatter_direction(
+                send_mask, values, run.in_src_pos, run.in_dst_raw, run.in_segments
+            )
+        self.charge(costs.elga_vertex_op * len(active_rows))
+
+    def _scatter_direction(self, send_mask, values, src_pos, dst_raw, segments) -> None:
+        run = self.run
+        costs = self.config.costs
+        ring_positions = max(1, len(self.ring) * self.config.virtual_factor)
+        lookup = costs.placement_lookup_cost(
+            self.config.sketch_width, self.config.sketch_depth, ring_positions
+        )
+        for agent_id, start, end in segments:
+            seg_src = src_pos[start:end]
+            mask = send_mask[seg_src]
+            count = int(mask.sum())
+            if count == 0:
+                continue
+            # Per-edge work: hash-map access + lookup + buffer write.
+            self.charge(count * (costs.elga_edge_op + lookup))
+            self.metrics.edges_processed += count
+            payload = {
+                "step": run.step,
+                "round": run.round,
+                "dst": dst_raw[start:end][mask],
+                "val": values[seg_src[mask]],
+            }
+            if agent_id == self.agent_id:
+                self._aggregate_local(payload)
+            else:
+                self._send_data(agent_id, PacketType.VERTEX_MSG, payload)
+
+    # ------------------------------------------------------------------
+    # message aggregation
+    # ------------------------------------------------------------------
+
+    def _on_vertex_msg(self, payload: dict, src: int) -> None:
+        run = self.run
+        if run is None:
+            # Joined mid-suspension: the run bootstrap rides on the
+            # resume broadcast, which may arrive after peers' data.
+            self._pre_run_data.append(("msg", payload, src))
+            self._ack_data(src)
+            return
+        if run.spec.mode == "async":
+            self._async_on_msg(payload)
+            return
+        if payload["round"] != run.round or not run.initial_work_done:
+            # "If it is for an iteration in the future, the packet is
+            # stored until the computation can catch up."
+            run.future_buffer.setdefault(payload["round"], []).append(
+                {"kind": "msg", "payload": payload, "src": src}
+            )
+            self._ack_data(src)
+            return
+        self._aggregate_remote(payload)
+        self._ack_data(src)
+        self._check_ready()
+
+    def _aggregate_local(self, payload: dict) -> None:
+        self._aggregate(payload)
+
+    def _aggregate_remote(self, payload: dict) -> None:
+        self.charge(self.config.costs.elga_msg_op)
+        self._aggregate(payload)
+
+    def _aggregate(self, payload: dict) -> None:
+        run = self.run
+        table = run.table
+        pos = table.pos(np.asarray(payload["dst"], dtype=np.int64))
+        run.program.ufunc.at(table.accum, pos, payload["val"])
+        table.got[pos] = True
+        self.charge(self.config.costs.elga_vertex_op * len(pos))
+
+    def _replay_future(self, step: int) -> None:
+        run = self.run
+        buffered = run.future_buffer.pop(run.round, [])
+        for item in buffered:
+            if item["kind"] == "msg":
+                self._aggregate(item["payload"])
+            elif item["kind"] == "sync":
+                self._ingest_replica_sync(item["payload"])
+            else:
+                self._ingest_replica_value(item["payload"])
+
+    # ------------------------------------------------------------------
+    # barrier (Figure 2)
+    # ------------------------------------------------------------------
+
+    def _send_data(self, agent_id: int, ptype: PacketType, payload: dict) -> None:
+        self.run.outstanding_acks += 1
+        self.metrics.messages_sent += 1
+        self.push.push(self._agent_address(agent_id), ptype, payload)
+
+    def _ack_data(self, src: int) -> None:
+        self.push.push(src, PacketType.VERTEX_MSG_ACK, None)
+
+    def _on_data_ack(self) -> None:
+        run = self.run
+        if run is None:
+            return
+        run.outstanding_acks -= 1
+        self._check_ready()
+
+    def _check_ready(self) -> None:
+        run = self.run
+        if run is None or run.ready_sent or not run.initial_work_done:
+            return
+        if run.spec.mode == "async":
+            return
+        if run.outstanding_acks > 0 or run.expected_syncs or run.expected_values:
+            return
+        run.ready_sent = True
+        self.metrics.supersteps += 1
+        self.push.push(
+            self.directory_address,
+            PacketType.AGENT_READY,
+            {
+                "agent_id": self.agent_id,
+                "round": run.round,
+                "step": run.step,
+                "stats": dict(run.round_stats),
+            },
+        )
+        if run.phase == "apply_only":
+            self._persist_and_suspend()
+
+    def _persist_and_suspend(self) -> None:
+        """Park the run so directory updates / migration can proceed."""
+        run = self.run
+        self._persist_table()
+        run.table = None
+        run.suspended = True
+        if self._pending_state is not None:
+            self._adopt_state(self._pending_state)
+
+    def _persist_table(self) -> None:
+        run = self.run
+        table = run.table
+        if table is None:
+            return
+        store = self.persistent.setdefault(run.program.name, {})
+        act = self.persistent_active.setdefault(run.program.name, set())
+        for v, value, active in zip(table.ids, table.values, table.active):
+            store[int(v)] = float(value)
+            if active:
+                act.add(int(v))
+            else:
+                act.discard(int(v))
+
+    def finalize_run(self, persist: bool) -> None:
+        run = self.run
+        if run is None:
+            return
+        if persist and run.table is not None:
+            self._persist_table()
+        self.run = None
+        if self._pending_state is not None:
+            self._adopt_state(self._pending_state)
+        buffered, self._buffered_updates = self._buffered_updates, []
+        for payload in buffered:
+            self._apply_edge_update(payload, count_in_sketch=True)
+
+    # ------------------------------------------------------------------
+    # asynchronous mode (monotone programs)
+    # ------------------------------------------------------------------
+
+    def _async_initial_scatter(self) -> None:
+        table = self.run.table
+        if len(table) == 0:
+            return
+        self._async_scatter(np.flatnonzero(table.active))
+
+    def _async_on_msg(self, payload: dict) -> None:
+        """Asynchronous processing: relax on arrival, re-scatter changes.
+
+        Only monotone (min/max) programs run here, so ordering does not
+        affect the fixed point; termination is quiescence, detected by
+        the engine as simulator idleness.
+        """
+        run = self.run
+        table = run.table
+        self.charge(self.config.costs.elga_msg_op)
+        pos = table.pos(np.asarray(payload["dst"], dtype=np.int64))
+        proposed = table.values.copy()
+        run.program.ufunc.at(proposed, pos, payload["val"])
+        changed = np.flatnonzero(proposed < table.values)
+        if run.program.aggregator == "max":
+            changed = np.flatnonzero(proposed > table.values)
+        self.charge(self.config.costs.elga_vertex_op * len(pos))
+        if len(changed) == 0:
+            return
+        table.values[changed] = proposed[changed]
+        table.active[changed] = True
+        self._async_gossip_split(changed)
+        self._async_scatter(changed)
+
+    def _async_gossip_split(self, positions: np.ndarray) -> None:
+        """Propagate improved split-vertex values to sibling replicas.
+
+        Asynchronous mode has no barrier to hang a replica-sync round
+        on; instead, monotone improvements to a split vertex gossip to
+        the other replicas as plain vertex messages ("v's value is at
+        most x"), which min-apply and re-scatter.  Monotonicity makes
+        this convergent and order-insensitive.
+        """
+        run = self.run
+        table = run.table
+        if not run.my_split:
+            return
+        for p in positions:
+            v = int(table.ids[p])
+            replicas = run.my_split.get(v)
+            if replicas is None:
+                continue
+            payload_val = float(table.values[p])
+            for replica in replicas:
+                if replica == self.agent_id:
+                    continue
+                self.metrics.replica_syncs += 1
+                self.push.push(
+                    self._agent_address(replica),
+                    PacketType.VERTEX_MSG,
+                    {
+                        "step": 0,
+                        "round": 0,
+                        "dst": np.array([v], dtype=np.int64),
+                        "val": np.array([payload_val]),
+                    },
+                )
+
+    def _async_scatter(self, positions: np.ndarray) -> None:
+        run = self.run
+        table = run.table
+        if len(positions) == 0:
+            return
+        program = run.program
+        costs = self.config.costs
+        send_mask = np.zeros(len(table), dtype=bool)
+        send_mask[positions] = True
+        values = program.scatter_values(table.values, np.maximum(table.out_deg_total, 1.0))
+        for src_pos, dst_raw, segments in (
+            (run.out_src_pos, run.out_dst_raw, run.out_segments),
+            (run.in_src_pos, run.in_dst_raw, run.in_segments)
+            if program.needs_in_and_out
+            else (np.empty(0, np.int64), np.empty(0, np.int64), []),
+        ):
+            for agent_id, start, end in segments:
+                seg_src = src_pos[start:end]
+                mask = send_mask[seg_src]
+                count = int(mask.sum())
+                if count == 0:
+                    continue
+                self.charge(count * costs.elga_edge_op)
+                self.metrics.edges_processed += count
+                payload = {
+                    "step": 0,
+                    "round": 0,
+                    "dst": dst_raw[start:end][mask],
+                    "val": values[seg_src[mask]],
+                }
+                if agent_id == self.agent_id:
+                    # Recurse locally without a network hop.
+                    self._async_on_msg(payload)
+                else:
+                    self.metrics.messages_sent += 1
+                    self.push.push(self._agent_address(agent_id), PacketType.VERTEX_MSG, payload)
+
+    # ------------------------------------------------------------------
+    # orchestrator-facing introspection (out-of-band, like the paper's
+    # scripts reading results from the agents after a run)
+    # ------------------------------------------------------------------
+
+    def local_results(self, program_name: str) -> Dict[int, float]:
+        """Persisted values for *currently hosted* vertices.
+
+        Only hosted vertices are authoritative here: after migration an
+        agent may retain persisted entries for vertices that moved away,
+        and those must not shadow the new owner's values when the engine
+        merges results.
+        """
+        if self.run is not None and self.run.table is not None and (
+            self.run.program.name == program_name
+        ):
+            table = self.run.table
+            return {int(v): float(x) for v, x in zip(table.ids, table.values)}
+        hosted = set(self.out_store) | set(self.in_store)
+        return {
+            v: x
+            for v, x in self.persistent.get(program_name, {}).items()
+            if v in hosted
+        }
+
+    @property
+    def total_edges(self) -> int:
+        """Resident edge copies (out + in)."""
+        return self.n_out_edges + self.n_in_edges

@@ -1,0 +1,91 @@
+"""Reactive autoscaling (§3.4.3, Figure 18).
+
+The paper's autoscaler "computes the exponential moving average of a
+metric and scales to the average divided by a scaling factor", with a
+stabilization wait (60 s) between scaling actions so the EMA can settle.
+:class:`ReactiveAutoscaler` is that policy, decoupled from any
+particular metric; the Figure 18 experiment feeds it client PageRank
+query rates with a 30-second EMA, exactly as described.
+
+Any suitable autoscaler or scaling measure can be plugged in [45]; the
+policy interface is a single ``observe → desired`` pair.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class ReactiveAutoscaler:
+    """EMA-based reactive scaling policy.
+
+    Attributes
+    ----------
+    scaling_factor:
+        Metric units per Agent: the target agent count is
+        ``ema / scaling_factor`` (e.g. queries/second one Agent should
+        absorb).
+    ema_window:
+        Time constant of the exponential moving average, seconds (the
+        paper uses 30 s of query rates).
+    cooldown:
+        Minimum seconds between scaling actions (the paper waits 60 s
+        "to allow the EMA to stabilize").
+    min_agents, max_agents:
+        Clamp on the target.
+    """
+
+    scaling_factor: float
+    ema_window: float = 30.0
+    cooldown: float = 60.0
+    min_agents: int = 1
+    max_agents: int = 4096
+    _ema: Optional[float] = field(default=None, repr=False)
+    _last_obs_time: Optional[float] = field(default=None, repr=False)
+    _last_scale_time: float = field(default=-math.inf, repr=False)
+    history: List[Tuple[float, float, int]] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.scaling_factor <= 0:
+            raise ValueError(f"scaling_factor must be positive, got {self.scaling_factor}")
+        if self.ema_window <= 0 or self.cooldown < 0:
+            raise ValueError("ema_window must be positive and cooldown non-negative")
+
+    @property
+    def ema(self) -> float:
+        """Current smoothed metric value."""
+        return 0.0 if self._ema is None else self._ema
+
+    def observe(self, value: float, now: float) -> None:
+        """Feed one metric sample taken at simulated time ``now``."""
+        if self._ema is None or self._last_obs_time is None:
+            self._ema = float(value)
+        else:
+            dt = max(now - self._last_obs_time, 0.0)
+            alpha = 1.0 - math.exp(-dt / self.ema_window)
+            self._ema += alpha * (float(value) - self._ema)
+        self._last_obs_time = now
+
+    def target(self) -> int:
+        """Agent count the current EMA calls for (ignoring cooldown)."""
+        raw = math.ceil(self.ema / self.scaling_factor)
+        return int(min(max(raw, self.min_agents), self.max_agents))
+
+    def desired(self, current_agents: int, now: float) -> Optional[int]:
+        """The scaling action to take now, or None.
+
+        Returns a new agent count only when the cooldown has elapsed
+        and the target differs from the current size; calling it
+        records the decision point in :attr:`history`.
+        """
+        tgt = self.target()
+        self.history.append((now, self.ema, tgt))
+        if now - self._last_scale_time < self.cooldown:
+            return None
+        if tgt == current_agents:
+            return None
+        self._last_scale_time = now
+        return tgt

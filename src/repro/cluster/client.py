@@ -1,0 +1,118 @@
+"""ClientProxies: the low-latency query path (§3.1).
+
+ClientProxies proxy end-user queries to Agents.  A query for a vertex
+bypasses the second consistent hash and picks one replica at random
+(§3.4.1) — this is deliberate: a split (hot) vertex's read load spreads
+across its replicas.  Queries ride the REQ/REP-style low-latency path
+and are answered concurrently with computation (Goal 4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.directory import DirectoryState
+from repro.hashing.ring import ConsistentHashRing
+from repro.net.message import Message, PacketType
+from repro.net.sockets import PushSocket
+from repro.partition.placer import EdgePlacer
+from repro.sim.entity import Entity
+
+
+class ClientProxy(Entity):
+    """A query frontend.
+
+    :meth:`query` issues a vertex-result lookup and delivers the value
+    to a callback; per-query latencies (simulated) accumulate in
+    :attr:`latencies` for the benchmarks.
+    """
+
+    def __init__(
+        self,
+        network,
+        config: ClusterConfig,
+        client_id: int,
+        node: int,
+        directory_address: int,
+    ):
+        super().__init__(network, f"client-{client_id}", config.seed)
+        self.config = config
+        self.client_id = client_id
+        self.node = node
+        self.directory_address = directory_address
+        self.push = PushSocket(self)
+        self.dstate: Optional[DirectoryState] = None
+        self.placer: Optional[EdgePlacer] = None
+        self.latencies: List[float] = []
+        self.queries_sent = 0
+        self.replies_received = 0
+        self._pending: Dict[int, tuple] = {}  # token -> (send time, callback)
+        self._next_token = 0
+        self.push.push(
+            self.directory_address, PacketType.SUBSCRIBE, [PacketType.DIRECTORY_UPDATE]
+        )
+
+    def handle_message(self, message: Message) -> None:
+        if message.ptype == PacketType.DIRECTORY_UPDATE:
+            self._adopt(message.payload)
+        elif message.ptype == PacketType.CLIENT_REPLY:
+            self._on_reply(message.payload)
+        else:
+            raise ValueError(f"ClientProxy got unexpected {message.ptype.name}")
+
+    def _adopt(self, state: DirectoryState) -> None:
+        if self.dstate is not None and state.version <= self.dstate.version:
+            return
+        self.dstate = state
+        ring = ConsistentHashRing(
+            state.agent_ids(),
+            virtual_factor=self.config.virtual_factor,
+            hash_fn=self.config.hash_fn,
+            seed=self.config.seed,
+            weights=state.weights,
+        )
+        self.placer = EdgePlacer(
+            ring,
+            state.sketch,
+            replication_threshold=self.config.replication_threshold,
+            hash_fn=self.config.hash_fn,
+            split_gate=state.split_vertices,
+        )
+
+    def query(
+        self,
+        vertex: int,
+        program: str,
+        callback: Optional[Callable[[Optional[float]], None]] = None,
+    ) -> None:
+        """Ask some replica of ``vertex`` for its current result."""
+        if self.placer is None:
+            raise RuntimeError(
+                f"client {self.client_id} has no directory state yet; "
+                "run the simulator until the first broadcast lands"
+            )
+        token = self._next_token
+        self._next_token += 1
+        self._pending[token] = (self.now, callback)
+        self.queries_sent += 1
+        owner = self.placer.owner_of_vertex(int(vertex), rng=self.rng)
+        address = self.dstate.agents.get(owner)
+        if address is None:
+            address = next(iter(sorted(self.dstate.agents.values())))
+        self.push.push(
+            address,
+            PacketType.CLIENT_QUERY,
+            {"vertex": int(vertex), "program": program, "token": token},
+        )
+
+    def _on_reply(self, payload: dict) -> None:
+        token = payload.get("token")
+        entry = self._pending.pop(token, None)
+        if entry is None:
+            return  # duplicate/stale reply
+        sent_at, callback = entry
+        self.replies_received += 1
+        self.latencies.append(self.now - sent_at)
+        if callback is not None:
+            callback(payload.get("value"))

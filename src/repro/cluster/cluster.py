@@ -1,0 +1,243 @@
+"""Cluster orchestration: wiring, ingest, and elastic scaling.
+
+:class:`ElGACluster` plays the role of the paper's launch scripts
+(pdsh + numactl in the artifact appendix): it builds the simulator,
+starts the directory system, brings up Agents across nodes, and offers
+the operator-level actions — add/remove Agents, ingest streams, settle
+the system.  Algorithm execution lives one level up, in
+:class:`repro.core.engine.ElGA`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.agent import Agent
+from repro.cluster.client import ClientProxy
+from repro.cluster.config import ClusterConfig
+from repro.cluster.directory import Directory, DirectoryMaster
+from repro.cluster.streamer import Streamer
+from repro.graph.stream import EdgeBatch
+from repro.net.message import PacketType
+from repro.net.network import Network
+from repro.sim.kernel import SimKernel
+from repro.sim.random import entity_rng
+
+
+class ElGACluster:
+    """A running (simulated) ElGA deployment.
+
+    Parameters
+    ----------
+    config:
+        Shared cluster configuration; ``config.total_agents`` Agents
+        come up across ``config.nodes`` nodes.
+
+    Examples
+    --------
+    >>> cluster = ElGACluster(ClusterConfig(nodes=2, agents_per_node=2))
+    >>> len(cluster.agents)
+    4
+    """
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        self.kernel = SimKernel()
+        self.network = Network(self.kernel, transport=config.transport)
+        self.master = DirectoryMaster(self.network, seed=config.seed)
+        self.directories: List[Directory] = []
+        for i in range(config.n_directories):
+            directory = Directory(self.network, config, i)
+            self.directories.append(directory)
+            self.master.register_directory(directory.address)
+        lead = self.directories[0]
+        lead.peers = [d.address for d in self.directories[1:]]
+        for d in self.directories[1:]:
+            d.peers = [lead.address]
+
+        self.agents: Dict[int, Agent] = {}
+        self._next_agent_id = 0
+        self._next_streamer_id = 0
+        self._next_client_id = 0
+        self.streamers: List[Streamer] = []
+        self.clients: List[ClientProxy] = []
+        self._scale_rng = entity_rng(config.seed, "cluster-scaler")
+
+        for i in range(config.total_agents):
+            self.add_agent(node=i // config.agents_per_node, settle=False)
+        self.settle()
+
+    # ------------------------------------------------------------------
+    # membership / elasticity
+    # ------------------------------------------------------------------
+
+    @property
+    def lead(self) -> Directory:
+        """The lead directory (barrier aggregation, batch clock)."""
+        return self.directories[0]
+
+    def directory_for(self, index: int) -> Directory:
+        return self.directories[index % len(self.directories)]
+
+    def add_agent(
+        self, node: Optional[int] = None, settle: bool = True, weight: float = 1.0
+    ) -> Agent:
+        """Bring up one new Agent (elastic scale-up).
+
+        ``weight`` is the heterogeneous-capacity extension (§3.4.2
+        future work): a weight-w agent contributes w× the virtual ring
+        positions and therefore claims roughly w× the edges.
+        """
+        agent_id = self._next_agent_id
+        self._next_agent_id += 1
+        if node is None:
+            node = agent_id // self.config.agents_per_node
+        directory = self.directory_for(agent_id)
+        agent = Agent(
+            self.network, self.config, agent_id, node, directory.address, weight=weight
+        )
+        self.agents[agent_id] = agent
+        if settle:
+            self.settle()
+        return agent
+
+    def remove_agent(self, agent_id: int, settle: bool = True) -> None:
+        """Gracefully remove one Agent (elastic scale-down)."""
+        agent = self.agents.pop(agent_id)
+        agent.initiate_leave()
+        if settle:
+            self.settle()
+
+    def scale_to(self, n_agents: int, settle: bool = True) -> None:
+        """Scale the cluster up or down to ``n_agents`` total Agents.
+
+        Scale-down removes uniformly random Agents (Figure 16 removes
+        "a random one"); scale-up packs new Agents onto nodes at the
+        configured per-node density.
+        """
+        if n_agents < 1:
+            raise ValueError(f"cannot scale below one agent, got {n_agents}")
+        while len(self.agents) < n_agents:
+            self.add_agent(settle=False)
+        while len(self.agents) > n_agents:
+            victim = int(self._scale_rng.choice(sorted(self.agents)))
+            self.remove_agent(victim, settle=False)
+        if settle:
+            self.settle()
+
+    def settle(self, max_events: int = 50_000_000) -> None:
+        """Run the simulator until the system is quiescent."""
+        self.kernel.run_until_idle(max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # streaming ingest
+    # ------------------------------------------------------------------
+
+    def new_streamer(self, node: int = 0) -> Streamer:
+        streamer = Streamer(
+            self.network,
+            self.config,
+            self._next_streamer_id,
+            node,
+            self.directory_for(self._next_streamer_id).address,
+        )
+        self._next_streamer_id += 1
+        self.streamers.append(streamer)
+        self.settle()  # pick up the current directory state
+        return streamer
+
+    def new_client(self, node: int = 0) -> ClientProxy:
+        client = ClientProxy(
+            self.network,
+            self.config,
+            self._next_client_id,
+            node,
+            self.directory_for(self._next_client_id).address,
+        )
+        self._next_client_id += 1
+        self.clients.append(client)
+        self.settle()
+        return client
+
+    def ingest(self, batch: EdgeBatch, n_streamers: int = 1) -> Dict[str, float]:
+        """Stream a change batch into the cluster and wait for full
+        acknowledgement.
+
+        Returns timing/throughput figures in *simulated* time — the
+        quantities Figure 14 reports.
+        """
+        while len(self.streamers) < n_streamers:
+            self.new_streamer(node=len(self.streamers) % max(self.config.nodes, 1))
+        parts = batch.split(n_streamers)
+        start = self.kernel.now
+        done_at: List[float] = []
+        for streamer, part in zip(self.streamers[:n_streamers], parts):
+            streamer.stream_batch(part, on_complete=done_at.append)
+        self.settle()
+        if len(done_at) != n_streamers:
+            raise RuntimeError(
+                f"ingest incomplete: {len(done_at)}/{n_streamers} streamers finished"
+            )
+        elapsed = max(done_at) - start if done_at else 0.0
+        return {
+            "edges": float(len(batch)),
+            "sim_seconds": elapsed,
+            "edges_per_second": len(batch) / elapsed if elapsed > 0 else float("inf"),
+        }
+
+    def flush_sketches(self) -> None:
+        """Force all agents' degree deltas into the global sketch and
+        broadcast (done before runs so placement sees fresh degrees)."""
+        for agent in sorted_agents(self.agents):
+            agent.flush_sketch()
+        self.settle()
+        # The lead batches sketch broadcasts; force one out if dirty.
+        self.lead._sketch_broadcast_due()
+        self.settle()
+
+    def collect_metrics(self) -> Dict[int, dict]:
+        """Have every agent report metrics; return the directory view.
+
+        This is the in-protocol path (§3.4.3) — metric snapshots travel
+        as METRIC_REPORT messages to each agent's Directory, and the
+        union of the directories' stores is returned.
+        """
+        for agent in sorted_agents(self.agents):
+            agent.report_metrics()
+        self.settle()
+        merged: Dict[int, dict] = {}
+        for directory in self.directories:
+            merged.update(directory.metric_store)
+        return merged
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def edge_loads(self) -> Dict[int, int]:
+        """Resident edge copies per live agent (load-balance views)."""
+        return {aid: agent.total_edges for aid, agent in sorted(self.agents.items())}
+
+    def total_resident_edges(self) -> int:
+        return sum(a.total_edges for a in self.agents.values())
+
+    def directory_version(self) -> int:
+        return self.lead.state.version
+
+    def consistent(self) -> bool:
+        """Whether every live agent has adopted the latest directory
+        state and has no migration traffic outstanding."""
+        version = self.lead.state.version
+        for agent in self.agents.values():
+            if agent.dstate is None or agent.dstate.version != version:
+                return False
+            if agent._migration_acks_pending != 0:
+                return False
+        return True
+
+
+def sorted_agents(agents: Dict[int, Agent]) -> List[Agent]:
+    """Agents in id order (deterministic iteration)."""
+    return [agents[k] for k in sorted(agents)]

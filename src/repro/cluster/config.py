@@ -1,0 +1,89 @@
+"""Cluster-wide configuration.
+
+Everything a Participant needs to agree on with every other Participant
+is fixed here: the hash function, the virtual-agent factor, sketch
+dimensions, and the replication threshold.  In the real system these are
+compile-time CONFIG flags (Appendix); changing one requires the whole
+cluster to share it, which is why they are configuration rather than
+directory state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cluster.costmodel import CostModel, DEFAULT_COSTS
+from repro.hashing.hashes import HASH_FUNCTIONS
+from repro.net.latency import TransportModel
+
+
+@dataclass
+class ClusterConfig:
+    """Shared configuration for one ElGA cluster.
+
+    Parameters mirror the paper's defaults scaled to this repo's graph
+    sizes.  The paper replicates vertices above an estimated degree of
+    10⁷ on graphs of 10⁹–10¹¹ edges; at our ~10⁻⁴ scale the equivalent
+    default threshold is ~10³.
+
+    Attributes
+    ----------
+    nodes:
+        Number of physical machines (the paper's cluster has 64).
+    agents_per_node:
+        Agents per machine — one per core in the paper (32).
+    hash_name:
+        Key of :data:`repro.hashing.hashes.HASH_FUNCTIONS` (Figure 5;
+        ``wang`` is the paper's choice).
+    virtual_factor:
+        Virtual agents per Agent (Figure 6; 100).
+    sketch_width, sketch_depth:
+        CountMinSketch dimensions (Figure 7; the paper uses width
+        ~10^4.2 with a high threshold).
+    replication_threshold:
+        Estimated degree above which a vertex splits across Agents.
+    n_directories:
+        Directory servers; Participants spread across them.
+    sketch_broadcast_interval:
+        Minimum simulated seconds between directory broadcasts caused
+        by sketch deltas alone (membership changes broadcast at once).
+    seed:
+        Experiment root seed (drives every entity's RNG stream).
+    """
+
+    nodes: int = 4
+    agents_per_node: int = 4
+    hash_name: str = "wang"
+    virtual_factor: int = 100
+    sketch_width: int = 4096
+    sketch_depth: int = 8
+    replication_threshold: int = 1000
+    n_directories: int = 1
+    sketch_broadcast_interval: float = 0.05
+    sketch_flush_every: int = 512
+    seed: int = 0
+    transport: TransportModel = field(default_factory=TransportModel.zeromq)
+    costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
+
+    def __post_init__(self) -> None:
+        if self.hash_name not in HASH_FUNCTIONS:
+            raise ValueError(
+                f"unknown hash {self.hash_name!r}; known: {sorted(HASH_FUNCTIONS)}"
+            )
+        if self.nodes < 1 or self.agents_per_node < 1:
+            raise ValueError("need at least one node and one agent per node")
+        if self.n_directories < 1:
+            raise ValueError("need at least one directory")
+        if self.replication_threshold < 1:
+            raise ValueError("replication_threshold must be >= 1")
+
+    @property
+    def hash_fn(self) -> Callable:
+        """The configured hash function."""
+        return HASH_FUNCTIONS[self.hash_name]
+
+    @property
+    def total_agents(self) -> int:
+        """Initial Agent count (nodes × agents per node)."""
+        return self.nodes * self.agents_per_node

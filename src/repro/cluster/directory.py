@@ -1,0 +1,370 @@
+"""The directory system (§3.3): membership, sketch, and barriers.
+
+Directories broadcast to every Participant the state needed to find any
+edge's owner: the Agent list and the degree CountMinSketch — a payload
+of O(P + d·w), exactly the paper's bound — plus the batch clock and the
+split-vertex registry.  They also coordinate bulk-synchronous barriers
+(Figure 2): Agents report ready to their Directory, Directories
+re-broadcast readiness among themselves, and when every Agent is ready
+the superstep advances.
+
+A single **DirectoryMaster** is the bootstrap service: queried once by
+any component to find a Directory, and only again if that Directory
+leaves (§3.3).
+
+Internally one directory (index 0, the *lead*) is authoritative for
+membership and sketch merging; peers forward joins/leaves/deltas to it
+and mirror its state via ``DIRECTORY_SYNC`` — the paper's "all
+Directories internally broadcast messages appropriately", specialized
+to a hub topology for determinism.
+
+The split-vertex registry is an implementation addition: the paper's
+Agents learn replication factors from the sketch alone, but a replica
+of a split vertex that happens to hold none of its edges must still
+participate in replica synchronization, so the directory broadcast
+carries the (small) set of currently-split vertex ids.  This adds
+O(#hubs) to the O(P + d·w) broadcast; DESIGN.md discusses the choice.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.cluster.config import ClusterConfig
+from repro.net.message import Message, PacketType
+from repro.net.sockets import PubSubSocket, ReqRepSocket
+from repro.sim.entity import Entity
+from repro.sketch.countmin import CountMinSketch
+
+
+class DirectoryState:
+    """One version of the broadcast directory state.
+
+    Treated as immutable by recipients; the lead directory builds a new
+    instance for every broadcast.
+    """
+
+    __slots__ = ("version", "batch_id", "agents", "sketch", "split_vertices", "weights")
+
+    def __init__(
+        self,
+        version: int,
+        batch_id: int,
+        agents: Dict[int, int],
+        sketch: CountMinSketch,
+        split_vertices: frozenset,
+        weights: Optional[Dict[int, float]] = None,
+    ):
+        self.version = version
+        self.batch_id = batch_id
+        self.agents = dict(agents)  # agent id -> network address
+        self.sketch = sketch
+        self.split_vertices = frozenset(split_vertices)
+        # Capacity weights (§3.4.2 heterogeneous extension): scale each
+        # agent's virtual-position count on every participant's ring.
+        self.weights = dict(weights or {})
+
+    @property
+    def nbytes(self) -> int:
+        """Broadcast size: O(P) addresses + O(d·w) sketch + split set."""
+        return (
+            16 * len(self.agents)
+            + 8 * len(self.weights)
+            + self.sketch.nbytes
+            + 8 * len(self.split_vertices)
+            + 16
+        )
+
+    def agent_ids(self) -> List[int]:
+        return sorted(self.agents)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DirectoryState(v{self.version}, batch={self.batch_id}, "
+            f"P={len(self.agents)}, split={len(self.split_vertices)})"
+        )
+
+
+class DirectoryMaster(Entity):
+    """Bootstrap service: hands out a Directory address on request."""
+
+    def __init__(self, network, seed: int = 0):
+        super().__init__(network, "directory-master", seed)
+        self._directories: List[int] = []
+        self._next = 0
+
+    def register_directory(self, address: int) -> None:
+        """Called by the cluster when a Directory comes up."""
+        self._directories.append(address)
+
+    def unregister_directory(self, address: int) -> None:
+        self._directories = [a for a in self._directories if a != address]
+
+    def handle_message(self, message: Message) -> None:
+        if message.ptype == PacketType.DIRECTORY_QUERY:
+            if not self._directories:
+                raise RuntimeError("no directories registered with the master")
+            address = self._directories[self._next % len(self._directories)]
+            self._next += 1
+            ReqRepSocket.reply_to(self.network, message, PacketType.DIRECTORY_ASSIGN, address)
+        else:
+            raise ValueError(f"DirectoryMaster got unexpected {message.ptype.name}")
+
+
+class Directory(Entity):
+    """One directory server.
+
+    Parameters
+    ----------
+    network, config:
+        Fabric and shared cluster configuration.
+    index:
+        Directory index; index 0 is the lead.
+    """
+
+    def __init__(self, network, config: ClusterConfig, index: int):
+        super().__init__(network, f"directory-{index}", config.seed)
+        self.config = config
+        self.index = index
+        self.is_lead = index == 0
+        self.pubsub = PubSubSocket(self)
+        self.peers: List[int] = []  # other directories' addresses (lead first)
+        self.state = DirectoryState(
+            version=0,
+            batch_id=0,
+            agents={},
+            sketch=CountMinSketch(config.sketch_width, config.sketch_depth, seed=config.seed),
+            split_vertices=frozenset(),
+        )
+        self._weights: Dict[int, float] = {}
+        # Latest metric snapshot per agent (§3.4.3: "Metrics are passed
+        # to Directories"); autoscalers read these.
+        self.metric_store: Dict[int, dict] = {}
+        # Lead-only aggregation state.
+        self._pending_split: Set[int] = set()
+        self._sketch_dirty = False
+        self._last_sketch_broadcast = -1e30
+        self._broadcast_scheduled = False
+        self._ready: Dict[int, Dict[int, dict]] = {}  # step -> agent id -> stats
+        self._membership_dirty = False
+        # Engine hook: called by the lead as run_controller(round, step,
+        # stats) when all agents report ready.  Returns the next
+        # SUPERSTEP_ADVANCE payload, or None to hold the barrier (used
+        # for mid-run elastic scaling).
+        self.run_controller: Optional[Callable[[int, int, dict], Optional[dict]]] = None
+
+    # -- message dispatch -----------------------------------------------------
+
+    def handle_message(self, message: Message) -> None:
+        ptype = message.ptype
+        if ptype == PacketType.SUBSCRIBE:
+            if isinstance(message.payload, dict) and message.payload.get("remove"):
+                self.pubsub.unsubscribe(message.src)
+            else:
+                self.pubsub.subscribe(message.src, message.payload)
+                # Late joiners immediately get the current state so they
+                # can start placing edges without waiting for churn.
+                if (
+                    PacketType.DIRECTORY_UPDATE in message.payload
+                    and self.state.version > 0
+                ):
+                    update = Message(
+                        ptype=PacketType.DIRECTORY_UPDATE, payload=self.state
+                    )
+                    update.src = self.address
+                    update.dst = message.src
+                    self.network.send(update)
+        elif ptype == PacketType.AGENT_JOIN:
+            self._to_lead(message)
+        elif ptype == PacketType.AGENT_LEAVE:
+            self._to_lead(message)
+        elif ptype == PacketType.SKETCH_DELTA:
+            self._to_lead(message)
+        elif ptype == PacketType.SPLIT_REPORT:
+            self._to_lead(message)
+        elif ptype == PacketType.AGENT_READY:
+            self._on_agent_ready(message)
+        elif ptype == PacketType.READY_REBROADCAST:
+            self._on_ready_rebroadcast(message)
+        elif ptype == PacketType.METRIC_REPORT:
+            payload = message.payload
+            self.metric_store[int(payload["agent_id"])] = dict(payload["metrics"])
+        elif ptype == PacketType.DIRECTORY_SYNC:
+            self._on_sync(message)
+        elif ptype == PacketType.SUPERSTEP_ADVANCE or ptype == PacketType.RUN_START:
+            # Lead-originated control, re-published to local subscribers.
+            self.pubsub.publish(ptype, message.payload)
+        else:
+            raise ValueError(f"Directory got unexpected {ptype.name}")
+
+    def _to_lead(self, message: Message) -> None:
+        """Handle membership/sketch traffic at the lead, or forward it."""
+        if self.is_lead:
+            handler = {
+                PacketType.AGENT_JOIN: self._lead_join,
+                PacketType.AGENT_LEAVE: self._lead_leave,
+                PacketType.SKETCH_DELTA: self._lead_sketch_delta,
+                PacketType.SPLIT_REPORT: self._lead_split_report,
+            }[message.ptype]
+            handler(message.payload)
+        else:
+            fwd = Message(ptype=message.ptype, payload=message.payload)
+            fwd.src = self.address
+            fwd.dst = self.peers[0]  # lead is always peers[0] for non-leads
+            self.network.send(fwd)
+
+    # -- lead: membership and sketch ---------------------------------------------
+
+    def _lead_join(self, payload: dict) -> None:
+        agents = dict(self.state.agents)
+        agent_id = int(payload["agent_id"])
+        agents[agent_id] = int(payload["address"])
+        weight = float(payload.get("weight", 1.0))
+        if weight != 1.0:
+            self._weights[agent_id] = weight
+        self._replace_state(agents=agents, bump_batch=False)
+        self._broadcast_now()
+
+    def _lead_leave(self, payload: dict) -> None:
+        agents = dict(self.state.agents)
+        agents.pop(int(payload["agent_id"]), None)
+        self._weights.pop(int(payload["agent_id"]), None)
+        self._replace_state(agents=agents, bump_batch=False)
+        self._broadcast_now()
+
+    def _lead_sketch_delta(self, delta: CountMinSketch) -> None:
+        self.state.sketch.merge(delta)
+        self._sketch_dirty = True
+        self._maybe_schedule_sketch_broadcast()
+
+    def _lead_split_report(self, payload) -> None:
+        new = {int(v) for v in np.atleast_1d(payload)}
+        if not new - set(self.state.split_vertices) - self._pending_split:
+            return
+        self._pending_split |= new
+        self._sketch_dirty = True
+        self._maybe_schedule_sketch_broadcast()
+
+    def _maybe_schedule_sketch_broadcast(self) -> None:
+        if self._broadcast_scheduled:
+            return
+        wait = max(
+            0.0,
+            self._last_sketch_broadcast + self.config.sketch_broadcast_interval - self.now,
+        )
+        self._broadcast_scheduled = True
+        self.kernel.schedule(wait, self._sketch_broadcast_due)
+
+    def _sketch_broadcast_due(self) -> None:
+        self._broadcast_scheduled = False
+        if not self._sketch_dirty:
+            return
+        self._last_sketch_broadcast = self.now
+        self._sketch_dirty = False
+        self._replace_state(agents=self.state.agents, bump_batch=False)
+        self._broadcast_now()
+
+    def _replace_state(self, agents: Dict[int, int], bump_batch: bool) -> None:
+        split = frozenset(self.state.split_vertices | self._pending_split)
+        self._pending_split.clear()
+        self.state = DirectoryState(
+            version=self.state.version + 1,
+            batch_id=self.state.batch_id + (1 if bump_batch else 0),
+            agents=agents,
+            sketch=self.state.sketch,  # lead keeps the live master copy
+            split_vertices=split,
+            weights=self._weights,
+        )
+
+    def advance_batch_clock(self) -> int:
+        """Bump the monotonically increasing batch id (lead only)."""
+        if not self.is_lead:
+            raise RuntimeError("batch clock is owned by the lead directory")
+        self._replace_state(agents=self.state.agents, bump_batch=True)
+        self._broadcast_now()
+        return self.state.batch_id
+
+    def _broadcast_now(self) -> None:
+        """Sync peers and publish the new state to local subscribers."""
+        snapshot = DirectoryState(
+            version=self.state.version,
+            batch_id=self.state.batch_id,
+            agents=self.state.agents,
+            sketch=self.state.sketch.copy(),
+            split_vertices=self.state.split_vertices,
+            weights=self.state.weights,
+        )
+        for peer in self.peers:
+            msg = Message(ptype=PacketType.DIRECTORY_SYNC, payload=snapshot)
+            msg.src = self.address
+            msg.dst = peer
+            self.network.send(msg)
+        self.pubsub.publish(PacketType.DIRECTORY_UPDATE, snapshot)
+
+    def _on_sync(self, message: Message) -> None:
+        incoming: DirectoryState = message.payload
+        if incoming.version <= self.state.version:
+            return  # stale
+        self.state = incoming
+        self.pubsub.publish(PacketType.DIRECTORY_UPDATE, incoming)
+
+    # -- barrier protocol (Figure 2) ------------------------------------------------
+
+    def _on_agent_ready(self, message: Message) -> None:
+        payload = message.payload
+        if self.is_lead:
+            self._lead_collect_ready(int(payload["agent_id"]), payload)
+        else:
+            fwd = Message(ptype=PacketType.READY_REBROADCAST, payload=payload)
+            fwd.src = self.address
+            fwd.dst = self.peers[0]
+            self.network.send(fwd)
+
+    def _on_ready_rebroadcast(self, message: Message) -> None:
+        if not self.is_lead:
+            raise RuntimeError("only the lead aggregates readiness")
+        payload = message.payload
+        self._lead_collect_ready(int(payload["agent_id"]), payload)
+
+    def _lead_collect_ready(self, agent_id: int, payload: dict) -> None:
+        round_id = int(payload["round"])
+        step = int(payload["step"])
+        bucket = self._ready.setdefault(round_id, {})
+        bucket[agent_id] = payload.get("stats", {})
+        if set(bucket) >= set(self.state.agents):
+            stats = _merge_stats(bucket.values())
+            del self._ready[round_id]
+            if self.run_controller is None:
+                return
+            advance = self.run_controller(round_id, step, stats)
+            if advance is not None:
+                self.send_advance(advance)
+
+    def send_advance(self, payload: dict) -> None:
+        """Broadcast a SUPERSTEP_ADVANCE to every agent (lead only)."""
+        self._control_broadcast(PacketType.SUPERSTEP_ADVANCE, payload)
+
+    def send_run_start(self, payload: dict) -> None:
+        """Broadcast a RUN_START to every agent (lead only)."""
+        self._control_broadcast(PacketType.RUN_START, payload)
+
+    def _control_broadcast(self, ptype: PacketType, payload: dict) -> None:
+        if not self.is_lead:
+            raise RuntimeError("control broadcasts originate at the lead directory")
+        for peer in self.peers:
+            msg = Message(ptype=ptype, payload=payload)
+            msg.src = self.address
+            msg.dst = peer
+            self.network.send(msg)
+        self.pubsub.publish(ptype, payload)
+
+
+def _merge_stats(stat_dicts) -> dict:
+    """Sum-aggregate per-agent stats (residuals, active counts, ...)."""
+    merged: dict = {}
+    for stats in stat_dicts:
+        for key, value in stats.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged

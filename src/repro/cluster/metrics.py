@@ -1,0 +1,49 @@
+"""Per-agent metric collection (§3.4.3).
+
+ElGA's autoscaling API collects metrics from Agents — graph change
+rates, client query rates, and superstep times — and passes them to the
+autoscaler.  Counters are monotone; rate computation (deltas over a
+window) happens in the autoscaler, matching how the paper's exponential
+moving average consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class AgentMetrics:
+    """Monotone counters maintained by one Agent."""
+
+    edges_processed: int = 0       # edge scans during compute
+    messages_sent: int = 0         # data-plane messages
+    updates_applied: int = 0       # edge changes applied
+    updates_forwarded: int = 0     # stale-placement forwards
+    queries_served: int = 0        # client queries answered
+    edges_migrated: int = 0        # edges sent away on rebalance
+    supersteps: int = 0
+    replica_syncs: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy (what a METRIC_REPORT would carry)."""
+        return {
+            "edges_processed": self.edges_processed,
+            "messages_sent": self.messages_sent,
+            "updates_applied": self.updates_applied,
+            "updates_forwarded": self.updates_forwarded,
+            "queries_served": self.queries_served,
+            "edges_migrated": self.edges_migrated,
+            "supersteps": self.supersteps,
+            "replica_syncs": self.replica_syncs,
+        }
+
+
+def combine_metrics(snapshots) -> Dict[str, int]:
+    """Sum metric snapshots across agents (cluster-wide totals)."""
+    total: Dict[str, int] = {}
+    for snap in snapshots:
+        for key, value in snap.items():
+            total[key] = total.get(key, 0) + value
+    return total

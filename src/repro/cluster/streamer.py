@@ -1,0 +1,157 @@
+"""Streamers: edge-change injection (§3.1, Figure 1).
+
+Streamers send graph updates to Agents.  A Streamer is a full
+Participant: it receives directory updates, computes each change's
+owning Agent itself (both the out-copy and in-copy destinations), and
+pushes grouped ``EDGE_UPDATE`` batches.  Its directory view may be
+stale — Agents forward misplaced updates — so Streamers never need to
+synchronize with elasticity events.
+
+The paper streams A-BTER output straight into the cluster and measures
+insertion rates above 2 M edges/s/Agent (Figure 14); the Figure 14
+benchmark drives this class.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.directory import DirectoryState
+from repro.graph.stream import EdgeBatch
+from repro.hashing.ring import ConsistentHashRing
+from repro.net.message import Message, PacketType
+from repro.net.sockets import PushSocket
+from repro.partition.placer import EdgePlacer
+from repro.sim.entity import Entity
+
+
+class Streamer(Entity):
+    """One update source.
+
+    Use :meth:`stream_batch` to inject an :class:`EdgeBatch`; the
+    ``on_complete`` callback fires (in simulated time) once every change
+    has been acknowledged by its final applier.
+    """
+
+    def __init__(
+        self,
+        network,
+        config: ClusterConfig,
+        streamer_id: int,
+        node: int,
+        directory_address: int,
+    ):
+        super().__init__(network, f"streamer-{streamer_id}", config.seed)
+        self.config = config
+        self.streamer_id = streamer_id
+        self.node = node
+        self.directory_address = directory_address
+        self.push = PushSocket(self)
+        self.dstate: Optional[DirectoryState] = None
+        self.placer: Optional[EdgePlacer] = None
+        self._outstanding = 0
+        self._on_complete: Optional[Callable[[float], None]] = None
+        self.edges_sent = 0
+        self.edges_acked = 0
+        self.push.push(
+            self.directory_address, PacketType.SUBSCRIBE, [PacketType.DIRECTORY_UPDATE]
+        )
+
+    def handle_message(self, message: Message) -> None:
+        if message.ptype == PacketType.DIRECTORY_UPDATE:
+            self._adopt(message.payload)
+        elif message.ptype == PacketType.EDGE_UPDATE_ACK:
+            self._on_ack(message.payload)
+        else:
+            raise ValueError(f"Streamer got unexpected {message.ptype.name}")
+
+    def _adopt(self, state: DirectoryState) -> None:
+        if self.dstate is not None and state.version <= self.dstate.version:
+            return
+        self.dstate = state
+        ring = ConsistentHashRing(
+            state.agent_ids(),
+            virtual_factor=self.config.virtual_factor,
+            hash_fn=self.config.hash_fn,
+            seed=self.config.seed,
+            weights=state.weights,
+        )
+        self.placer = EdgePlacer(
+            ring,
+            state.sketch,
+            replication_threshold=self.config.replication_threshold,
+            hash_fn=self.config.hash_fn,
+            split_gate=state.split_vertices,
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """Whether a previous batch is still awaiting acknowledgements."""
+        return self._outstanding > 0
+
+    def stream_batch(
+        self, batch: EdgeBatch, on_complete: Optional[Callable[[float], None]] = None
+    ) -> None:
+        """Send one batch of changes to their owning Agents.
+
+        Every change produces two updates — the out-copy (placed by the
+        source endpoint) and the in-copy (placed by the destination) —
+        so the graph's both-direction storage stays consistent.
+        """
+        if self.placer is None:
+            raise RuntimeError(
+                f"streamer {self.streamer_id} has no directory state yet; "
+                "run the simulator until the first broadcast lands"
+            )
+        if self.busy:
+            raise RuntimeError("streamer already has a batch in flight")
+        self._on_complete = on_complete
+        n = len(batch)
+        if n == 0:
+            if on_complete is not None:
+                self.kernel.schedule(0.0, on_complete, self.now)
+            return
+        self.charge(self.config.costs.streamer_edge_op * n)
+        self._outstanding = 2 * n
+        self.edges_sent += n
+        for role in ("out", "in"):
+            own = batch.us if role == "out" else batch.vs
+            other = batch.vs if role == "out" else batch.us
+            owners = self.placer.owner_of_edges(own, other)
+            order = np.argsort(owners, kind="stable")
+            owners_sorted = owners[order]
+            bounds = np.flatnonzero(np.diff(owners_sorted)) + 1
+            starts = np.concatenate([[0], bounds])
+            ends = np.concatenate([bounds, [n]])
+            for s, e in zip(starts, ends):
+                rows = order[s:e]
+                payload = {
+                    "role": role,
+                    "actions": batch.actions[rows],
+                    "us": batch.us[rows],
+                    "vs": batch.vs[rows],
+                    "reply_to": self.address,
+                    "token": self.streamer_id,
+                }
+                target = int(owners_sorted[s])
+                address = self.dstate.agents.get(target)
+                if address is None:
+                    # Stale view named a departed agent; any live agent
+                    # will forward (eventual consistency).
+                    address = next(iter(sorted(self.dstate.agents.values())))
+                self.push.push(address, PacketType.EDGE_UPDATE, payload)
+
+    def _on_ack(self, payload: dict) -> None:
+        count = int(payload.get("count", 1))
+        self._outstanding -= count
+        self.edges_acked += count
+        if self._outstanding < 0:
+            raise RuntimeError("streamer over-acknowledged: protocol bug")
+        if self._outstanding == 0 and self._on_complete is not None:
+            callback, self._on_complete = self._on_complete, None
+            callback(self.now)

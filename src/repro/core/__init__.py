@@ -1,0 +1,29 @@
+"""ElGA's core: the locally-persistent vertex-centric model (§3.2).
+
+Algorithms run from the perspective of a vertex: save local state, send
+messages along edges, and re-run when changed state arrives (a message
+from a neighbor or replica).  The engine executes them synchronously
+(BSP supersteps with directory barriers) or asynchronously (monotone
+programs processed on message arrival) on a continuously changing graph.
+
+:class:`~repro.core.engine.ElGA` is the public facade — start there.
+"""
+
+from repro.core.algorithms.degree import DegreeCount
+from repro.core.algorithms.pagerank import PageRank
+from repro.core.algorithms.ppr import PersonalizedPageRank
+from repro.core.algorithms.sssp import SSSP
+from repro.core.algorithms.wcc import WCC
+from repro.core.engine import ElGA
+from repro.core.program import RunSpec, VertexProgram
+
+__all__ = [
+    "DegreeCount",
+    "ElGA",
+    "PageRank",
+    "PersonalizedPageRank",
+    "RunSpec",
+    "SSSP",
+    "VertexProgram",
+    "WCC",
+]

@@ -1,0 +1,16 @@
+"""Vertex programs: the algorithms of §4.3 plus extensions.
+
+PageRank and WCC are the paper's benchmark algorithms (implemented
+identically across ElGA, Blogel, and GraphX so performance differences
+come from the systems).  SSSP exercises the asynchronous waiting-set
+machinery; DegreeCount is a one-superstep program used by protocol
+tests.
+"""
+
+from repro.core.algorithms.degree import DegreeCount
+from repro.core.algorithms.pagerank import PageRank
+from repro.core.algorithms.ppr import PersonalizedPageRank
+from repro.core.algorithms.sssp import SSSP
+from repro.core.algorithms.wcc import WCC
+
+__all__ = ["DegreeCount", "PageRank", "PersonalizedPageRank", "SSSP", "WCC"]

@@ -1,0 +1,87 @@
+"""PageRank vertex program (§4.3).
+
+"At each iteration, a vertex receives messages from each in-neighbor,
+aggregates them with a sum, scales the value, and sends its values out
+to its out-neighbors."  Termination matches the baselines: the run halts
+when the global L1 residual drops below ``tol`` or after ``max_iters``
+supersteps; the paper validates agreement to 1e-8 across systems.
+
+In the dynamic case PageRank is restarted from the persisted ranks
+(every vertex active — rank mass moves globally on any change), which
+converges in far fewer iterations than from scratch when the batch is
+small.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.core.program import VertexProgram
+
+
+class PageRank(VertexProgram):
+    """Synchronous PageRank.
+
+    Parameters
+    ----------
+    damping:
+        Damping factor d (0.85, as everywhere).
+    tol:
+        Global L1 convergence threshold.
+    max_iters:
+        Superstep cap.
+
+    Examples
+    --------
+    >>> pr = PageRank(damping=0.85, tol=1e-8)
+    >>> pr.aggregator
+    'sum'
+    """
+
+    name = "pagerank"
+    aggregator = "sum"
+    needs_in_and_out = False
+    supports_async = False
+
+    def __init__(self, damping: float = 0.85, tol: float = 1e-8, max_iters: int = 100):
+        if not 0 < damping < 1:
+            raise ValueError(f"damping must be in (0, 1), got {damping}")
+        if tol <= 0:
+            raise ValueError(f"tol must be positive, got {tol}")
+        self.damping = float(damping)
+        self.tol = float(tol)
+        self.max_iters = int(max_iters)
+
+    def initial_value(self, vertex_ids: np.ndarray, ctx: Dict[str, Any]) -> np.ndarray:
+        n = max(int(ctx["global_n"]), 1)
+        return np.full(len(vertex_ids), 1.0 / n)
+
+    def scatter_values(self, values: np.ndarray, out_deg_total: np.ndarray) -> np.ndarray:
+        # Dangling vertices have no out-edges, so the guard value is
+        # never used — it only avoids a divide warning.
+        return values / np.maximum(out_deg_total, 1.0)
+
+    def apply(
+        self, old: np.ndarray, agg: np.ndarray, got: np.ndarray, ctx: Dict[str, Any]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        n = max(int(ctx["global_n"]), 1)
+        new = (1.0 - self.damping) / n + self.damping * agg
+        # PageRank is dense: every vertex recomputes and rescatters every
+        # superstep until the global residual halts the run.
+        return new, np.ones(len(old), dtype=bool)
+
+    def step_stats(
+        self, old: np.ndarray, new: np.ndarray, active: np.ndarray
+    ) -> Dict[str, float]:
+        return {
+            "residual": float(np.abs(new - old).sum()),
+            "active": float(active.sum()),
+        }
+
+    def halt(self, step: int, stats: Dict[str, float], ctx: Dict[str, Any]) -> bool:
+        if step >= self.max_iters:
+            return True
+        # Step 0 is the initial scatter; residuals exist from step 1 on.
+        return step >= 1 and stats.get("residual", np.inf) < self.tol

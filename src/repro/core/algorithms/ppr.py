@@ -1,0 +1,86 @@
+"""Personalized PageRank — a teleport-to-source PageRank variant.
+
+The paper's evaluation uses global PageRank; personalized PageRank is
+the single-seed variant behind "who matters *to this vertex*" queries
+(recommendation, similarity).  It exercises the same synchronous
+machinery with a non-uniform teleport vector: rank mass restarts at the
+source instead of spreading uniformly, so the result concentrates
+around the seed's neighborhood.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.core.program import VertexProgram
+
+
+class PersonalizedPageRank(VertexProgram):
+    """Synchronous personalized PageRank.
+
+    Parameters
+    ----------
+    source:
+        The seed vertex: all teleport mass restarts here.
+    damping, tol, max_iters:
+        As for global PageRank.
+
+    Examples
+    --------
+    >>> PersonalizedPageRank(source=3).aggregator
+    'sum'
+    """
+
+    name = "personalized-pagerank"
+    aggregator = "sum"
+    needs_in_and_out = False
+    supports_async = False
+
+    def __init__(
+        self,
+        source: int,
+        damping: float = 0.85,
+        tol: float = 1e-8,
+        max_iters: int = 100,
+    ):
+        if not 0 < damping < 1:
+            raise ValueError(f"damping must be in (0, 1), got {damping}")
+        if tol <= 0:
+            raise ValueError(f"tol must be positive, got {tol}")
+        self.source = int(source)
+        self.damping = float(damping)
+        self.tol = float(tol)
+        self.max_iters = int(max_iters)
+
+    def initial_value(self, vertex_ids: np.ndarray, ctx: Dict[str, Any]) -> np.ndarray:
+        values = np.zeros(len(vertex_ids))
+        values[np.asarray(vertex_ids) == self.source] = 1.0
+        return values
+
+    def scatter_values(self, values: np.ndarray, out_deg_total: np.ndarray) -> np.ndarray:
+        return values / np.maximum(out_deg_total, 1.0)
+
+    def apply(
+        self, old: np.ndarray, agg: np.ndarray, got: np.ndarray, ctx: Dict[str, Any]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        # Teleport mass restarts entirely at the source vertex.
+        restart = (np.asarray(ctx["_vertex_ids"]) == self.source).astype(float) if "_vertex_ids" in ctx else None
+        if restart is None:
+            raise RuntimeError("personalized PageRank requires vertex ids in context")
+        new = (1.0 - self.damping) * restart + self.damping * agg
+        return new, np.ones(len(old), dtype=bool)
+
+    def step_stats(
+        self, old: np.ndarray, new: np.ndarray, active: np.ndarray
+    ) -> Dict[str, float]:
+        return {
+            "residual": float(np.abs(new - old).sum()),
+            "active": float(active.sum()),
+        }
+
+    def halt(self, step: int, stats: Dict[str, float], ctx: Dict[str, Any]) -> bool:
+        if step >= self.max_iters:
+            return True
+        return step >= 1 and stats.get("residual", np.inf) < self.tol

@@ -1,0 +1,67 @@
+"""Single-source shortest paths — the asynchronous extension program.
+
+The paper lists studying algorithms with different communication
+patterns as future work (§4.3) and describes asynchronous execution,
+where a vertex is processed as soon as it has no outstanding awaited
+messages (§3.2).  Unweighted SSSP (hop counts) is the canonical
+monotone program for that mode: distances only decrease, min-aggregation
+is order-insensitive, so relaxations can be applied the moment a message
+arrives, and the run ends at quiescence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.core.program import VertexProgram
+
+
+class SSSP(VertexProgram):
+    """Unweighted single-source shortest paths (hop distance).
+
+    Parameters
+    ----------
+    source:
+        The source vertex id (distance 0); unreachable vertices keep
+        ``inf``.
+
+    Examples
+    --------
+    >>> SSSP(source=0).supports_async
+    True
+    """
+
+    name = "sssp"
+    aggregator = "min"
+    needs_in_and_out = False
+    supports_async = True
+
+    def __init__(self, source: int, max_iters: int = 10_000):
+        self.source = int(source)
+        self.max_iters = int(max_iters)
+
+    def initial_value(self, vertex_ids: np.ndarray, ctx: Dict[str, Any]) -> np.ndarray:
+        values = np.full(len(vertex_ids), np.inf)
+        values[np.asarray(vertex_ids) == self.source] = 0.0
+        return values
+
+    def initially_active(self, vertex_ids, values, ctx):
+        # Only the source has anything to say at step 0.
+        return np.asarray(values) == 0.0
+
+    def scatter_values(self, values: np.ndarray, out_deg_total: np.ndarray) -> np.ndarray:
+        # Message along an out-edge proposes distance-through-me.
+        return values + 1.0
+
+    def apply(
+        self, old: np.ndarray, agg: np.ndarray, got: np.ndarray, ctx: Dict[str, Any]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        new = np.minimum(old, agg)
+        return new, new < old
+
+    def halt(self, step: int, stats: Dict[str, float], ctx: Dict[str, Any]) -> bool:
+        if step >= self.max_iters:
+            return True
+        return step >= 1 and stats.get("active", 0) == 0

@@ -1,0 +1,328 @@
+"""The ElGA facade — the library's main entry point.
+
+Wraps a simulated cluster behind the operations a user of the real
+system performs: ingest a stream of edge changes, run algorithms
+(static, incremental, sync or async), query results with ClientProxies,
+and scale the cluster up or down — including during a computation
+(Figure 17).
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.core import ElGA, PageRank
+>>> elga = ElGA(nodes=2, agents_per_node=2, seed=7)
+>>> us = np.array([0, 1, 2, 3]); vs = np.array([1, 2, 3, 0])
+>>> _ = elga.ingest_edges(us, vs)
+>>> result = elga.run(PageRank(max_iters=5))
+>>> abs(sum(result.values.values()) - 1.0) < 1e-6
+True
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+import numpy as np
+
+from repro.cluster.cluster import ElGACluster, sorted_agents
+from repro.cluster.config import ClusterConfig
+from repro.core.program import RunSpec, VertexProgram
+from repro.core.superstep import RunResult, SyncRunController
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.stream import EdgeBatch, REMOVE
+
+
+class ElGA:
+    """An elastic, dynamic graph-analysis deployment.
+
+    Parameters
+    ----------
+    nodes, agents_per_node:
+        Cluster shape (defaults are laptop-sized; the paper runs 64
+        nodes × 32 agents).
+    seed:
+        Experiment root seed; drives every entity's randomness.
+    config:
+        A full :class:`~repro.cluster.config.ClusterConfig`, overriding
+        the shape arguments.
+    keep_reference:
+        Maintain a single-process mirror of the graph.  It is never
+        used for computation — only for ``global_n`` (which the real
+        system tracks through directory statistics) and for test
+        validation against ground truth.
+    config_overrides:
+        Extra :class:`ClusterConfig` fields (hash_name, sketch_width,
+        replication_threshold, ...).
+    """
+
+    def __init__(
+        self,
+        nodes: int = 2,
+        agents_per_node: int = 2,
+        seed: int = 0,
+        config: Optional[ClusterConfig] = None,
+        keep_reference: bool = True,
+        **config_overrides,
+    ):
+        if config is None:
+            config = ClusterConfig(
+                nodes=nodes, agents_per_node=agents_per_node, seed=seed, **config_overrides
+            )
+        self.config = config
+        self.cluster = ElGACluster(config)
+        self.reference: Optional[DynamicGraph] = DynamicGraph() if keep_reference else None
+        self._run_counter = 0
+        self._touched_since_run: Set[int] = set()
+        self._deletions_since_run = False
+        self.ingest_reports: List[dict] = []
+
+    # ------------------------------------------------------------------
+    # graph mutation
+    # ------------------------------------------------------------------
+
+    def ingest_edges(self, us, vs, n_streamers: int = 1, flush: bool = True) -> dict:
+        """Insert an edge list (convenience over :meth:`apply_batch`)."""
+        return self.apply_batch(EdgeBatch.insertions(us, vs), n_streamers, flush)
+
+    def apply_batch(self, batch: EdgeBatch, n_streamers: int = 1, flush: bool = True) -> dict:
+        """Stream one change batch in and wait for acknowledgement.
+
+        With ``flush`` (default), degree deltas are pushed into the
+        global sketch and broadcast afterwards, so the next run's
+        placement sees current degrees.
+        """
+        if self.reference is not None:
+            self.reference.apply_batch(batch)
+        report = self.cluster.ingest(batch, n_streamers=n_streamers)
+        # The directory's batch clock is the monotonically increasing
+        # consistency marker of §3.3; every applied batch bumps it.
+        report["batch_id"] = self.cluster.lead.advance_batch_clock()
+        if flush:
+            self.cluster.flush_sketches()
+        else:
+            self.cluster.settle()
+        self._touched_since_run.update(int(v) for v in batch.touched_vertices)
+        if (batch.actions == REMOVE).any():
+            self._deletions_since_run = True
+        self.ingest_reports.append(report)
+        return report
+
+    @property
+    def global_n(self) -> int:
+        """Number of vertices currently in the graph."""
+        if self.reference is not None:
+            return self.reference.num_vertices
+        seen: Set[int] = set()
+        for agent in sorted_agents(self.cluster.agents):
+            seen.update(agent.out_store)
+            seen.update(agent.in_store)
+        return len(seen)
+
+    @property
+    def global_m(self) -> int:
+        """Number of edges currently in the graph."""
+        if self.reference is not None:
+            return self.reference.num_edges
+        # Each edge is resident twice (out-copy + in-copy).
+        return self.cluster.total_resident_edges() // 2
+
+    # ------------------------------------------------------------------
+    # running algorithms
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        program: VertexProgram,
+        mode: str = "sync",
+        incremental: bool = False,
+        activate: Optional[np.ndarray] = None,
+        scale_plan: Optional[Dict[int, int]] = None,
+    ) -> RunResult:
+        """Execute a vertex program to convergence.
+
+        Parameters
+        ----------
+        mode:
+            ``"sync"`` (BSP, Figure 2 barriers) or ``"async"``
+            (monotone programs relaxed on message arrival).
+        incremental:
+            Continue from the previous run of the same program,
+            activating only ``activate`` (defaults to the vertices
+            touched by batches applied since the last run) — the
+            dynamic algorithm of Definition 2.5.
+        scale_plan:
+            Mid-run manual scaling: ``{superstep: agent_count}``
+            reshapes the cluster after that superstep completes
+            (Figure 17's operator action).  Sync mode only.
+
+        Notes
+        -----
+        Incremental WCC with deletions is undoable territory [31]; as
+        in the paper's experiments, a batch containing deletions forces
+        a from-scratch run.
+        """
+        if incremental and self._deletions_since_run and activate is None:
+            incremental = False  # deletions invalidate monotone reuse
+        if incremental and activate is None:
+            activate = np.array(sorted(self._touched_since_run), dtype=np.int64)
+        self._run_counter += 1
+        spec = RunSpec(
+            run_id=self._run_counter,
+            program=program,
+            incremental=incremental,
+            global_n=self.global_n,
+            mode=mode,
+            activate=activate,
+        )
+        self._touched_since_run.clear()
+        self._deletions_since_run = False
+        if mode == "async":
+            return self._run_async(spec)
+        if mode != "sync":
+            raise ValueError(f"unknown mode {mode!r}")
+        return self._run_sync(spec, scale_plan)
+
+    def _run_sync(self, spec: RunSpec, scale_plan: Optional[Dict[int, int]]) -> RunResult:
+        lead = self.cluster.lead
+        kernel = self.cluster.kernel
+        controller = SyncRunController(
+            spec,
+            kernel,
+            scale_plan=scale_plan,
+            on_suspended=self._on_run_suspended,
+        )
+        self._active_controller = controller
+        lead.run_controller = controller
+        start = kernel.now
+        lead.send_run_start(spec)
+        self.cluster.settle()
+        lead.run_controller = None
+        self._active_controller = None
+        if not controller.done:
+            raise RuntimeError(
+                "run ended without halting — barrier deadlock or lost messages"
+            )
+        return RunResult(
+            program_name=spec.program.name,
+            run_id=spec.run_id,
+            mode="sync",
+            values=self._collect(spec.program.name),
+            steps=controller.final_step,
+            sim_seconds=kernel.now - start,
+            round_durations=controller.round_durations,
+            stats_history=controller.stats_history,
+        )
+
+    def _on_run_suspended(self, round_id: int, step: int, target_agents: int) -> None:
+        """Mid-run elastic scaling: reshape, wait for quiescence, resume.
+
+        Runs inside the simulator (scheduled from the barrier callback),
+        so the whole sequence happens in simulated time, like the
+        paper's operator issuing pdsh/SIGINT commands mid-computation.
+        """
+        controller = self._active_controller
+        self.cluster.scale_to(target_agents, settle=False)
+
+        def poll() -> None:
+            if self.cluster.consistent():
+                self.cluster.lead.send_advance(
+                    controller.resume_payload(round_id + 1, step)
+                )
+            else:
+                self.cluster.kernel.schedule(1e-3, poll)
+
+        self.cluster.kernel.schedule(1e-3, poll)
+
+    def _run_async(self, spec: RunSpec) -> RunResult:
+        if not spec.program.supports_async:
+            raise ValueError(
+                f"{spec.program.name} is not monotone; asynchronous execution "
+                "is only safe for min/max programs"
+            )
+        lead = self.cluster.lead
+        kernel = self.cluster.kernel
+        start = kernel.now
+        lead.send_run_start(spec)
+        self.cluster.settle()  # quiescence = termination for monotone programs
+        for agent in sorted_agents(self.cluster.agents):
+            agent.finalize_run(persist=True)
+        return RunResult(
+            program_name=spec.program.name,
+            run_id=spec.run_id,
+            mode="async",
+            values=self._collect(spec.program.name),
+            steps=None,
+            sim_seconds=kernel.now - start,
+        )
+
+    def _collect(self, program_name: str) -> Dict[int, float]:
+        merged: Dict[int, float] = {}
+        for agent in sorted_agents(self.cluster.agents):
+            merged.update(agent.local_results(program_name))
+        return merged
+
+    # ------------------------------------------------------------------
+    # queries and elasticity
+    # ------------------------------------------------------------------
+
+    def query(self, vertex: int, program: str) -> Optional[float]:
+        """One blocking client query through a ClientProxy."""
+        if not self.cluster.clients:
+            self.cluster.new_client()
+        client = self.cluster.clients[0]
+        out: List[Optional[float]] = []
+        client.query(vertex, program, out.append)
+        self.cluster.settle()
+        if not out:
+            raise RuntimeError("query lost: no reply arrived")
+        return out[0]
+
+    def scale_to(self, n_agents: int) -> dict:
+        """Elastically scale between computations; returns move stats."""
+        stats_before = self.cluster.network.stats.snapshot()
+        start = self.cluster.kernel.now
+        self.cluster.scale_to(n_agents)
+        from repro.net.message import PacketType
+
+        moved = (
+            self.cluster.network.stats.by_type_count[PacketType.EDGE_MIGRATE]
+            - stats_before.by_type_count[PacketType.EDGE_MIGRATE]
+        )
+        return {
+            "agents": len(self.cluster.agents),
+            "sim_seconds": self.cluster.kernel.now - start,
+            "migrate_messages": int(moved),
+        }
+
+    @property
+    def n_agents(self) -> int:
+        return len(self.cluster.agents)
+
+    def validate_against_reference(self) -> bool:
+        """Check the distributed edge stores against the mirror graph.
+
+        Every reference edge must be resident exactly once as an
+        out-copy and once as an in-copy, and nothing extra may exist.
+        """
+        if self.reference is None:
+            raise RuntimeError("engine was built with keep_reference=False")
+        out_copies: Set = set()
+        in_copies: Set = set()
+        for agent in self.cluster.agents.values():
+            for u, nbrs in agent.out_store.items():
+                for v in nbrs:
+                    edge = (u, v)
+                    if edge in out_copies:
+                        return False  # duplicate residency
+                    out_copies.add(edge)
+            for v, srcs in agent.in_store.items():
+                for u in srcs:
+                    edge = (u, v)
+                    if edge in in_copies:
+                        return False
+                    in_copies.add(edge)
+        ref_edges = set()
+        for u in self.reference.vertices():
+            for v in self.reference.out_neighbors(u):
+                ref_edges.add((u, v))
+        return out_copies == ref_edges and in_copies == ref_edges

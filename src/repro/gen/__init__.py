@@ -1,0 +1,26 @@
+"""Graph generators and the Table 2 dataset registry (§4.4).
+
+The paper evaluates on LAW/SNAP graphs, LDBC Graphalytics synthetics
+(Graph500/RMAT, Datagen), and A-BTER scaled-up replicas of smaller
+graphs.  The raw datasets are not redistributable and their full scale
+is beyond a single interpreter, so this package regenerates each family
+synthetically at ~10⁻⁴ linear scale with the same degree-distribution
+shape — the property ElGA's sketch-based replication and load balancing
+actually respond to.
+"""
+
+from repro.gen.bter import bter_scale, degree_histogram, stream_scaled
+from repro.gen.datasets import DATASETS, DatasetSpec, load_dataset
+from repro.gen.powerlaw import powerlaw_graph
+from repro.gen.rmat import rmat_graph
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "bter_scale",
+    "degree_histogram",
+    "load_dataset",
+    "powerlaw_graph",
+    "rmat_graph",
+    "stream_scaled",
+]

@@ -1,0 +1,34 @@
+"""Graph storage and dynamic-stream model (§2.1).
+
+A dynamic graph is an infinite turnstile stream of edge changes
+(Definition 2.3); at any stream position the current graph is the result
+of applying every change so far to the empty graph.  This package holds
+the in-memory dynamic representation ElGA Agents use (a hash map of
+adjacency sets — the paper's "flat hash map with vectors"), the static
+CSR form and kernels the baselines use, and batch/stream utilities.
+"""
+
+from repro.graph.csr import CSR, build_csr, compact_ids, pagerank_csr, symmetrize, wcc_labels
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.stream import (
+    INSERT,
+    REMOVE,
+    EdgeBatch,
+    delete_reinsert_batches,
+    insertion_stream,
+)
+
+__all__ = [
+    "CSR",
+    "DynamicGraph",
+    "build_csr",
+    "compact_ids",
+    "symmetrize",
+    "EdgeBatch",
+    "INSERT",
+    "REMOVE",
+    "delete_reinsert_batches",
+    "insertion_stream",
+    "pagerank_csr",
+    "wcc_labels",
+]

@@ -1,0 +1,139 @@
+"""Turnstile edge-change streams and batches (Definitions 2.3–2.4).
+
+A change is ``(action, u, v)`` where the action inserts or removes the
+directed edge ``(u, v)``.  A batch Δ_{i,j} is a contiguous segment of the
+stream.  Batches are stored as parallel numpy arrays so Streamers and
+Agents can route and apply them vectorized.
+
+The paper's datasets have no real deletion timestamps, so §4.4 models
+dynamism by deleting a random sample of edges and re-inserting it as a
+batch; :func:`delete_reinsert_batches` implements exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+INSERT = np.int8(1)
+"""Action code for edge insertion."""
+
+REMOVE = np.int8(-1)
+"""Action code for edge removal."""
+
+
+@dataclass
+class EdgeBatch:
+    """A batch of edge changes as parallel arrays.
+
+    Attributes
+    ----------
+    actions:
+        int8 array of :data:`INSERT` / :data:`REMOVE` codes.
+    us, vs:
+        int64 source and destination vertex ids.
+    """
+
+    actions: np.ndarray
+    us: np.ndarray
+    vs: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.actions = np.asarray(self.actions, dtype=np.int8)
+        self.us = np.asarray(self.us, dtype=np.int64)
+        self.vs = np.asarray(self.vs, dtype=np.int64)
+        if not (len(self.actions) == len(self.us) == len(self.vs)):
+            raise ValueError(
+                f"ragged batch: {len(self.actions)} actions, "
+                f"{len(self.us)} sources, {len(self.vs)} destinations"
+            )
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __iter__(self) -> Iterator[Tuple[int, int, int]]:
+        for a, u, v in zip(self.actions, self.us, self.vs):
+            yield int(a), int(u), int(v)
+
+    @staticmethod
+    def insertions(us, vs) -> "EdgeBatch":
+        """A batch inserting the given edges."""
+        us = np.asarray(us, dtype=np.int64)
+        return EdgeBatch(np.full(len(us), INSERT, dtype=np.int8), us, np.asarray(vs, dtype=np.int64))
+
+    @staticmethod
+    def deletions(us, vs) -> "EdgeBatch":
+        """A batch removing the given edges."""
+        us = np.asarray(us, dtype=np.int64)
+        return EdgeBatch(np.full(len(us), REMOVE, dtype=np.int8), us, np.asarray(vs, dtype=np.int64))
+
+    @staticmethod
+    def concat(batches: Sequence["EdgeBatch"]) -> "EdgeBatch":
+        """Concatenate batches in stream order."""
+        if not batches:
+            return EdgeBatch(np.empty(0, np.int8), np.empty(0, np.int64), np.empty(0, np.int64))
+        return EdgeBatch(
+            np.concatenate([b.actions for b in batches]),
+            np.concatenate([b.us for b in batches]),
+            np.concatenate([b.vs for b in batches]),
+        )
+
+    def split(self, parts: int) -> List["EdgeBatch"]:
+        """Split into ``parts`` near-equal contiguous sub-batches."""
+        if parts < 1:
+            raise ValueError(f"parts must be >= 1, got {parts}")
+        bounds = np.linspace(0, len(self), parts + 1).astype(np.int64)
+        return [
+            EdgeBatch(self.actions[a:b], self.us[a:b], self.vs[a:b])
+            for a, b in zip(bounds[:-1], bounds[1:])
+        ]
+
+    def inverted(self) -> "EdgeBatch":
+        """The batch that undoes this one, in reverse order."""
+        return EdgeBatch(-self.actions[::-1], self.us[::-1], self.vs[::-1])
+
+    @property
+    def touched_vertices(self) -> np.ndarray:
+        """Unique vertex ids appearing in this batch (sorted)."""
+        return np.unique(np.concatenate([self.us, self.vs]))
+
+
+def insertion_stream(us, vs, chunk: int = 8192) -> Iterator[EdgeBatch]:
+    """Yield an edge list as a stream of insertion batches.
+
+    This is how generators feed the cluster: the paper extended A-BTER
+    to stream edges so ElGA "directly receives the graph as it is
+    generated" (§4.4).
+    """
+    us = np.asarray(us, dtype=np.int64)
+    vs = np.asarray(vs, dtype=np.int64)
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    for start in range(0, len(us), chunk):
+        yield EdgeBatch.insertions(us[start : start + chunk], vs[start : start + chunk])
+
+
+def delete_reinsert_batches(
+    us,
+    vs,
+    sample_size: int,
+    rng: np.random.Generator,
+    n_batches: int = 1,
+) -> List[Tuple[EdgeBatch, EdgeBatch]]:
+    """§4.4's dynamic-change model: sample edges, delete, re-insert.
+
+    Returns ``n_batches`` pairs of (deletion batch, insertion batch); the
+    samples are drawn without replacement within a pair so applying both
+    restores the original graph exactly.
+    """
+    us = np.asarray(us, dtype=np.int64)
+    vs = np.asarray(vs, dtype=np.int64)
+    if sample_size > len(us):
+        raise ValueError(f"sample of {sample_size} from only {len(us)} edges")
+    out: List[Tuple[EdgeBatch, EdgeBatch]] = []
+    for _ in range(n_batches):
+        pick = rng.choice(len(us), size=sample_size, replace=False)
+        out.append((EdgeBatch.deletions(us[pick], vs[pick]), EdgeBatch.insertions(us[pick], vs[pick])))
+    return out

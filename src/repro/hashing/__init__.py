@@ -1,0 +1,29 @@
+"""Hash functions and consistent hashing.
+
+Consistent hashing over a 64-bit ring is ElGA's backbone (§2.3, §3.4.1):
+every participant maps edges to Agents with it, and it is what makes the
+system elastic — when an Agent joins or leaves, only the keys adjacent to
+it on the ring move.  The hash function itself matters a great deal
+(Figure 5); Thomas Wang's 64-bit mix is the paper's winner and the
+default here.
+"""
+
+from repro.hashing.hashes import (
+    HASH_FUNCTIONS,
+    abseil64,
+    crc64,
+    identity64,
+    mult64,
+    wang64,
+)
+from repro.hashing.ring import ConsistentHashRing
+
+__all__ = [
+    "HASH_FUNCTIONS",
+    "ConsistentHashRing",
+    "abseil64",
+    "crc64",
+    "identity64",
+    "mult64",
+    "wang64",
+]

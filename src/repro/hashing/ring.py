@@ -1,0 +1,229 @@
+"""Consistent hashing over a 64-bit ring with virtual agents (§3.4.1–2).
+
+Each member (Agent) contributes ``virtual_factor`` positions to the ring
+(100 by default — the paper's experimentally chosen value, Figure 6).  A
+key is owned by the member whose position is the *next highest* on the
+ring, wrapping around.  Lookups are a binary search over the sorted
+position vector: O(log(P · virtual_factor)).
+
+The property that makes ElGA elastic: when a member joins or leaves,
+only keys in the ring arcs adjacent to its virtual positions change
+owner — everything else stays put (tested property-based in
+``tests/hashing/test_ring_properties.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hashing.hashes import wang64
+
+U64 = np.uint64
+
+
+class ConsistentHashRing:
+    """A 64-bit consistent-hash ring with virtual nodes.
+
+    Parameters
+    ----------
+    members:
+        Initial member ids (non-negative ints, e.g. Agent ids).
+    virtual_factor:
+        Virtual positions per member (paper default: 100).
+    hash_fn:
+        64-bit hash used both for member positions and key lookups.
+    seed:
+        Mixed into member position derivation so independent rings can
+        be decorrelated if desired; all participants in one cluster must
+        share the same seed (it is part of the directory broadcast).
+
+    Examples
+    --------
+    >>> ring = ConsistentHashRing([0, 1, 2], virtual_factor=50)
+    >>> owner = ring.lookup(12345)
+    >>> owner in {0, 1, 2}
+    True
+    >>> ring.remove(owner)
+    >>> ring.lookup(12345) in ring.members()
+    True
+    """
+
+    def __init__(
+        self,
+        members: Iterable[int] = (),
+        virtual_factor: int = 100,
+        hash_fn: Callable = wang64,
+        seed: int = 0,
+        weights: Optional[dict] = None,
+    ):
+        if virtual_factor < 1:
+            raise ValueError(f"virtual_factor must be >= 1, got {virtual_factor}")
+        self.virtual_factor = int(virtual_factor)
+        self.hash_fn = hash_fn
+        self.seed = int(seed)
+        self._members: dict = {}  # member id -> positions array
+        self._weights: dict = {}
+        self._positions = np.empty(0, dtype=np.uint64)
+        self._owners = np.empty(0, dtype=np.int64)
+        self._dirty = False
+        weights = weights or {}
+        for m in members:
+            self._insert(int(m), weight=float(weights.get(int(m), 1.0)))
+        self._rebuild()
+
+    # -- membership --------------------------------------------------------
+
+    def members(self) -> List[int]:
+        """Sorted list of current member ids."""
+        return sorted(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member_id: int) -> bool:
+        return int(member_id) in self._members
+
+    def add(self, member_id: int, weight: float = 1.0) -> None:
+        """Add a member; O(virtual_factor · log) rebuild on next lookup.
+
+        ``weight`` scales the member's virtual-position count — the
+        §3.4.2 future-work extension for heterogeneous systems: a
+        member with weight 2.0 contributes twice the virtual agents and
+        therefore claims roughly twice the keys.
+        """
+        self._insert(int(member_id), weight=float(weight))
+        self._dirty = True
+
+    def remove(self, member_id: int) -> None:
+        """Remove a member; raises KeyError if absent."""
+        del self._members[int(member_id)]
+        self._weights.pop(int(member_id), None)
+        self._dirty = True
+
+    def weight_of(self, member_id: int) -> float:
+        """The member's capacity weight (1.0 unless set at add time)."""
+        return self._weights.get(int(member_id), 1.0)
+
+    def _insert(self, member_id: int, weight: float = 1.0) -> None:
+        if member_id in self._members:
+            raise ValueError(f"member {member_id} already on the ring")
+        if member_id < 0:
+            raise ValueError(f"member ids must be non-negative, got {member_id}")
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        # Position = hash(member id combined with virtual index and seed).
+        # The combine constant spreads sequential member ids before hashing
+        # so even weak hash functions see distinct inputs.
+        count = max(1, int(round(self.virtual_factor * weight)))
+        self._weights[member_id] = weight
+        vidx = np.arange(count, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            raw = (
+                U64(member_id) * U64(0x100000001B3)
+                + vidx * U64(0x9E3779B97F4A7C15)
+                + U64(self.seed & 0xFFFFFFFFFFFFFFFF)
+            )
+        self._members[member_id] = np.asarray(self.hash_fn(raw), dtype=np.uint64)
+
+    def _rebuild(self) -> None:
+        if not self._members:
+            self._positions = np.empty(0, dtype=np.uint64)
+            self._owners = np.empty(0, dtype=np.int64)
+            self._dirty = False
+            return
+        ids = np.array(sorted(self._members), dtype=np.int64)
+        pos_list = [self._members[int(i)] for i in ids]
+        positions = np.concatenate(pos_list)
+        owners = np.repeat(ids, [len(p) for p in pos_list])
+        # Sort by (position, owner) so position collisions resolve
+        # identically on every participant.
+        order = np.lexsort((owners, positions))
+        self._positions = positions[order]
+        self._owners = owners[order]
+        self._dirty = False
+
+    def _ensure_built(self) -> None:
+        if self._dirty:
+            self._rebuild()
+
+    # -- lookups -------------------------------------------------------------
+
+    def lookup_hash(self, key_hashes) -> np.ndarray:
+        """Owners for already-hashed keys (vectorized).
+
+        The owner is the member at the next-highest ring position,
+        wrapping past the top of the 64-bit space to position 0.
+        """
+        self._ensure_built()
+        if len(self._members) == 0:
+            raise LookupError("ring has no members")
+        hashes = np.atleast_1d(np.asarray(key_hashes, dtype=np.uint64))
+        idx = np.searchsorted(self._positions, hashes, side="left")
+        idx[idx == len(self._positions)] = 0
+        return self._owners[idx]
+
+    def lookup(self, keys) -> "int | np.ndarray":
+        """Owners for raw keys: hash then :meth:`lookup_hash`."""
+        scalar = np.ndim(keys) == 0
+        hashes = self.hash_fn(np.atleast_1d(np.asarray(keys, dtype=np.uint64)))
+        owners = self.lookup_hash(hashes)
+        return int(owners[0]) if scalar else owners
+
+    def successors_hash(self, key_hash: int, k: int) -> List[int]:
+        """The next ``k`` *distinct* members clockwise from ``key_hash``.
+
+        This is the replica set for a split high-degree vertex: the
+        paper selects "between the next k-highest Agents in the vector".
+        If the ring has fewer than ``k`` members, all members are
+        returned (a vertex cannot be split wider than the cluster).
+        """
+        self._ensure_built()
+        if len(self._members) == 0:
+            raise LookupError("ring has no members")
+        k = min(int(k), len(self._members))
+        start = int(np.searchsorted(self._positions, U64(key_hash), side="left"))
+        n = len(self._positions)
+        found: List[int] = []
+        seen = set()
+        for step in range(n):
+            owner = int(self._owners[(start + step) % n])
+            if owner not in seen:
+                seen.add(owner)
+                found.append(owner)
+                if len(found) == k:
+                    break
+        return found
+
+    def successors(self, key: int, k: int) -> List[int]:
+        """Replica set for a raw key (hash applied first)."""
+        return self.successors_hash(int(self.hash_fn(int(key))), k)
+
+    # -- introspection ---------------------------------------------------------
+
+    def position_vector(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(positions, owners) arrays — the broadcastable ring state."""
+        self._ensure_built()
+        return self._positions.copy(), self._owners.copy()
+
+    def arc_fractions(self) -> dict:
+        """Fraction of the ring owned by each member.
+
+        With a perfect hash and many virtual nodes this approaches
+        1/|members| per member; Figure 6 is the empirical version of
+        this measure over real edge placements.
+        """
+        self._ensure_built()
+        if len(self._positions) == 0:
+            return {}
+        pos = self._positions.astype(np.float64)
+        # Arc before position i is owned by owner i (next-highest rule).
+        prev = np.roll(pos, 1)
+        arcs = pos - prev
+        arcs[0] = pos[0] + (2.0**64 - prev[0])
+        total = 2.0**64
+        out: dict = {}
+        for owner, arc in zip(self._owners, arcs):
+            out[int(owner)] = out.get(int(owner), 0.0) + arc / total
+        return out

@@ -1,0 +1,71 @@
+"""Transport latency and bandwidth models.
+
+§3.5 of the paper benchmarks the cluster's transports: an MPI send at
+about 1 µs, a raw TCP send at 4 µs, and a send through ZeroMQ at over
+20 µs (Mellanox ConnectX-5, 100 Gbps Arista switch).  These measurements
+are the presets here.  A message's simulated delivery delay is
+
+    delay = base_latency + size_bytes / bandwidth
+
+with a cheaper intra-node path (ZeroMQ's ``ipc://`` transport) when both
+endpoints share a physical node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TransportModel:
+    """Latency/bandwidth parameters for one transport.
+
+    Attributes
+    ----------
+    name:
+        Transport label (appears in benchmark output).
+    latency_s:
+        Per-message one-way latency between nodes, in seconds.
+    bandwidth_Bps:
+        Link bandwidth in bytes/second (100 Gbps default).
+    intra_node_latency_s:
+        Per-message latency when endpoints share a node.
+    intra_node_bandwidth_Bps:
+        Memory-bus bandwidth for the intra-node path.
+    """
+
+    name: str
+    latency_s: float
+    bandwidth_Bps: float = 100e9 / 8
+    intra_node_latency_s: float = 0.3e-6
+    intra_node_bandwidth_Bps: float = 50e9
+
+    def delay(self, size_bytes: int, same_node: bool = False) -> float:
+        """One-way delivery delay in seconds for a message of this size."""
+        if size_bytes < 0:
+            raise ValueError(f"negative message size: {size_bytes}")
+        if same_node:
+            return self.intra_node_latency_s + size_bytes / self.intra_node_bandwidth_Bps
+        return self.latency_s + size_bytes / self.bandwidth_Bps
+
+    # -- presets matching the paper's §3.5 measurements --------------------
+
+    @staticmethod
+    def mpi() -> "TransportModel":
+        """MPI send: ~1 µs on the paper's cluster (used by Blogel)."""
+        return TransportModel(name="mpi", latency_s=1e-6)
+
+    @staticmethod
+    def raw_tcp() -> "TransportModel":
+        """Raw TCP send: ~4 µs on the paper's cluster."""
+        return TransportModel(name="tcp", latency_s=4e-6)
+
+    @staticmethod
+    def zeromq() -> "TransportModel":
+        """ZeroMQ send: >20 µs on the paper's cluster (used by ElGA)."""
+        return TransportModel(name="zmq", latency_s=20e-6)
+
+    @staticmethod
+    def spark_rpc() -> "TransportModel":
+        """Java/Netty RPC path used by the GraphX baseline model."""
+        return TransportModel(name="spark", latency_s=80e-6)

@@ -1,0 +1,144 @@
+"""The simulated network fabric.
+
+The fabric connects :class:`~repro.sim.entity.Entity` instances: it
+assigns addresses, delivers messages through the transport model, and
+accounts for every message and byte so benchmarks can report traffic
+(e.g. Figure 16's "percent of edges moved" is measured from
+``EDGE_MIGRATE`` traffic).
+
+Delivery semantics mirror ZeroMQ as ElGA uses it:
+
+* sends are non-blocking — the sender keeps computing while the message
+  is in flight (ZeroMQ runs on separate I/O threads, §3.5);
+* a message departs only once its single-threaded sender is free
+  (``Entity.charge`` models serial compute);
+* messages between the same pair of entities stay ordered, but there is
+  no global order — ElGA is explicitly tolerant of out-of-order arrival.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.net.latency import TransportModel
+from repro.net.message import Message, PacketType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.entity import Entity
+    from repro.sim.kernel import SimKernel
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters for one fabric."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_dropped: int = 0
+    by_type_count: Dict[PacketType, int] = field(default_factory=lambda: defaultdict(int))
+    by_type_bytes: Dict[PacketType, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, message: Message) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += message.size_bytes
+        self.by_type_count[message.ptype] += 1
+        self.by_type_bytes[message.ptype] += message.size_bytes
+
+    def snapshot(self) -> "NetworkStats":
+        """A deep copy usable for interval deltas."""
+        copy = NetworkStats(
+            messages_sent=self.messages_sent,
+            bytes_sent=self.bytes_sent,
+            messages_dropped=self.messages_dropped,
+        )
+        copy.by_type_count = defaultdict(int, self.by_type_count)
+        copy.by_type_bytes = defaultdict(int, self.by_type_bytes)
+        return copy
+
+
+class Network:
+    """Message fabric over a :class:`~repro.sim.kernel.SimKernel`.
+
+    Parameters
+    ----------
+    kernel:
+        The event loop messages are scheduled on.
+    transport:
+        Latency/bandwidth model (defaults to the paper's ZeroMQ numbers).
+    """
+
+    def __init__(self, kernel: "SimKernel", transport: Optional[TransportModel] = None):
+        self.kernel = kernel
+        self.transport = transport if transport is not None else TransportModel.zeromq()
+        self.stats = NetworkStats()
+        self._entities: Dict[int, "Entity"] = {}
+        self._next_address = 0
+        self._taps: List[Callable[[Message], None]] = []
+
+    # -- membership --------------------------------------------------------
+
+    def attach(self, entity: "Entity") -> int:
+        """Register an entity and return its unique address."""
+        address = self._next_address
+        self._next_address += 1
+        self._entities[address] = entity
+        return address
+
+    def detach(self, address: int) -> None:
+        """Remove an entity; later messages to it are counted as dropped."""
+        self._entities.pop(address, None)
+
+    def entity_at(self, address: int) -> Optional["Entity"]:
+        """The entity registered at ``address``, or None if detached."""
+        return self._entities.get(address)
+
+    def is_attached(self, address: int) -> bool:
+        return address in self._entities
+
+    @property
+    def attached_count(self) -> int:
+        return len(self._entities)
+
+    # -- test/diagnostic hooks ----------------------------------------------
+
+    def add_tap(self, tap: Callable[[Message], None]) -> None:
+        """Register a callback observing every sent message (for tests)."""
+        self._taps.append(tap)
+
+    # -- sending -------------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Send a message; delivery is scheduled through the transport.
+
+        The departure time respects the sender's busy horizon (a
+        single-threaded entity cannot emit a response before finishing
+        the compute charged for producing it).
+        """
+        if message.dst < 0:
+            raise ValueError("message has no destination")
+        message.send_time = self.kernel.now
+        self.stats.record(message)
+        for tap in self._taps:
+            tap(message)
+
+        sender = self._entities.get(message.src)
+        departure = sender.available_at() if sender is not None else self.kernel.now
+        same_node = self._same_node(message.src, message.dst)
+        arrival = departure + self.transport.delay(message.size_bytes, same_node=same_node)
+        self.kernel.schedule_at(arrival, self._deliver, message)
+
+    def _same_node(self, src: int, dst: int) -> bool:
+        a = self._entities.get(src)
+        b = self._entities.get(dst)
+        if a is None or b is None:
+            return False
+        return getattr(a, "node", 0) == getattr(b, "node", 0)
+
+    def _deliver(self, message: Message) -> None:
+        entity = self._entities.get(message.dst)
+        if entity is None:
+            self.stats.messages_dropped += 1
+            return
+        entity.handle_message(message)

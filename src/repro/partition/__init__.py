@@ -1,0 +1,33 @@
+"""Edge partitioning (§3.4.1 — the heart of ElGA's load balancing).
+
+:class:`~repro.partition.placer.EdgePlacer` is the paper's key
+contribution: given only the directory broadcast (agent list +
+CountMinSketch), any participant can determine which Agent owns any
+edge, in O(log P) time and O(P + d·w) memory, with high-degree vertices
+split across multiple Agents.  The module also ships the baseline
+partitioners the evaluation compares against (Blogel's vertex hash,
+Blogel-Vor's Voronoi, GraphX's vertex-cut strategies) and the load
+balance metrics behind Figures 5 and 6.
+"""
+
+from repro.partition.balance import edge_loads, imbalance_factor, load_distribution
+from repro.partition.baselines import (
+    canonical_random_vertex_cut,
+    edge_partition_2d,
+    hash_vertex_partition,
+    random_vertex_cut,
+    voronoi_partition,
+)
+from repro.partition.placer import EdgePlacer
+
+__all__ = [
+    "EdgePlacer",
+    "canonical_random_vertex_cut",
+    "edge_loads",
+    "edge_partition_2d",
+    "hash_vertex_partition",
+    "imbalance_factor",
+    "load_distribution",
+    "random_vertex_cut",
+    "voronoi_partition",
+]

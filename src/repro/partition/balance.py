@@ -1,0 +1,61 @@
+"""Load-balance metrics (Figures 5b and 6).
+
+The evaluation characterizes placement quality by the distribution of
+edges per Agent: Figure 5b plots the cumulative distribution for each
+hash function (ideal is a vertical line at the mean), Figure 6 the
+distribution as the virtual-agent count varies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+def edge_loads(owners: np.ndarray, n_agents: int) -> np.ndarray:
+    """Edges assigned to each agent id in ``0..n_agents-1``."""
+    owners = np.asarray(owners, dtype=np.int64)
+    if owners.size and (owners.min() < 0 or owners.max() >= n_agents):
+        raise ValueError("owner id out of range")
+    return np.bincount(owners, minlength=n_agents)
+
+
+def imbalance_factor(loads: np.ndarray) -> float:
+    """max/mean load — 1.0 is perfect balance.
+
+    This is the standard imbalance metric: the slowest participant in a
+    bulk-synchronous step is the most loaded one, so per-superstep
+    runtime scales with this factor.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    mean = loads.mean()
+    if mean == 0:
+        return 1.0
+    return float(loads.max() / mean)
+
+
+def load_distribution(loads: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(sorted normalized loads, cumulative fraction) — Figure 5b/6 axes.
+
+    Loads are normalized by the mean so an ideal placement is a single
+    vertical step at 1.0.
+    """
+    loads = np.sort(np.asarray(loads, dtype=np.float64))
+    mean = loads.mean() if loads.size else 1.0
+    normalized = loads / (mean if mean else 1.0)
+    cumulative = np.arange(1, len(loads) + 1) / max(len(loads), 1)
+    return normalized, cumulative
+
+
+def balance_summary(loads: np.ndarray) -> Dict[str, float]:
+    """Compact summary used in benchmark tables."""
+    loads = np.asarray(loads, dtype=np.float64)
+    mean = float(loads.mean()) if loads.size else 0.0
+    return {
+        "mean": mean,
+        "max": float(loads.max()) if loads.size else 0.0,
+        "min": float(loads.min()) if loads.size else 0.0,
+        "imbalance": imbalance_factor(loads),
+        "cv": float(loads.std() / mean) if mean else 0.0,
+    }

@@ -1,0 +1,188 @@
+"""ElGA's edge placement: sketch + two consistent hashes (§3.4.1, Fig 3).
+
+To find the Agent owning an edge, a participant:
+
+1. queries the CountMinSketch for the owning vertex's estimated degree
+   (a biased estimate — may exceed the degree, never underestimates);
+2. derives the replication factor ``k = 1 + est // threshold`` (how many
+   Agents share that vertex's edges), capped at the cluster size;
+3. applies the first consistent hash — the vertex's position on the
+   ring selects its ``k`` replica Agents (the next-k-distinct members);
+4. if ``k > 1``, applies the second consistent hash *on those Agents* to
+   pick the one responsible for this particular edge, keyed by the
+   neighbor endpoint.  We use rendezvous (highest-random-weight)
+   hashing for the second level: a consistent hash over a k-element
+   member set with the same minimal-movement property — when a vertex's
+   replication factor grows, only edges claimed by the new replica move.
+
+For a plain vertex *query* (not an edge), step 4 is bypassed and one
+replica is chosen at random (§3.4.1 "for efficiency reasons").
+
+Every participant computes placement from the same broadcast state, so
+placement is a pure function — the property tests in
+``tests/partition/`` assert all participants agree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.hashing.hashes import wang64
+from repro.hashing.ring import ConsistentHashRing
+from repro.sketch.countmin import CountMinSketch
+
+U64 = np.uint64
+
+_LEVEL2_SALT = U64(0xC2B2AE3D27D4EB4F)
+
+
+class EdgePlacer:
+    """Maps edges and vertices to owning Agents.
+
+    Parameters
+    ----------
+    ring:
+        The consistent-hash ring over current Agent ids (broadcast by
+        the directory as part of every update).
+    sketch:
+        The global degree CountMinSketch (same broadcast).
+    replication_threshold:
+        Estimated degree above which a vertex is split across Agents.
+        The paper uses 10⁷ at its scale; the downscaled default used by
+        the cluster config is proportionally smaller.
+    hash_fn:
+        64-bit hash, shared with the ring.
+
+    Examples
+    --------
+    >>> from repro.hashing import ConsistentHashRing
+    >>> from repro.sketch import CountMinSketch
+    >>> ring = ConsistentHashRing([0, 1, 2, 3])
+    >>> placer = EdgePlacer(ring, CountMinSketch(256, 4), replication_threshold=100)
+    >>> int(placer.owner_of_edges([5], [9])[0]) in {0, 1, 2, 3}
+    True
+    """
+
+    def __init__(
+        self,
+        ring: ConsistentHashRing,
+        sketch: CountMinSketch,
+        replication_threshold: int,
+        hash_fn: Callable = wang64,
+        split_gate: Optional[frozenset] = None,
+    ):
+        if replication_threshold < 1:
+            raise ValueError(f"replication_threshold must be >= 1, got {replication_threshold}")
+        self.ring = ring
+        self.sketch = sketch
+        self.replication_threshold = int(replication_threshold)
+        self.hash_fn = hash_fn
+        # When a gate is supplied (the directory's split-vertex
+        # registry), only registered vertices replicate.  This makes the
+        # placement switch and the replica-sync protocol change
+        # atomically with a directory version: an unregistered hub keeps
+        # all copies on one Agent (correct, just unbalanced) until the
+        # registry broadcast flips both at once.
+        self.split_gate = split_gate
+        self._gate_array = (
+            None
+            if split_gate is None
+            else np.fromiter(sorted(split_gate), dtype=np.int64, count=len(split_gate))
+        )
+
+    # -- replication ---------------------------------------------------------
+
+    def replication_factor(self, vertices) -> np.ndarray:
+        """Number of Agents sharing each vertex's edges (k >= 1).
+
+        Derived from the sketch's (over-)estimate, so a vertex may be
+        split slightly before its true degree crosses the threshold —
+        the safe direction — but never later.
+        """
+        vertices_arr = np.atleast_1d(np.asarray(vertices, dtype=np.int64))
+        est = np.atleast_1d(self.sketch.query(vertices_arr))
+        k = 1 + est // self.replication_threshold
+        k = np.minimum(k, len(self.ring)).astype(np.int64)
+        if self._gate_array is not None and len(vertices_arr):
+            gated = np.isin(vertices_arr, self._gate_array, assume_unique=False)
+            k = np.where(gated, k, 1)
+        return k
+
+    def replica_set(self, vertex: int) -> List[int]:
+        """All Agents holding a share of ``vertex``'s edges."""
+        k = int(self.replication_factor(vertex)[0])
+        return self.ring.successors(int(vertex), k)
+
+    def primary_of(self, vertex: int) -> int:
+        """The first replica — coordinator for split-vertex aggregation."""
+        return self.ring.successors(int(vertex), 1)[0]
+
+    # -- edge placement ----------------------------------------------------------
+
+    def owner_of_edges(self, own_vertices, other_vertices) -> np.ndarray:
+        """Owning Agent for each edge, vectorized.
+
+        ``own_vertices`` is the endpoint that owns this copy of the edge
+        (the source for the out-edge copy, the destination for the
+        in-edge copy); ``other_vertices`` is the opposite endpoint,
+        which keys the second-level hash for split vertices.
+        """
+        own = np.atleast_1d(np.asarray(own_vertices, dtype=np.int64))
+        other = np.atleast_1d(np.asarray(other_vertices, dtype=np.int64))
+        if own.shape != other.shape:
+            raise ValueError(f"ragged edge arrays: {own.shape} vs {other.shape}")
+        if own.size == 0:
+            return np.empty(0, dtype=np.int64)
+        k = self.replication_factor(own)
+        own_hash = np.asarray(self.hash_fn(own.view(np.uint64) if own.dtype == np.int64 else own))
+        owners = self.ring.lookup_hash(own_hash)
+        split = np.nonzero(k > 1)[0]
+        if len(split):
+            owners = owners.copy()
+            # Split vertices are few (only hubs); resolve them per unique
+            # vertex to amortize the ring walk.
+            other_hash = np.asarray(self.hash_fn(other[split].astype(np.uint64)))
+            uniq, inverse = np.unique(own[split], return_inverse=True)
+            for idx, vertex in enumerate(uniq):
+                rows = np.nonzero(inverse == idx)[0]
+                kv = int(k[split[rows[0]]])
+                replicas = self.ring.successors_hash(int(own_hash[split[rows[0]]]), kv)
+                owners[split[rows]] = _rendezvous_pick(replicas, other_hash[rows])
+        return owners
+
+    def owner_of_vertex(self, vertex: int, rng: Optional[np.random.Generator] = None) -> int:
+        """Some Agent holding ``vertex`` — the query fast path.
+
+        Bypasses the second hash and picks a replica at random, spreading
+        read load across the replicas of hot vertices.
+        """
+        replicas = self.replica_set(int(vertex))
+        if len(replicas) == 1 or rng is None:
+            return replicas[0]
+        return replicas[int(rng.integers(0, len(replicas)))]
+
+    def lookup_cost_terms(self, n_edges: int) -> dict:
+        """Operation counts for the cost model: one sketch query (depth
+        rows) and up to two O(log P·V) searches per edge."""
+        return {
+            "sketch_queries": n_edges,
+            "ring_searches": n_edges,
+            "ring_size": max(1, len(self.ring) * self.ring.virtual_factor),
+        }
+
+
+def _rendezvous_pick(replicas: List[int], other_hashes: np.ndarray) -> np.ndarray:
+    """Second-level consistent hash: HRW over the replica set.
+
+    For each edge key, every replica gets a weight
+    ``hash(replica_salt ^ key_hash)``; the highest weight wins.  Adding
+    a replica only claims the keys it now wins — minimal movement.
+    """
+    reps = np.asarray(replicas, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        salted = wang64(reps * U64(0x9E3779B97F4A7C15) ^ _LEVEL2_SALT)
+        weights = wang64(salted[:, None] ^ other_hashes[None, :].astype(np.uint64))
+    pick = np.argmax(weights, axis=0)
+    return np.asarray(replicas, dtype=np.int64)[pick]

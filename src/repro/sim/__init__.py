@@ -1,0 +1,24 @@
+"""Discrete-event simulation kernel.
+
+The simulator provides the substrate that stands in for ElGA's real
+cluster: a deterministic event loop (:class:`~repro.sim.kernel.SimKernel`),
+an actor base class (:class:`~repro.sim.entity.Entity`) matching the
+paper's single-threaded shared-nothing participants, and reproducible
+per-entity random streams (:mod:`repro.sim.random`).
+
+All "runtime" results reported by the benchmark harness are simulated
+times accumulated through this kernel, so they are exactly reproducible
+and independent of the speed of the host interpreter.
+"""
+
+from repro.sim.entity import Entity
+from repro.sim.kernel import EventHandle, SimKernel
+from repro.sim.random import entity_rng, substream_seed
+
+__all__ = [
+    "Entity",
+    "EventHandle",
+    "SimKernel",
+    "entity_rng",
+    "substream_seed",
+]

@@ -1,0 +1,197 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is a priority queue of timestamped callbacks.  Ties are broken
+by insertion order, so given the same seeds a simulation is exactly
+reproducible: there is no dependence on wall-clock time, hashing order, or
+thread scheduling.  This is what makes the reproduction's "runtimes"
+meaningful — they are simulated seconds charged by cost models, not noisy
+interpreter timings.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse, e.g. scheduling into the past."""
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle to a scheduled event, usable to cancel it.
+
+    Handles are returned by :meth:`SimKernel.schedule` and
+    :meth:`SimKernel.schedule_at`.  Cancelling an already-fired or
+    already-cancelled event is a harmless no-op.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the event fires."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self._event.cancelled = True
+
+
+class SimKernel:
+    """Deterministic discrete-event loop with a simulated clock.
+
+    Parameters
+    ----------
+    start_time:
+        Initial simulated time in seconds (default 0.0).
+
+    Examples
+    --------
+    >>> k = SimKernel()
+    >>> fired = []
+    >>> _ = k.schedule(1.5, fired.append, "a")
+    >>> _ = k.schedule(0.5, fired.append, "b")
+    >>> k.run()
+    2
+    >>> fired
+    ['b', 'a']
+    >>> k.now
+    1.5
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list[_Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events fired since construction."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (possibly cancelled) events still queued."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now.
+
+        ``delay`` must be non-negative and finite.
+        """
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if not math.isfinite(time):
+            raise SimulationError(f"event time must be finite, got {time!r}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: now={self._now}, requested={time}"
+            )
+        event = _Event(time=float(time), seq=next(self._seq), callback=callback, args=args)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def step(self) -> bool:
+        """Fire the single next non-cancelled event.
+
+        Returns ``True`` if an event fired, ``False`` if the queue was
+        empty (cancelled events are discarded without firing).
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events in timestamp order.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would fire after this
+            simulated time; the clock is advanced to exactly ``until``.
+        max_events:
+            If given, stop after firing this many events (a safety net
+            for protocol bugs that generate unbounded event storms).
+
+        Returns
+        -------
+        int
+            The number of events fired by this call.
+        """
+        if self._running:
+            raise SimulationError("kernel is not reentrant: run() called from within run()")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                if max_events is not None and fired >= max_events:
+                    break
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                self._events_processed += 1
+                event.callback(*event.args)
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = float(until)
+        return fired
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> int:
+        """Run until no events remain; error out past ``max_events``.
+
+        Unlike :meth:`run` with ``max_events``, exhausting the budget here
+        raises :class:`SimulationError`, because an idle-seeking caller
+        that silently stops early would report truncated results.
+        """
+        fired = self.run(max_events=max_events)
+        if self.pending and self._has_live_events():
+            raise SimulationError(
+                f"event budget of {max_events} exhausted with {self.pending} events pending"
+            )
+        return fired
+
+    def _has_live_events(self) -> bool:
+        return any(not e.cancelled for e in self._queue)

@@ -1,0 +1,58 @@
+"""Reproducible per-entity random streams.
+
+Every ElGA participant (Agent, Streamer, Directory, ...) gets its own
+independent :class:`numpy.random.Generator`, derived from the experiment
+seed and a stable entity identifier.  Independent streams mean that adding
+or removing one entity never perturbs the randomness seen by the others —
+essential when comparing elastic runs that differ only in membership.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Union
+
+import numpy as np
+
+_MASK64 = (1 << 64) - 1
+
+
+def substream_seed(root_seed: int, *labels: Union[int, str]) -> int:
+    """Derive a stable 64-bit seed from a root seed and entity labels.
+
+    Labels may mix strings and integers; string labels are CRC-folded so
+    the derivation does not depend on Python's randomized ``hash()``.
+
+    Examples
+    --------
+    >>> substream_seed(42, "agent", 3) == substream_seed(42, "agent", 3)
+    True
+    >>> substream_seed(42, "agent", 3) != substream_seed(42, "agent", 4)
+    True
+    """
+    acc = (int(root_seed) * 0x9E3779B97F4A7C15) & _MASK64
+    for label in labels:
+        if isinstance(label, str):
+            piece = zlib.crc32(label.encode("utf-8"))
+        else:
+            piece = int(label) & _MASK64
+        acc ^= piece
+        # splitmix64 finalizer: cheap, well-mixed, deterministic.
+        acc = (acc + 0x9E3779B97F4A7C15) & _MASK64
+        acc = ((acc ^ (acc >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        acc = ((acc ^ (acc >> 27)) * 0x94D049BB133111EB) & _MASK64
+        acc ^= acc >> 31
+    return acc
+
+
+def entity_rng(root_seed: int, *labels: Union[int, str]) -> np.random.Generator:
+    """Create an independent generator for one entity.
+
+    Examples
+    --------
+    >>> a = entity_rng(7, "streamer", 0)
+    >>> b = entity_rng(7, "streamer", 0)
+    >>> float(a.random()) == float(b.random())
+    True
+    """
+    return np.random.default_rng(substream_seed(root_seed, *labels))

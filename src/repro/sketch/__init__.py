@@ -1,0 +1,14 @@
+"""Sketches (§2.4, §3.3.1).
+
+ElGA replaces the O(n) global vertex-degree table that earlier dynamic
+partitioners needed with a CountMinSketch: a small, fixed-size, mergeable
+summary of every vertex's degree that all participants share via the
+directory broadcast.  The estimate is biased upward (never an
+underestimate), which is exactly the safe direction for the replication
+decision — a vertex might be split slightly early, never too late.
+"""
+
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.countsketch import CountSketch
+
+__all__ = ["CountMinSketch", "CountSketch"]

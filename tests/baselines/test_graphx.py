@@ -1,0 +1,112 @@
+"""GraphX baseline: exact algorithms, overhead model, OOM thresholds."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GraphX, graphx_would_oom
+from repro.gen import powerlaw_graph
+from tests.conftest import reference_pagerank, reference_wcc
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_graph(700, 7000, alpha=2.2, seed=41)
+
+
+@pytest.fixture(scope="module")
+def loaded(graph):
+    us, vs, _ = graph
+    gx = GraphX(nodes=8, partitioner="rvc")
+    gx.load(us, vs)
+    return gx
+
+
+def test_pagerank_exact(loaded, graph):
+    us, vs, _ = graph
+    result = loaded.pagerank(tol=1e-12, max_iters=20)
+    ref, ref_iters = reference_pagerank(us, vs, tol=1e-12, max_iters=20)
+    assert result.iterations == ref_iters
+    for v, x in ref.items():
+        assert result.value_map()[v] == pytest.approx(x, abs=1e-12)
+
+
+def test_wcc_exact(loaded, graph):
+    us, vs, _ = graph
+    ref, _ = reference_wcc(us, vs)
+    assert {v: int(x) for v, x in loaded.wcc().value_map().items()} == ref
+
+
+def test_per_iteration_dominated_by_stage_overhead(loaded):
+    result = loaded.pagerank(max_iters=3, tol=1e-15)
+    # At this scale each Spark iteration is essentially the fixed stage
+    # cost — the architectural difference from ElGA/Blogel.
+    assert result.mean_iter_seconds >= 0.3
+
+
+def test_job_includes_startup_teardown(loaded):
+    result = loaded.pagerank(max_iters=2, tol=1e-15)
+    assert result.job_seconds > result.compute_seconds + 30
+
+
+def test_all_partitioners_same_results(graph):
+    us, vs, _ = graph
+    values = []
+    for part in ("rvc", "crvc", "2d"):
+        gx = GraphX(nodes=4, partitioner=part)
+        gx.load(us, vs)
+        values.append(gx.wcc().value_map())
+    assert values[0] == values[1] == values[2]
+
+
+def test_incremental_recompute_matches_full(graph):
+    """The Figure 15 snapshot-dynamic strategy is exact."""
+    us, vs, _ = graph
+    gx = GraphX(nodes=4)
+    gx.load(us, vs)
+    prior = gx.wcc().value_map()
+    # Grow the graph by one bridging edge and recompute incrementally.
+    new_edge = (int(us[0]), int(vs[-1]))
+    us2 = np.concatenate([us, [new_edge[0]]])
+    vs2 = np.concatenate([vs, [new_edge[1]]])
+    gx2 = GraphX(nodes=4)
+    gx2.load(us2, vs2)
+    incremental = gx2.wcc_incremental(prior, np.array(new_edge))
+    ref, _ = reference_wcc(us2, vs2)
+    assert {v: int(x) for v, x in incremental.value_map().items()} == ref
+
+
+def test_incremental_converges_faster_than_scratch(graph):
+    us, vs, _ = graph
+    gx = GraphX(nodes=4)
+    gx.load(us, vs)
+    scratch = gx.wcc()
+    prior = scratch.value_map()
+    new_edge = (int(us[3]), int(vs[7]))
+    us2 = np.concatenate([us, [new_edge[0]]])
+    vs2 = np.concatenate([vs, [new_edge[1]]])
+    gx2 = GraphX(nodes=4)
+    gx2.load(us2, vs2)
+    incremental = gx2.wcc_incremental(prior, np.array(new_edge))
+    assert incremental.iterations <= scratch.iterations
+    # ... but the job still pays the full startup floor (Fig 15's point).
+    assert incremental.job_seconds > 30
+
+
+def test_oom_thresholds_match_paper():
+    # GraphX OOMs on Graph500-30 (17 B) and the larger graphs; it runs
+    # Twitter-2010 (1.5 B).  CRVC OOMs on almost everything.
+    assert graphx_would_oom(17e9)
+    assert graphx_would_oom(112e9)
+    assert not graphx_would_oom(1.5e9)
+    assert graphx_would_oom(8.6e9, partitioner="crvc")
+    assert not graphx_would_oom(1.5e9, partitioner="crvc")
+
+
+def test_unknown_partitioner_rejected():
+    with pytest.raises(ValueError):
+        GraphX(partitioner="range")
+
+
+def test_run_before_load_rejected():
+    with pytest.raises(RuntimeError):
+        GraphX().wcc()

@@ -1,0 +1,67 @@
+"""STINGER baseline: dynamic connectivity and batch-latency modes."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Stinger
+from repro.gen import powerlaw_graph
+from repro.graph import EdgeBatch
+from tests.conftest import reference_wcc
+
+
+def test_components_match_reference():
+    us, vs, _ = powerlaw_graph(400, 3000, alpha=2.3, seed=42)
+    st = Stinger()
+    st.load(us, vs)
+    ref, _ = reference_wcc(us, vs)
+    labels = st.label_map()
+    assert {v: labels[v] for v in ref} == ref
+
+
+def test_insert_updates_components():
+    st = Stinger()
+    st.load(np.array([0, 10]), np.array([1, 11]))
+    assert st.component_of(0) != st.component_of(10)
+    st.insert_batch(EdgeBatch.insertions([1], [10]))
+    assert st.component_of(0) == st.component_of(10)
+    assert st.n_components() == 1
+
+
+def test_easy_batch_is_fast_hard_batch_is_slow():
+    """The Figure 13 bimodality mechanism: intra-component insertions
+    are O(batch); merges pay a relabel + sweep."""
+    us, vs, _ = powerlaw_graph(500, 4000, alpha=2.2, seed=43)
+    st = Stinger(edge_scale=5000.0)  # model a paper-scale resident graph
+    st.load(us, vs)
+    # Easy: an edge inside the giant component.
+    giant = [v for v in range(500) if st.labels.get(v) == st.component_of(int(us[0]))]
+    easy = st.insert_batch(EdgeBatch.insertions([giant[0]], [giant[1]]))
+    # Hard: bridge to a brand-new component.
+    st.insert_batch(EdgeBatch.insertions([90_001], [90_002]))
+    hard = st.insert_batch(EdgeBatch.insertions([giant[0]], [90_001]))
+    assert hard > 1.5 * easy
+
+
+def test_deletions_rejected():
+    st = Stinger()
+    st.load(np.array([0]), np.array([1]))
+    with pytest.raises(ValueError):
+        st.insert_batch(EdgeBatch.deletions([0], [1]))
+
+
+def test_batch_latency_scales_with_size():
+    st = Stinger()
+    st.load(np.array([0]), np.array([1]))
+    small = st.insert_batch(EdgeBatch.insertions([0], [1]))  # duplicate: easy
+    us = np.arange(100, 200)
+    big = st.insert_batch(EdgeBatch.insertions(us, us + 1000))
+    assert big > small
+
+
+def test_edge_scale_inflates_hard_mode_only():
+    def hard_latency(scale):
+        st = Stinger(edge_scale=scale)
+        st.load(np.arange(100), np.arange(100) + 1)
+        return st.insert_batch(EdgeBatch.insertions([5000], [0]))
+
+    assert hard_latency(1000.0) > hard_latency(1.0)

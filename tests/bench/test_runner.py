@@ -1,0 +1,40 @@
+"""Benchmark output formatting."""
+
+import pytest
+
+from repro.bench import Series, Table, print_experiment_header, t_confidence_interval
+
+
+def test_table_renders_aligned(capsys):
+    t = Table(["graph", "elga", "blogel"])
+    t.add_row("twitter", 0.12, 0.3)
+    t.add_row("skitter", t_confidence_interval([1.0, 1.1, 0.9]), None)
+    text = t.render()
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert "twitter" in lines[2]
+    assert "—" in lines[3]  # None renders as em dash
+    t.show()
+    assert capsys.readouterr().out.rstrip("\n") == text
+
+
+def test_table_rejects_ragged_rows():
+    t = Table(["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row(1)
+
+
+def test_series_collects_and_prints(capsys):
+    s = Series("elga", x_name="nodes", y_name="seconds")
+    s.add(1, 2.0)
+    s.add(2, t_confidence_interval([1.0, 1.0]))
+    s.show()
+    out = capsys.readouterr().out
+    assert "elga" in out and "nodes" in out
+    assert s.ys() == [2.0, 1.0]
+
+
+def test_header(capsys):
+    print_experiment_header("Figure 8", "strong scaling")
+    out = capsys.readouterr().out
+    assert "Figure 8" in out and "strong scaling" in out

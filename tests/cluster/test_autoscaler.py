@@ -1,0 +1,83 @@
+"""Reactive EMA autoscaler policy (§3.4.3, Figure 18)."""
+
+import pytest
+
+from repro.cluster import ReactiveAutoscaler
+
+
+def test_ema_converges_to_constant_signal():
+    a = ReactiveAutoscaler(scaling_factor=10.0, ema_window=30.0)
+    for t in range(0, 300, 5):
+        a.observe(100.0, float(t))
+    assert a.ema == pytest.approx(100.0, rel=0.01)
+
+
+def test_target_is_ema_over_scaling_factor():
+    a = ReactiveAutoscaler(scaling_factor=10.0)
+    a.observe(95.0, 0.0)
+    assert a.target() == 10  # ceil(95/10)
+
+
+def test_target_clamped():
+    a = ReactiveAutoscaler(scaling_factor=1.0, min_agents=2, max_agents=8)
+    a.observe(0.0, 0.0)
+    assert a.target() == 2
+    a.observe(1e9, 1.0)
+    assert a.target() == 8
+
+
+def test_cooldown_blocks_rapid_scaling():
+    a = ReactiveAutoscaler(scaling_factor=1.0, cooldown=60.0, ema_window=1.0)
+    a.observe(10.0, 0.0)
+    assert a.desired(current_agents=1, now=0.0) == 10
+    a.observe(50.0, 5.0)
+    # Within the cooldown window: hold.
+    assert a.desired(current_agents=10, now=30.0) is None
+    a.observe(50.0, 60.0)
+    assert a.desired(current_agents=10, now=61.0) is not None
+
+
+def test_no_action_when_at_target():
+    a = ReactiveAutoscaler(scaling_factor=10.0, cooldown=0.0)
+    a.observe(100.0, 0.0)
+    assert a.desired(current_agents=10, now=1.0) is None
+
+
+def test_ema_responds_to_step_function():
+    """The Figure 18 workload: a step change in query rate pulls the
+    EMA (and hence the target) over within a few windows."""
+    a = ReactiveAutoscaler(scaling_factor=10.0, ema_window=30.0, cooldown=0.0)
+    for t in range(0, 120, 5):
+        a.observe(40.0, float(t))
+    low_target = a.target()
+    for t in range(120, 300, 5):
+        a.observe(160.0, float(t))
+    high_target = a.target()
+    assert low_target == 4
+    assert high_target == 16
+
+
+def test_scale_down_after_calm():
+    a = ReactiveAutoscaler(scaling_factor=10.0, ema_window=10.0, cooldown=0.0)
+    for t in range(0, 50, 2):
+        a.observe(200.0, float(t))
+    assert a.desired(current_agents=1, now=50.0) == 20
+    for t in range(50, 200, 2):
+        a.observe(10.0, float(t))
+    assert a.desired(current_agents=20, now=200.0) <= 2
+
+
+def test_history_records_decisions():
+    a = ReactiveAutoscaler(scaling_factor=5.0, cooldown=0.0)
+    a.observe(25.0, 0.0)
+    a.desired(current_agents=1, now=0.0)
+    assert len(a.history) == 1
+    now, ema, target = a.history[0]
+    assert target == 5
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ReactiveAutoscaler(scaling_factor=0)
+    with pytest.raises(ValueError):
+        ReactiveAutoscaler(scaling_factor=1, ema_window=0)

@@ -1,0 +1,119 @@
+"""Elastic scaling: join, leave, migration, consistency (§3.4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, ElGACluster
+from repro.graph import EdgeBatch
+from repro.net.message import PacketType
+
+
+def loaded_cluster(**kw):
+    defaults = dict(nodes=2, agents_per_node=2, seed=4)
+    defaults.update(kw)
+    c = ElGACluster(ClusterConfig(**defaults))
+    rng = np.random.default_rng(0)
+    us = rng.integers(0, 200, 1500)
+    vs = rng.integers(0, 200, 1500)
+    keep = us != vs
+    c.ingest(EdgeBatch.insertions(us[keep], vs[keep]))
+    c.flush_sketches()
+    return c, int(c.total_resident_edges())
+
+
+def test_join_preserves_every_edge():
+    c, total = loaded_cluster()
+    c.add_agent()
+    assert c.total_resident_edges() == total
+    assert c.consistent()
+
+
+def test_new_agent_receives_load():
+    c, _ = loaded_cluster()
+    new = c.add_agent()
+    assert new.total_edges > 0
+
+
+def test_leave_preserves_every_edge():
+    c, total = loaded_cluster()
+    victim = sorted(c.agents)[0]
+    c.remove_agent(victim)
+    assert c.total_resident_edges() == total
+    assert victim not in c.lead.state.agents
+    assert c.consistent()
+
+
+def test_leaving_agent_fully_drains_and_detaches():
+    c, _ = loaded_cluster()
+    victim_id = sorted(c.agents)[1]
+    victim = c.agents[victim_id]
+    address = victim.address
+    c.remove_agent(victim_id)
+    assert victim.total_edges == 0
+    assert not c.network.is_attached(address)
+
+
+def test_join_moves_only_a_fraction():
+    """Consistent hashing: one new agent out of P+1 should move roughly
+    1/(P+1) of edges, not reshuffle everything (Figure 16)."""
+    c, total = loaded_cluster(nodes=4, agents_per_node=4)
+    before = c.network.stats.by_type_bytes[PacketType.EDGE_MIGRATE]
+    c.add_agent()
+    moved_msgs = c.network.stats.by_type_count[PacketType.EDGE_MIGRATE]
+    moved_edges = sum(a.metrics.edges_migrated for a in c.agents.values())
+    assert 0 < moved_edges < 0.5 * total
+
+
+def test_scale_to_round_trip_preserves_graph():
+    c, total = loaded_cluster()
+    c.scale_to(12)
+    assert len(c.agents) == 12
+    assert c.total_resident_edges() == total
+    c.scale_to(2)
+    assert len(c.agents) == 2
+    assert c.total_resident_edges() == total
+    assert c.consistent()
+
+
+def test_scale_down_to_one_agent():
+    c, total = loaded_cluster()
+    c.scale_to(1)
+    only = next(iter(c.agents.values()))
+    assert only.total_edges == total
+
+
+def test_scale_below_one_rejected():
+    c, _ = loaded_cluster()
+    with pytest.raises(ValueError):
+        c.scale_to(0)
+
+
+def test_placement_correct_after_scaling():
+    """Every resident edge must live exactly where current placement
+    says — i.e. a directory update leaves no strays behind."""
+    c, _ = loaded_cluster()
+    c.scale_to(7)
+    for aid, agent in c.agents.items():
+        keys, others = agent._store_arrays(agent.out_store)
+        if len(keys):
+            owners = agent.placer.owner_of_edges(keys, others)
+            assert (owners == aid).all()
+        keys, others = agent._store_arrays(agent.in_store)
+        if len(keys):
+            owners = agent.placer.owner_of_edges(keys, others)
+            assert (owners == aid).all()
+
+
+def test_ingest_works_after_scaling():
+    c, total = loaded_cluster()
+    c.scale_to(6)
+    c.ingest(EdgeBatch.insertions([900], [901]))
+    assert c.total_resident_edges() == total + 2
+
+
+def test_repeated_scaling_stable():
+    c, total = loaded_cluster()
+    for target in (6, 3, 9, 4):
+        c.scale_to(target)
+        assert c.total_resident_edges() == total
+    assert c.consistent()

@@ -1,0 +1,58 @@
+"""Shared fixtures and reference helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ElGA
+from repro.gen import powerlaw_graph
+from repro.graph import compact_ids, pagerank_csr, wcc_labels
+
+
+@pytest.fixture(scope="session")
+def small_graph():
+    """A tiny deterministic directed graph (cycle + chords)."""
+    us = np.array([0, 1, 2, 3, 4, 0, 2, 4], dtype=np.int64)
+    vs = np.array([1, 2, 3, 4, 0, 2, 0, 1], dtype=np.int64)
+    return us, vs, 5
+
+
+@pytest.fixture(scope="session")
+def skewed_graph():
+    """A power-law graph large enough to produce split vertices."""
+    us, vs, n = powerlaw_graph(1500, 15000, alpha=2.1, seed=11)
+    return us, vs, n
+
+
+@pytest.fixture()
+def engine(small_graph):
+    """A 4-agent engine pre-loaded with the small graph."""
+    us, vs, _ = small_graph
+    elga = ElGA(nodes=2, agents_per_node=2, seed=3)
+    elga.ingest_edges(us, vs)
+    return elga
+
+
+@pytest.fixture(scope="module")
+def skewed_engine(skewed_graph):
+    """A 12-agent engine with split vertices (module-scoped: building it
+    ingests 15k edges)."""
+    us, vs, _ = skewed_graph
+    elga = ElGA(nodes=3, agents_per_node=4, seed=5, replication_threshold=300)
+    elga.ingest_edges(us, vs, n_streamers=3)
+    return elga
+
+
+def reference_pagerank(us, vs, **kwargs):
+    """PageRank reference on the compacted id space, as a vertex map."""
+    cu, cv, ids = compact_ids(us, vs)
+    ranks, iters = pagerank_csr(cu, cv, len(ids), **kwargs)
+    return {int(ids[i]): float(ranks[i]) for i in range(len(ids))}, iters
+
+
+def reference_wcc(us, vs):
+    """WCC reference: vertex -> minimum original id in its component."""
+    cu, cv, ids = compact_ids(us, vs)
+    labels, iters = wcc_labels(cu, cv, len(ids))
+    return {int(ids[i]): int(ids[labels[i]]) for i in range(len(ids))}, iters

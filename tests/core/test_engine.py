@@ -1,0 +1,102 @@
+"""Engine facade: ingest, runs, queries, results, scaling."""
+
+import numpy as np
+import pytest
+
+from repro.core import DegreeCount, ElGA, PageRank, WCC
+from repro.graph import EdgeBatch
+
+
+def test_degree_count_exact(engine, small_graph):
+    us, vs, _ = small_graph
+    result = engine.run(DegreeCount())
+    indeg = np.bincount(vs, minlength=5)
+    for v in range(5):
+        assert result.values[v] == indeg[v]
+    assert result.steps == 1
+
+
+def test_global_counts(engine):
+    assert engine.global_n == 5
+    assert engine.global_m == 8
+    assert engine.validate_against_reference()
+
+
+def test_global_counts_without_reference(small_graph):
+    us, vs, _ = small_graph
+    elga = ElGA(nodes=2, agents_per_node=2, seed=3, keep_reference=False)
+    elga.ingest_edges(us, vs)
+    assert elga.global_n == 5
+    assert elga.global_m == 8
+    with pytest.raises(RuntimeError):
+        elga.validate_against_reference()
+
+
+def test_run_result_metadata(engine):
+    result = engine.run(PageRank(max_iters=4, tol=1e-15))
+    assert result.program_name == "pagerank"
+    assert result.mode == "sync"
+    assert result.steps == 4
+    assert result.sim_seconds > 0
+    assert len(result.per_step_seconds()) >= 4
+    assert result.mean_step_seconds() > 0
+    assert len(result.stats_history) >= 4
+
+
+def test_run_result_helpers(engine):
+    result = engine.run(WCC())
+    assert result.value(0) == 0.0
+    assert result.value(12345) is None
+    arr = result.as_array(5)
+    assert not np.isnan(arr).any()
+
+
+def test_run_ids_increment(engine):
+    a = engine.run(DegreeCount())
+    b = engine.run(DegreeCount())
+    assert b.run_id == a.run_id + 1
+
+
+def test_multiple_programs_keep_separate_state(engine):
+    engine.run(WCC())
+    engine.run(PageRank(max_iters=3, tol=1e-15))
+    assert engine.query(0, "wcc") == 0.0
+    pr_value = engine.query(0, "pagerank")
+    assert pr_value is not None and 0 < pr_value < 1
+
+
+def test_scale_returns_move_stats(engine):
+    # Enough vertices that a join is guaranteed to claim some.
+    us = np.arange(100, 160)
+    engine.apply_batch(EdgeBatch.insertions(us, us + 1))
+    info = engine.scale_to(7)
+    assert info["agents"] == 7
+    assert info["migrate_messages"] > 0
+    assert engine.n_agents == 7
+    assert engine.validate_against_reference()
+
+
+def test_empty_graph_run_halts():
+    elga = ElGA(nodes=2, agents_per_node=2, seed=20)
+    result = elga.run(WCC())
+    assert result.values == {}
+
+
+def test_single_agent_cluster(small_graph):
+    us, vs, _ = small_graph
+    elga = ElGA(nodes=1, agents_per_node=1, seed=21)
+    elga.ingest_edges(us, vs)
+    result = elga.run(WCC())
+    assert all(x == 0.0 for x in result.values.values())
+
+
+def test_ingest_reports_accumulate(engine):
+    assert len(engine.ingest_reports) == 1
+    engine.apply_batch(EdgeBatch.insertions([7], [8]))
+    assert len(engine.ingest_reports) == 2
+
+
+def test_config_overrides_pass_through():
+    elga = ElGA(nodes=1, agents_per_node=2, hash_name="mult", sketch_width=512)
+    assert elga.config.hash_name == "mult"
+    assert elga.config.sketch_width == 512

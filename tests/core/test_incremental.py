@@ -1,0 +1,90 @@
+"""Incremental (dynamic) algorithms — Definition 2.5 and §4.3."""
+
+import numpy as np
+import pytest
+
+from repro.core import ElGA, WCC
+from repro.graph import EdgeBatch
+from tests.conftest import reference_wcc
+
+
+@pytest.fixture()
+def two_islands():
+    """Two components that a later batch will bridge."""
+    elga = ElGA(nodes=2, agents_per_node=2, seed=16)
+    us = np.array([0, 1, 10, 11])
+    vs = np.array([1, 2, 11, 12])
+    elga.ingest_edges(us, vs)
+    elga.run(WCC())
+    return elga
+
+
+def test_incremental_bridges_components(two_islands):
+    elga = two_islands
+    elga.apply_batch(EdgeBatch.insertions([2], [10]))
+    result = elga.run(WCC(), incremental=True)
+    assert all(result.values[v] == 0 for v in (0, 1, 2, 10, 11, 12))
+
+
+def test_incremental_matches_from_scratch(two_islands):
+    elga = two_islands
+    elga.apply_batch(EdgeBatch.insertions([12], [1]))
+    incremental = elga.run(WCC(), incremental=True)
+    us, vs = elga.reference.edge_arrays()
+    ref, _ = reference_wcc(us, vs)
+    assert {v: int(x) for v, x in incremental.values.items()} == ref
+
+
+def test_incremental_fewer_iterations_than_scratch():
+    """Figure 15b's point: small batches converge in few iterations."""
+    elga = ElGA(nodes=2, agents_per_node=2, seed=17)
+    chain = np.arange(60)
+    elga.ingest_edges(chain[:-1], chain[1:])  # a long path: slow from scratch
+    scratch = elga.run(WCC())
+    elga.apply_batch(EdgeBatch.insertions([0], [59]))
+    incremental = elga.run(WCC(), incremental=True)
+    assert incremental.steps < scratch.steps
+
+
+def test_incremental_activates_only_batch_endpoints(two_islands):
+    elga = two_islands
+    elga.apply_batch(EdgeBatch.insertions([11], [10]))  # intra-component
+    result = elga.run(WCC(), incremental=True)
+    # Nothing to propagate: quiescence within a couple of steps.
+    assert result.steps <= 2
+
+
+def test_new_vertices_get_fresh_labels(two_islands):
+    elga = two_islands
+    elga.apply_batch(EdgeBatch.insertions([100], [101]))
+    result = elga.run(WCC(), incremental=True)
+    assert result.values[100] == 100.0
+    assert result.values[101] == 100.0
+
+
+def test_deletion_forces_full_recompute(two_islands):
+    """Incremental min-label WCC is insert-only; a deletion batch must
+    fall back to a from-scratch run (the paper's policy)."""
+    elga = two_islands
+    elga.apply_batch(EdgeBatch.insertions([2], [10]))
+    elga.run(WCC(), incremental=True)
+    # Now delete the bridge: labels must split again.
+    elga.apply_batch(EdgeBatch.deletions([2], [10]))
+    result = elga.run(WCC(), incremental=True)  # silently runs full
+    assert result.values[12] == 10.0
+    assert result.values[2] == 0.0
+
+
+def test_touched_set_accumulates_across_batches(two_islands):
+    elga = two_islands
+    elga.apply_batch(EdgeBatch.insertions([2], [10]))
+    elga.apply_batch(EdgeBatch.insertions([12], [50]))
+    result = elga.run(WCC(), incremental=True)
+    assert result.values[50] == 0.0  # both batches' effects propagated
+
+
+def test_explicit_activation_overrides_default(two_islands):
+    elga = two_islands
+    elga.apply_batch(EdgeBatch.insertions([2], [10]))
+    result = elga.run(WCC(), incremental=True, activate=np.array([2, 10]))
+    assert result.values[12] == 0.0

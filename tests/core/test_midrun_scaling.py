@@ -1,0 +1,85 @@
+"""Mid-run elastic scaling (Figure 17 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ElGA, PageRank, WCC
+from repro.gen import powerlaw_graph
+from tests.conftest import reference_pagerank, reference_wcc
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_graph(600, 5000, alpha=2.2, seed=30)
+
+
+def build(graph, **kw):
+    us, vs, _ = graph
+    defaults = dict(nodes=2, agents_per_node=3, seed=31)
+    defaults.update(kw)
+    elga = ElGA(**defaults)
+    elga.ingest_edges(us, vs, n_streamers=2)
+    return elga
+
+
+def test_scale_up_mid_pagerank_preserves_result(graph):
+    us, vs, _ = graph
+    elga = build(graph)
+    result = elga.run(PageRank(max_iters=8, tol=1e-15), scale_plan={2: 12})
+    assert elga.n_agents == 12
+    ref, _ = reference_pagerank(us, vs, max_iters=8, tol=1e-15)
+    worst = max(abs(result.values[v] - x) for v, x in ref.items())
+    assert worst < 1e-8
+
+
+def test_scale_down_mid_pagerank_preserves_result(graph):
+    us, vs, _ = graph
+    elga = build(graph)
+    result = elga.run(PageRank(max_iters=8, tol=1e-15), scale_plan={3: 2})
+    assert elga.n_agents == 2
+    ref, _ = reference_pagerank(us, vs, max_iters=8, tol=1e-15)
+    worst = max(abs(result.values[v] - x) for v, x in ref.items())
+    assert worst < 1e-8
+
+
+def test_scale_up_then_down_like_fig17(graph):
+    """Figure 17's sequence: scale up after one iteration, finish, then
+    scale back down for cost savings."""
+    us, vs, _ = graph
+    elga = build(graph)
+    result = elga.run(PageRank(max_iters=5, tol=1e-15), scale_plan={1: 10})
+    assert elga.n_agents == 10
+    elga.scale_to(6)
+    assert elga.n_agents == 6
+    ref, _ = reference_pagerank(us, vs, max_iters=5, tol=1e-15)
+    worst = max(abs(result.values[v] - x) for v, x in ref.items())
+    assert worst < 1e-8
+    assert elga.validate_against_reference()
+
+
+def test_mid_run_wcc_scaling(graph):
+    us, vs, _ = graph
+    elga = build(graph)
+    result = elga.run(WCC(), scale_plan={1: 9})
+    ref, _ = reference_wcc(us, vs)
+    assert {v: int(x) for v, x in result.values.items()} == ref
+
+
+def test_round_durations_show_suspension(graph):
+    elga = build(graph)
+    result = elga.run(PageRank(max_iters=6, tol=1e-15), scale_plan={2: 10})
+    phases = [phase for phase, _, _ in result.round_durations]
+    assert "apply_only" in phases and "resume" in phases
+    # Steps still count correctly despite the extra rounds.
+    assert result.steps == 6
+
+
+def test_later_supersteps_use_new_cluster(graph):
+    """After scale-up the remaining supersteps run on more agents, so
+    the straggler's share of edges (and thus step time) drops."""
+    elga = build(graph, nodes=1, agents_per_node=2)
+    result = elga.run(PageRank(max_iters=8, tol=1e-15), scale_plan={3: 16})
+    steps = [(phase, step, dur) for phase, step, dur in result.round_durations if phase == "step"]
+    before = np.mean([d for _, s, d in steps if s <= 3])
+    after = np.mean([d for _, s, d in steps if s > 4])
+    assert after < before

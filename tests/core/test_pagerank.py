@@ -1,0 +1,82 @@
+"""Distributed PageRank correctness (§4.3: agreement to 1e-8)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ElGA, PageRank
+from tests.conftest import reference_pagerank
+
+
+def test_small_graph_matches_reference(engine, small_graph):
+    us, vs, _ = small_graph
+    result = engine.run(PageRank(max_iters=50, tol=1e-12))
+    ref, _ = reference_pagerank(us, vs, max_iters=50, tol=1e-12)
+    for v, expected in ref.items():
+        assert result.values[v] == pytest.approx(expected, abs=1e-10)
+
+
+def test_same_superstep_count_as_reference(engine, small_graph):
+    """'We observed each system perform the same number of supersteps.'"""
+    us, vs, _ = small_graph
+    result = engine.run(PageRank(max_iters=100, tol=1e-9))
+    _, ref_iters = reference_pagerank(us, vs, max_iters=100, tol=1e-9)
+    assert result.steps == ref_iters
+
+
+def test_skewed_graph_with_splits_matches(skewed_engine, skewed_graph):
+    us, vs, _ = skewed_graph
+    assert len(skewed_engine.cluster.lead.state.split_vertices) > 0
+    result = skewed_engine.run(PageRank(max_iters=25, tol=1e-12))
+    ref, _ = reference_pagerank(us, vs, max_iters=25, tol=1e-12)
+    worst = max(abs(result.values[v] - x) for v, x in ref.items())
+    assert worst < 1e-8
+
+
+def test_rank_mass_conserved(engine):
+    result = engine.run(PageRank(max_iters=30, tol=1e-12))
+    assert sum(result.values.values()) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_deterministic_across_runs(small_graph):
+    us, vs, _ = small_graph
+
+    def run_once():
+        elga = ElGA(nodes=2, agents_per_node=2, seed=21)
+        elga.ingest_edges(us, vs)
+        result = elga.run(PageRank(max_iters=10, tol=1e-15))
+        return result.values, result.sim_seconds
+
+    a_values, a_time = run_once()
+    b_values, b_time = run_once()
+    assert a_values == b_values
+    assert a_time == b_time  # simulated time is exactly reproducible
+
+
+def test_results_independent_of_cluster_shape(small_graph):
+    us, vs, _ = small_graph
+    results = []
+    for nodes, apn in ((1, 1), (2, 2), (3, 4)):
+        elga = ElGA(nodes=nodes, agents_per_node=apn, seed=5)
+        elga.ingest_edges(us, vs)
+        results.append(elga.run(PageRank(max_iters=20, tol=1e-15)).values)
+    for other in results[1:]:
+        for v, x in results[0].items():
+            assert other[v] == pytest.approx(x, abs=1e-12)
+
+
+def test_persisted_and_queryable(engine):
+    engine.run(PageRank(max_iters=5, tol=1e-15))
+    value = engine.query(0, "pagerank")
+    assert value is not None and value > 0
+
+
+def test_restart_from_persisted_converges_fast(engine, small_graph):
+    """The dynamic PageRank mode: restarting from converged ranks halts
+    almost immediately."""
+    us, vs, _ = small_graph
+    first = engine.run(PageRank(max_iters=100, tol=1e-10))
+    second = engine.run(PageRank(max_iters=100, tol=1e-10), incremental=True,
+                        activate=np.unique(np.concatenate([us, vs])))
+    assert second.steps <= 3
+    for v, x in first.values.items():
+        assert second.values[v] == pytest.approx(x, abs=1e-9)

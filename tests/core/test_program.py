@@ -1,0 +1,100 @@
+"""VertexProgram interface and RunSpec."""
+
+import numpy as np
+import pytest
+
+from repro.core import DegreeCount, PageRank, SSSP, WCC
+from repro.core.program import RunSpec, VertexProgram
+
+
+def test_aggregator_ufuncs():
+    assert PageRank().ufunc is np.add
+    assert WCC().ufunc is np.minimum
+    assert PageRank().identity == 0.0
+    assert WCC().identity == np.inf
+
+
+def test_direction_flags():
+    assert WCC().needs_in_and_out
+    assert not PageRank().needs_in_and_out
+    assert not SSSP(0).needs_in_and_out
+
+
+def test_async_support_flags():
+    assert WCC().supports_async and SSSP(0).supports_async
+    assert not PageRank().supports_async
+    assert not DegreeCount().supports_async
+
+
+def test_default_initially_active_is_everyone():
+    prog = WCC()
+    ids = np.arange(5)
+    active = prog.initially_active(ids, prog.initial_value(ids, {}), {})
+    assert active.all()
+
+
+def test_sssp_initially_active_only_source():
+    prog = SSSP(source=3)
+    ids = np.arange(5)
+    values = prog.initial_value(ids, {})
+    active = prog.initially_active(ids, values, {})
+    assert active.tolist() == [False, False, False, True, False]
+    assert values[3] == 0 and np.isinf(values[0])
+
+
+def test_pagerank_parameter_validation():
+    with pytest.raises(ValueError):
+        PageRank(damping=1.5)
+    with pytest.raises(ValueError):
+        PageRank(tol=0)
+
+
+def test_pagerank_halt_conditions():
+    pr = PageRank(tol=1e-3, max_iters=10)
+    assert not pr.halt(0, {"residual": 0.0}, {})  # never at step 0
+    assert pr.halt(1, {"residual": 1e-4}, {})
+    assert not pr.halt(1, {"residual": 1.0}, {})
+    assert pr.halt(10, {"residual": 1.0}, {})  # cap
+
+
+def test_wcc_halt_on_quiescence():
+    wcc = WCC()
+    assert not wcc.halt(0, {"active": 0}, {})
+    assert wcc.halt(1, {"active": 0}, {})
+    assert not wcc.halt(5, {"active": 3}, {})
+
+
+def test_pagerank_apply_formula():
+    pr = PageRank(damping=0.85)
+    new, active = pr.apply(
+        np.array([0.5]), np.array([0.2]), np.array([True]), {"global_n": 10}
+    )
+    assert new[0] == pytest.approx(0.15 / 10 + 0.85 * 0.2)
+    assert active.all()
+
+
+def test_wcc_apply_only_reactivates_improvements():
+    wcc = WCC()
+    new, active = wcc.apply(
+        np.array([5.0, 2.0]), np.array([3.0, 4.0]), np.array([True, True]), {}
+    )
+    assert new.tolist() == [3.0, 2.0]
+    assert active.tolist() == [True, False]
+
+
+def test_base_class_hooks_raise():
+    prog = VertexProgram()
+    with pytest.raises(NotImplementedError):
+        prog.initial_value(np.arange(2), {})
+    with pytest.raises(NotImplementedError):
+        prog.scatter_values(np.arange(2.0), np.ones(2))
+    with pytest.raises(NotImplementedError):
+        prog.apply(np.zeros(1), np.zeros(1), np.zeros(1, bool), {})
+    with pytest.raises(NotImplementedError):
+        prog.halt(0, {}, {})
+
+
+def test_runspec_nbytes_includes_activation():
+    spec = RunSpec(run_id=1, program=WCC(), activate=np.arange(10))
+    assert spec.nbytes == 64 + 80
+    assert RunSpec(run_id=1, program=WCC()).nbytes == 64

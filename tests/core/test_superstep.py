@@ -1,0 +1,114 @@
+"""Run controller and RunResult unit behavior."""
+
+import numpy as np
+import pytest
+
+from repro.core import PageRank, WCC
+from repro.core.program import RunSpec
+from repro.core.superstep import RunResult, SyncRunController
+from repro.sim import SimKernel
+
+
+def make_controller(program, **kw):
+    kernel = SimKernel()
+    spec = RunSpec(run_id=1, program=program, global_n=100)
+    return SyncRunController(spec, kernel, **kw), kernel
+
+
+def test_normal_progression():
+    ctrl, _ = make_controller(PageRank(max_iters=10))
+    payload = ctrl(0, 0, {"residual": 1.0})
+    assert payload["phase"] == "step"
+    assert payload["step"] == 1 and payload["round"] == 1
+    payload = ctrl(1, 1, {"residual": 1.0})
+    assert payload["step"] == 2
+
+
+def test_halts_on_convergence():
+    ctrl, _ = make_controller(PageRank(tol=1e-3, max_iters=50))
+    ctrl(0, 0, {})
+    payload = ctrl(1, 1, {"residual": 1e-6})
+    assert payload["phase"] == "halt"
+    assert ctrl.done
+    assert ctrl.final_step == 1
+
+
+def test_halts_on_iteration_cap():
+    ctrl, _ = make_controller(PageRank(tol=0.0 + 1e-300, max_iters=2))
+    ctrl(0, 0, {})
+    ctrl(1, 1, {"residual": 1.0})
+    payload = ctrl(2, 2, {"residual": 1.0})
+    assert payload["phase"] == "halt"
+
+
+def test_scale_plan_triggers_apply_only():
+    suspended = []
+    ctrl, _ = make_controller(
+        WCC(), scale_plan={1: 8}, on_suspended=lambda r, s, t: suspended.append((r, s, t))
+    )
+    ctrl(0, 0, {"active": 5})
+    payload = ctrl(1, 1, {"active": 5})
+    assert payload["phase"] == "apply_only"
+    # apply_only completion hands control to the engine.
+    result = ctrl(2, 2, {"active": 3})
+    assert result is None
+    assert suspended == [(2, 2, 8)]
+    resume = ctrl.resume_payload(3, 2)
+    assert resume["phase"] == "resume"
+    assert "spec" in resume
+
+
+def test_resume_round_never_halts():
+    ctrl, _ = make_controller(WCC(), scale_plan={1: 8}, on_suspended=lambda *a: None)
+    ctrl(0, 0, {"active": 5})
+    ctrl(1, 1, {"active": 5})
+    ctrl(2, 2, {"active": 0})  # suspension — quiescent stats
+    ctrl.resume_payload(3, 2)
+    payload = ctrl(3, 2, {})  # resume completes with empty stats
+    assert payload["phase"] == "step"
+
+
+def test_apply_only_can_halt_directly():
+    ctrl, _ = make_controller(PageRank(tol=1.0, max_iters=50), scale_plan={1: 4})
+    ctrl(0, 0, {})
+    ctrl(1, 1, {"residual": 10.0})
+    payload = ctrl(2, 2, {"residual": 1e-9})
+    assert payload["phase"] == "halt"
+
+
+def test_round_durations_recorded():
+    ctrl, kernel = make_controller(PageRank(max_iters=3))
+    kernel.schedule(0.5, lambda: None)
+    kernel.run()
+    ctrl(0, 0, {})
+    assert ctrl.round_durations == [("init", 0, 0.5)]
+
+
+def test_apply_only_without_handler_raises():
+    ctrl, _ = make_controller(WCC(), scale_plan={1: 8})
+    ctrl(0, 0, {"active": 1})
+    ctrl(1, 1, {"active": 1})
+    with pytest.raises(RuntimeError):
+        ctrl(2, 2, {"active": 1})
+
+
+def test_run_result_step_helpers():
+    result = RunResult(
+        program_name="x",
+        run_id=1,
+        mode="sync",
+        values={0: 1.0},
+        steps=2,
+        sim_seconds=1.0,
+        round_durations=[("init", 0, 0.1), ("step", 1, 0.2), ("apply_only", 2, 0.05)],
+    )
+    assert result.per_step_seconds() == [0.1, 0.2]
+    assert result.mean_step_seconds() == pytest.approx(0.15)
+    empty = RunResult("x", 1, "sync", {}, 0, 0.0)
+    assert empty.mean_step_seconds() == 0.0
+
+
+def test_run_result_as_array_default():
+    result = RunResult("x", 1, "sync", {1: 2.0}, 1, 0.0)
+    arr = result.as_array(3)
+    assert np.isnan(arr[0]) and arr[1] == 2.0

@@ -1,0 +1,115 @@
+"""A-BTER-style scaler: the Figure 4 premise.
+
+The paper's claim: A-BTER scaled graphs preserve degree and clustering
+distributions well enough that system performance on a ×1 replica
+matches the original.  These tests check the mechanical guarantees our
+scaler provides.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gen import bter_scale, degree_histogram, powerlaw_graph, stream_scaled
+from repro.gen.bter import clustering_estimate
+from repro.graph import EdgeBatch
+
+
+@pytest.fixture(scope="module")
+def seed_graph():
+    return powerlaw_graph(800, 8000, alpha=2.2, seed=7)
+
+
+def test_scale_factor_applies_to_vertices(seed_graph):
+    us, vs, n = seed_graph
+    present = len(np.unique(np.concatenate([us, vs])))
+    _, _, n2 = bter_scale(us, vs, n, factor=4, seed=0)
+    assert n2 == pytest.approx(4 * present, rel=0.01)
+
+
+def test_edge_count_scales_roughly_linearly(seed_graph):
+    us, vs, n = seed_graph
+    u2, v2, _ = bter_scale(us, vs, n, factor=4, seed=0)
+    assert 2.3 * len(us) < len(u2) < 5.5 * len(us)
+
+
+def test_average_degree_preserved(seed_graph):
+    us, vs, n = seed_graph
+    present = len(np.unique(np.concatenate([us, vs])))
+    avg_seed = 2 * len(us) / present
+    u2, v2, n2 = bter_scale(us, vs, n, factor=5, seed=1)
+    avg_scaled = 2 * len(u2) / n2
+    assert avg_scaled == pytest.approx(avg_seed, rel=0.30)
+
+
+def test_degree_distribution_shape_preserved(seed_graph):
+    """Compare log-binned degree histograms of seed and ×1 replica."""
+    us, vs, n = seed_graph
+    u2, v2, n2 = bter_scale(us, vs, n, factor=1.0, seed=2)
+
+    def log_binned(us_, vs_, n_):
+        deg = np.bincount(us_, minlength=n_) + np.bincount(vs_, minlength=n_)
+        deg = deg[deg > 0]
+        bins = np.logspace(0, np.log10(deg.max() + 1), 12)
+        hist, _ = np.histogram(deg, bins=bins)
+        return hist / hist.sum()
+
+    h_seed = log_binned(us, vs, n)
+    h_scaled = log_binned(u2, v2, n2)
+    # Total-variation distance (half the L1); dedup and random
+    # orientation blur the low-degree bins somewhat, so the bound is a
+    # shape check, not an exact-match check.
+    assert 0.5 * np.abs(h_seed - h_scaled).sum() < 0.25
+
+
+def test_max_degree_grows_with_scale(seed_graph):
+    us, vs, n = seed_graph
+    def max_deg(u_, v_, n_):
+        return int((np.bincount(u_, minlength=n_) + np.bincount(v_, minlength=n_)).max())
+    u2, v2, n2 = bter_scale(us, vs, n, factor=8, seed=3)
+    assert max_deg(u2, v2, n2) >= 0.5 * max_deg(us, vs, n)
+
+
+def test_phase1_raises_clustering(seed_graph):
+    """Affinity blocks are what give BTER its clustering: rho > 0 must
+    beat a pure Chung–Lu (rho = 0) replica."""
+    us, vs, n = seed_graph
+    with_blocks = bter_scale(us, vs, n, factor=1.0, seed=4, rho=0.5)
+    without = bter_scale(us, vs, n, factor=1.0, seed=4, rho=0.0)
+    cc_with = clustering_estimate(*with_blocks, samples=1500, seed=0)
+    cc_without = clustering_estimate(*without, samples=1500, seed=0)
+    assert cc_with > cc_without
+
+
+def test_deterministic(seed_graph):
+    us, vs, n = seed_graph
+    a = bter_scale(us, vs, n, factor=2, seed=5)
+    b = bter_scale(us, vs, n, factor=2, seed=5)
+    assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+
+def test_no_self_loops_or_duplicates(seed_graph):
+    us, vs, n = seed_graph
+    u2, v2, _ = bter_scale(us, vs, n, factor=2, seed=6)
+    assert (u2 != v2).all()
+    assert len(set(zip(u2.tolist(), v2.tolist()))) == len(u2)
+
+
+def test_invalid_factor(seed_graph):
+    us, vs, n = seed_graph
+    with pytest.raises(ValueError):
+        bter_scale(us, vs, n, factor=0)
+
+
+def test_stream_scaled_yields_whole_graph(seed_graph):
+    us, vs, n = seed_graph
+    chunks = list(stream_scaled(us, vs, n, factor=1.0, seed=7, chunk=512))
+    total = EdgeBatch.concat(chunks)
+    direct = bter_scale(us, vs, n, factor=1.0, seed=7)
+    assert len(total) == len(direct[0])
+    assert np.array_equal(total.us, direct[0])
+
+
+def test_degree_histogram_helper():
+    hist = degree_histogram(np.array([0, 0]), np.array([1, 2]), 3)
+    # degrees: v0=2, v1=1, v2=1 -> one vertex of degree 2, two of degree 1
+    assert hist.tolist() == [0, 2, 1]

@@ -1,0 +1,75 @@
+"""Table 2 dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.gen import DATASETS, load_dataset
+
+
+def test_all_fourteen_rows_present():
+    assert len(DATASETS) == 14
+    expected = {
+        "twitter-2010", "friendster", "uk-2007-05", "datagen-9.3-zf",
+        "datagen-9.4-fb", "email-euall", "skitter", "livejournal",
+        "amazon0601", "graph500-30", "gowalla", "patents",
+        "pokec-x1000", "pokec-x2500",
+    }
+    assert set(DATASETS) == expected
+
+
+def test_paper_scale_metadata_matches_table2():
+    assert DATASETS["twitter-2010"].paper_m == pytest.approx(1.5e9)
+    assert DATASETS["pokec-x2500"].paper_m == pytest.approx(112e9)
+    assert DATASETS["gowalla"].abter_scale == 10000
+    assert DATASETS["twitter-2010"].abter_scale is None
+    assert DATASETS["graph500-30"].family == "rmat"
+
+
+def test_downscale_caps_edges():
+    for spec in DATASETS.values():
+        assert spec.base_m <= 260_000
+        assert spec.base_n >= 500
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+def test_generation_smoke(name):
+    data = load_dataset(name, scale=0.05, seed=1)
+    assert len(data.us) > 100
+    assert len(data.us) == len(data.vs)
+    assert data.us.max() < data.n and data.vs.max() < data.n
+    assert (data.us != data.vs).all()
+
+
+def test_generation_deterministic():
+    a = load_dataset("skitter", scale=0.1, seed=5)
+    b = load_dataset("skitter", scale=0.1, seed=5)
+    assert np.array_equal(a.us, b.us)
+
+
+def test_generation_seed_sensitivity():
+    a = load_dataset("skitter", scale=0.1, seed=5)
+    b = load_dataset("skitter", scale=0.1, seed=6)
+    assert not np.array_equal(a.us, b.us)
+
+
+def test_scale_parameter_scales_size():
+    small = load_dataset("livejournal", scale=0.1, seed=0)
+    large = load_dataset("livejournal", scale=0.4, seed=0)
+    assert len(large.us) > 2.5 * len(small.us)
+
+
+def test_skew_present_in_social_graphs():
+    data = load_dataset("twitter-2010", scale=0.3, seed=0)
+    deg = np.bincount(data.us, minlength=data.n) + np.bincount(data.vs, minlength=data.n)
+    avg = 2 * len(data.us) / data.n
+    assert deg.max() > 10 * avg
+
+
+def test_unknown_name_raises():
+    with pytest.raises(KeyError):
+        load_dataset("no-such-graph")
+
+
+def test_invalid_scale_raises():
+    with pytest.raises(ValueError):
+        load_dataset("skitter", scale=0)

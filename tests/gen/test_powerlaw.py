@@ -1,0 +1,74 @@
+"""Power-law (Chung–Lu/Zipf) generator: the skew Goal 1 targets."""
+
+import numpy as np
+import pytest
+
+from repro.gen import powerlaw_graph
+from repro.gen.powerlaw import zipf_weights
+
+
+def test_edge_count_hits_target():
+    us, vs, n = powerlaw_graph(1000, 8000, alpha=2.2, seed=0)
+    assert len(us) == 8000
+    assert n == 1000
+
+
+def test_ids_in_range_no_self_loops_no_dups():
+    us, vs, n = powerlaw_graph(500, 4000, alpha=2.1, seed=1)
+    assert us.max() < n and vs.max() < n and us.min() >= 0
+    assert (us != vs).all()
+    assert len(set(zip(us.tolist(), vs.tolist()))) == len(us)
+
+
+def test_deterministic():
+    a = powerlaw_graph(300, 2000, seed=9)
+    b = powerlaw_graph(300, 2000, seed=9)
+    assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+
+def test_heavy_tail_present():
+    us, vs, n = powerlaw_graph(2000, 20000, alpha=2.1, seed=2)
+    deg = np.bincount(us, minlength=n) + np.bincount(vs, minlength=n)
+    avg = 2 * len(us) / n
+    assert deg.max() > 20 * avg  # a real hub exists
+
+
+def test_lower_alpha_is_more_skewed():
+    def max_deg(alpha):
+        us, vs, n = powerlaw_graph(2000, 20000, alpha=alpha, seed=3)
+        deg = np.bincount(us, minlength=n) + np.bincount(vs, minlength=n)
+        return deg.max()
+
+    assert max_deg(2.05) > max_deg(2.8)
+
+
+def test_id_shuffle_decorrelates_degree_from_id():
+    us, vs, n = powerlaw_graph(2000, 20000, alpha=2.1, seed=4, shuffle_ids=True)
+    deg = (np.bincount(us, minlength=n) + np.bincount(vs, minlength=n)).astype(float)
+    ids = np.arange(n, dtype=float)
+    corr = np.corrcoef(ids, deg)[0, 1]
+    assert abs(corr) < 0.1
+
+
+def test_no_shuffle_puts_hubs_first():
+    us, vs, n = powerlaw_graph(2000, 20000, alpha=2.1, seed=4, shuffle_ids=False)
+    deg = np.bincount(us, minlength=n) + np.bincount(vs, minlength=n)
+    assert deg[:20].mean() > 20 * deg[n // 2 :].mean()
+
+
+def test_zipf_weights_normalized_and_decreasing():
+    w = zipf_weights(100, 2.5)
+    assert w.sum() == pytest.approx(1.0)
+    assert (np.diff(w) <= 0).all()
+
+
+def test_zipf_weights_validation():
+    with pytest.raises(ValueError):
+        zipf_weights(0, 2.0)
+    with pytest.raises(ValueError):
+        zipf_weights(10, 1.0)
+
+
+def test_m_validation():
+    with pytest.raises(ValueError):
+        powerlaw_graph(10, 0)

@@ -1,0 +1,71 @@
+"""R-MAT / Graph500 generator."""
+
+import numpy as np
+import pytest
+
+from repro.gen import rmat_graph
+from repro.gen.rmat import GRAPH500_PARAMS
+
+
+def test_vertex_count_is_power_of_two():
+    _, _, n = rmat_graph(7, edge_factor=4, seed=0)
+    assert n == 128
+
+
+def test_ids_in_range():
+    us, vs, n = rmat_graph(9, edge_factor=8, seed=1)
+    assert us.min() >= 0 and vs.min() >= 0
+    assert us.max() < n and vs.max() < n
+
+
+def test_deterministic():
+    a = rmat_graph(8, seed=42)
+    b = rmat_graph(8, seed=42)
+    assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+
+def test_seed_changes_graph():
+    a = rmat_graph(8, seed=1)
+    b = rmat_graph(8, seed=2)
+    assert not np.array_equal(a[0], b[0])
+
+
+def test_dedup_removes_self_loops_and_duplicates():
+    us, vs, _ = rmat_graph(8, edge_factor=16, seed=3, dedup=True)
+    assert (us != vs).all()
+    pairs = set(zip(us.tolist(), vs.tolist()))
+    assert len(pairs) == len(us)
+
+
+def test_no_dedup_keeps_raw_count():
+    us, vs, n = rmat_graph(8, edge_factor=16, seed=3, dedup=False)
+    assert len(us) == n * 16
+
+
+def test_skewed_degrees():
+    """R-MAT with Graph500 parameters concentrates edges: the max degree
+    should far exceed the average."""
+    us, vs, n = rmat_graph(11, edge_factor=16, seed=4)
+    deg = np.bincount(us, minlength=n) + np.bincount(vs, minlength=n)
+    assert deg.max() > 12 * deg[deg > 0].mean()
+
+
+def test_uniform_params_not_skewed():
+    us, vs, n = rmat_graph(11, edge_factor=16, seed=4, params=(0.25, 0.25, 0.25, 0.25), noise=0)
+    deg = np.bincount(us, minlength=n) + np.bincount(vs, minlength=n)
+    assert deg.max() < 4 * deg[deg > 0].mean()
+
+
+def test_params_must_sum_to_one():
+    with pytest.raises(ValueError):
+        rmat_graph(8, params=(0.5, 0.5, 0.5, 0.5))
+
+
+def test_scale_validated():
+    with pytest.raises(ValueError):
+        rmat_graph(0)
+
+
+def test_graph500_params_exposed():
+    assert sum(GRAPH500_PARAMS) == pytest.approx(1.0)
+    assert GRAPH500_PARAMS[0] == 0.57

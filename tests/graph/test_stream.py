@@ -1,0 +1,99 @@
+"""EdgeBatch and the §4.4 dynamic-change model."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    INSERT,
+    REMOVE,
+    DynamicGraph,
+    EdgeBatch,
+    delete_reinsert_batches,
+    insertion_stream,
+)
+
+
+def test_batch_construction_and_iteration():
+    batch = EdgeBatch.insertions([0, 1], [1, 2])
+    assert len(batch) == 2
+    assert list(batch) == [(1, 0, 1), (1, 1, 2)]
+    assert (batch.actions == INSERT).all()
+
+
+def test_deletions():
+    batch = EdgeBatch.deletions([0], [1])
+    assert (batch.actions == REMOVE).all()
+
+
+def test_ragged_rejected():
+    with pytest.raises(ValueError):
+        EdgeBatch(np.array([1], dtype=np.int8), np.array([0, 1]), np.array([1]))
+
+
+def test_concat_preserves_order():
+    a = EdgeBatch.insertions([0], [1])
+    b = EdgeBatch.deletions([0], [1])
+    combined = EdgeBatch.concat([a, b])
+    assert list(combined) == [(1, 0, 1), (-1, 0, 1)]
+    assert len(EdgeBatch.concat([])) == 0
+
+
+def test_split_covers_everything_contiguously():
+    batch = EdgeBatch.insertions(np.arange(10), np.arange(10) + 1)
+    parts = batch.split(3)
+    assert sum(len(p) for p in parts) == 10
+    rejoined = EdgeBatch.concat(parts)
+    assert np.array_equal(rejoined.us, batch.us)
+    with pytest.raises(ValueError):
+        batch.split(0)
+
+
+def test_inverted_undoes():
+    g = DynamicGraph()
+    g.insert_edge(9, 8)
+    batch = EdgeBatch.insertions([0, 1], [1, 2])
+    g.apply_batch(batch)
+    g.apply_batch(batch.inverted())
+    assert g.num_edges == 1 and g.has_edge(9, 8)
+
+
+def test_touched_vertices():
+    batch = EdgeBatch.insertions([3, 1], [1, 5])
+    assert batch.touched_vertices.tolist() == [1, 3, 5]
+
+
+def test_insertion_stream_chunks():
+    us = np.arange(25)
+    vs = np.arange(25) + 1
+    chunks = list(insertion_stream(us, vs, chunk=10))
+    assert [len(c) for c in chunks] == [10, 10, 5]
+    rejoined = EdgeBatch.concat(chunks)
+    assert np.array_equal(rejoined.us, us)
+    with pytest.raises(ValueError):
+        list(insertion_stream(us, vs, chunk=0))
+
+
+def test_delete_reinsert_restores_graph():
+    """§4.4: delete a random sample, add it back — the graph must be
+    exactly restored."""
+    rng = np.random.default_rng(0)
+    us = np.arange(50)
+    vs = (np.arange(50) + 7) % 50
+    g = DynamicGraph()
+    g.apply_batch(EdgeBatch.insertions(us, vs))
+    snapshot_us, snapshot_vs = g.edge_arrays()
+    for deletions, insertions in delete_reinsert_batches(us, vs, 10, rng, n_batches=3):
+        assert len(deletions) == len(insertions) == 10
+        g.apply_batch(deletions)
+        assert g.num_edges == 40
+        g.apply_batch(insertions)
+        assert g.num_edges == 50
+    after_us, after_vs = g.edge_arrays()
+    assert np.array_equal(after_us, snapshot_us)
+    assert np.array_equal(after_vs, snapshot_vs)
+
+
+def test_delete_reinsert_sample_too_large():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        delete_reinsert_batches(np.arange(5), np.arange(5) + 1, 10, rng)

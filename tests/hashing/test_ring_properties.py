@@ -1,0 +1,69 @@
+"""Property-based tests: consistent hashing's defining invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import ConsistentHashRing
+
+members_strategy = st.sets(st.integers(min_value=0, max_value=10_000), min_size=2, max_size=12)
+keys_strategy = st.lists(
+    st.integers(min_value=0, max_value=2**63), min_size=1, max_size=64
+)
+
+
+@given(members=members_strategy, keys=keys_strategy)
+@settings(max_examples=60, deadline=None)
+def test_lookup_total_and_member_valued(members, keys):
+    ring = ConsistentHashRing(members, virtual_factor=8)
+    owners = ring.lookup(np.array(keys, dtype=np.uint64))
+    assert set(int(o) for o in owners) <= members
+
+
+@given(members=members_strategy, keys=keys_strategy, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_monotone_removal(members, keys, data):
+    """Removing one member only re-homes keys that member owned."""
+    ring = ConsistentHashRing(members, virtual_factor=8)
+    keys_arr = np.array(keys, dtype=np.uint64)
+    before = ring.lookup(keys_arr)
+    victim = data.draw(st.sampled_from(sorted(members)))
+    ring.remove(victim)
+    after = ring.lookup(keys_arr)
+    moved = before != after
+    assert np.all(before[moved] == victim)
+
+
+@given(members=members_strategy, keys=keys_strategy, new=st.integers(min_value=20_000, max_value=30_000))
+@settings(max_examples=60, deadline=None)
+def test_monotone_addition(members, keys, new):
+    """Adding one member only claims keys for the new member."""
+    ring = ConsistentHashRing(members, virtual_factor=8)
+    keys_arr = np.array(keys, dtype=np.uint64)
+    before = ring.lookup(keys_arr)
+    ring.add(new)
+    after = ring.lookup(keys_arr)
+    moved = before != after
+    assert np.all(after[moved] == new)
+
+
+@given(members=members_strategy, keys=keys_strategy)
+@settings(max_examples=40, deadline=None)
+def test_add_then_remove_is_identity(members, keys):
+    ring = ConsistentHashRing(members, virtual_factor=8)
+    keys_arr = np.array(keys, dtype=np.uint64)
+    before = ring.lookup(keys_arr)
+    ring.add(99_999)
+    ring.remove(99_999)
+    assert np.array_equal(ring.lookup(keys_arr), before)
+
+
+@given(members=members_strategy, key=st.integers(min_value=0, max_value=2**63), k=st.integers(min_value=1, max_value=12))
+@settings(max_examples=60, deadline=None)
+def test_successors_prefix_property(members, key, k):
+    """successors(key, k) is a prefix of successors(key, k+1): growing a
+    vertex's replication factor never reshuffles existing replicas."""
+    ring = ConsistentHashRing(members, virtual_factor=8)
+    small = ring.successors(key, k)
+    bigger = ring.successors(key, k + 1)
+    assert bigger[: len(small)] == small

@@ -1,0 +1,74 @@
+"""Stateful property test: a ring under arbitrary churn sequences.
+
+Models the invariants a long-lived elastic cluster depends on: the ring
+always agrees with a brute-force model of its membership, and every
+single membership change moves only the keys it must.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.hashing import ConsistentHashRing
+
+PROBE_KEYS = np.arange(0, 4000, 7, dtype=np.uint64)
+
+
+class RingChurn(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.ring = ConsistentHashRing(virtual_factor=8)
+        self.members = set()
+        self.last_owners = None
+
+    @rule(member=st.integers(min_value=0, max_value=200))
+    def add_member(self, member):
+        if member in self.members:
+            return
+        before = self.ring.lookup(PROBE_KEYS) if self.members else None
+        self.ring.add(member)
+        self.members.add(member)
+        if before is not None:
+            after = self.ring.lookup(PROBE_KEYS)
+            moved = before != after
+            # Only the new member claims keys.
+            assert np.all(after[moved] == member)
+
+    @precondition(lambda self: len(self.members) > 1)
+    @rule(data=st.data())
+    def remove_member(self, data):
+        victim = data.draw(st.sampled_from(sorted(self.members)))
+        before = self.ring.lookup(PROBE_KEYS)
+        self.ring.remove(victim)
+        self.members.discard(victim)
+        after = self.ring.lookup(PROBE_KEYS)
+        moved = before != after
+        # Only the departed member's keys move.
+        assert np.all(before[moved] == victim)
+
+    @invariant()
+    def owners_are_members(self):
+        if not self.members:
+            return
+        owners = self.ring.lookup(PROBE_KEYS)
+        assert set(int(o) for o in np.unique(owners)) <= self.members
+
+    @invariant()
+    def matches_fresh_ring(self):
+        """A churned ring equals a fresh ring of the same membership —
+        history independence, which is what lets every participant
+        rebuild placement from a directory broadcast alone."""
+        if not self.members:
+            return
+        fresh = ConsistentHashRing(self.members, virtual_factor=8)
+        assert np.array_equal(self.ring.lookup(PROBE_KEYS), fresh.lookup(PROBE_KEYS))
+
+
+TestRingChurn = RingChurn.TestCase
+TestRingChurn.settings = settings(max_examples=25, stateful_step_count=20, deadline=None)

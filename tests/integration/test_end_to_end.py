@@ -1,0 +1,94 @@
+"""Full-lifecycle integration: the paper's whole story in one test.
+
+Stream a skewed graph in, run static algorithms, apply dynamic batches
+with incremental maintenance, serve queries throughout, scale the
+cluster up and down (including mid-run), and verify every step against
+the single-process reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ElGA, PageRank, SSSP, WCC
+from repro.gen import powerlaw_graph
+from repro.graph import EdgeBatch, delete_reinsert_batches
+from tests.conftest import reference_pagerank, reference_wcc
+
+
+@pytest.mark.slow
+def test_full_lifecycle():
+    us, vs, n = powerlaw_graph(1200, 12000, alpha=2.1, seed=60)
+    elga = ElGA(nodes=2, agents_per_node=4, seed=61, replication_threshold=350)
+
+    # 1. Streaming ingest through multiple streamers.
+    report = elga.ingest_edges(us, vs, n_streamers=4)
+    assert report["edges_per_second"] > 0
+    assert elga.validate_against_reference()
+    assert len(elga.cluster.lead.state.split_vertices) > 0
+
+    # 2. Static algorithms agree with the reference.
+    pr = elga.run(PageRank(tol=1e-10, max_iters=30))
+    ref_pr, _ = reference_pagerank(us, vs, tol=1e-10, max_iters=30)
+    assert max(abs(pr.values[v] - x) for v, x in ref_pr.items()) < 1e-8
+
+    wcc = elga.run(WCC())
+    ref_wcc, _ = reference_wcc(us, vs)
+    assert {v: int(x) for v, x in wcc.values.items()} == ref_wcc
+
+    # 3. Dynamic batches: §4.4's delete/re-insert model, maintained
+    # incrementally where the algorithm allows.
+    rng = np.random.default_rng(62)
+    for deletions, insertions in delete_reinsert_batches(us, vs, 40, rng, n_batches=2):
+        elga.apply_batch(deletions)
+        elga.apply_batch(insertions)
+        result = elga.run(WCC(), incremental=True)  # falls back: deletions seen
+        cur_us, cur_vs = elga.reference.edge_arrays()
+        ref, _ = reference_wcc(cur_us, cur_vs)
+        assert {v: int(x) for v, x in result.values.items()} == ref
+
+    # 4. Pure-insertion incremental maintenance.
+    fresh = EdgeBatch.insertions([2_000, 2_001], [2_001, 0])
+    elga.apply_batch(fresh)
+    inc = elga.run(WCC(), incremental=True)
+    assert inc.values[2_000] == inc.values[0]
+    assert inc.steps <= 6
+
+    # 5. Queries reflect the latest output.
+    assert elga.query(2_000, "wcc") == inc.values[2_000]
+
+    # 6. Elasticity: scale up mid-run, verify, scale down, verify.
+    pr2 = elga.run(PageRank(tol=1e-12, max_iters=10), scale_plan={2: 14})
+    cur_us, cur_vs = elga.reference.edge_arrays()
+    ref_pr2, _ = reference_pagerank(cur_us, cur_vs, tol=1e-12, max_iters=10)
+    assert max(abs(pr2.values[v] - x) for v, x in ref_pr2.items()) < 1e-8
+    assert elga.n_agents == 14
+
+    elga.scale_to(4)
+    assert elga.validate_against_reference()
+    sssp = elga.run(SSSP(source=int(us[0])), mode="async")
+    assert sssp.values[int(us[0])] == 0.0
+
+    # 7. Nothing was silently lost anywhere.
+    assert elga.cluster.consistent()
+
+
+def test_dynamic_vs_static_speedup_shape():
+    """Figure 15's qualitative claim at test scale: incremental batches
+    are orders of magnitude cheaper than a snapshot recompute."""
+    from repro.baselines import GraphX
+
+    us, vs, n = powerlaw_graph(800, 8000, alpha=2.2, seed=63)
+    elga = ElGA(nodes=2, agents_per_node=3, seed=64)
+    elga.ingest_edges(us, vs, n_streamers=2)
+    elga.run(WCC())
+
+    batch = EdgeBatch.insertions([int(us[5])], [int(vs[9])])
+    elga.apply_batch(batch)
+    incremental = elga.run(WCC(), incremental=True)
+
+    gx = GraphX(nodes=64)
+    gx.load(np.concatenate([us, batch.us]), np.concatenate([vs, batch.vs]))
+    recompute = gx.wcc_incremental({}, batch.touched_vertices)
+
+    speedup = recompute.job_seconds / incremental.sim_seconds
+    assert speedup > 50  # the paper reports 83×–1962×

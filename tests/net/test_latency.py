@@ -1,0 +1,37 @@
+"""Transport model: the paper's §3.5 latency hierarchy."""
+
+import pytest
+
+from repro.net import TransportModel
+
+
+def test_paper_latency_ordering():
+    """MPI ≈ 1 µs < raw TCP ≈ 4 µs < ZeroMQ > 20 µs (§3.5)."""
+    mpi = TransportModel.mpi().delay(64)
+    tcp = TransportModel.raw_tcp().delay(64)
+    zmq = TransportModel.zeromq().delay(64)
+    assert mpi < tcp < zmq
+    assert mpi == pytest.approx(1e-6, rel=0.01)
+    assert tcp == pytest.approx(4e-6, rel=0.01)
+    assert zmq >= 20e-6
+
+
+def test_zeromq_is_20x_mpi():
+    """The paper calls out MPI's ~20× lower packet latency (§4.7)."""
+    ratio = TransportModel.zeromq().latency_s / TransportModel.mpi().latency_s
+    assert ratio == pytest.approx(20.0, rel=0.01)
+
+
+def test_bandwidth_term_grows_with_size():
+    t = TransportModel.zeromq()
+    assert t.delay(10**9) > t.delay(1) + 0.05  # 1 GB at 100 Gbps ≈ 80 ms
+
+
+def test_intra_node_cheaper_than_inter():
+    t = TransportModel.zeromq()
+    assert t.delay(64, same_node=True) < t.delay(64, same_node=False)
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        TransportModel.mpi().delay(-1)

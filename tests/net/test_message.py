@@ -1,0 +1,60 @@
+"""Message construction and payload size accounting."""
+
+import numpy as np
+
+from repro.net import Message, PacketType, payload_nbytes
+
+
+def test_type_tags_are_single_byte():
+    for ptype in PacketType:
+        assert 0 < int(ptype) < 256
+
+
+def test_type_tags_unique():
+    values = [int(p) for p in PacketType]
+    assert len(values) == len(set(values))
+
+
+def test_payload_nbytes_scalars():
+    assert payload_nbytes(None) == 0
+    assert payload_nbytes(7) == 8
+    assert payload_nbytes(3.14) == 8
+    assert payload_nbytes(True) == 8
+
+
+def test_payload_nbytes_arrays():
+    assert payload_nbytes(np.zeros(10, dtype=np.int64)) == 80
+    assert payload_nbytes(np.zeros(10, dtype=np.int8)) == 10
+
+
+def test_payload_nbytes_containers():
+    payload = {"dst": np.zeros(4, dtype=np.int64), "step": 3}
+    # 3 bytes of keys + 32 bytes array + 8 bytes int + 4 bytes key
+    assert payload_nbytes(payload) == len("dst") + 32 + len("step") + 8
+    assert payload_nbytes([1, 2, 3]) == 24
+    assert payload_nbytes(b"abcd") == 4
+
+
+def test_payload_nbytes_object_with_nbytes():
+    class Sized:
+        nbytes = 1234
+
+    assert payload_nbytes(Sized()) == 1234
+
+
+def test_message_size_includes_type_byte():
+    msg = Message(ptype=PacketType.VERTEX_MSG, payload=np.zeros(2, dtype=np.int64))
+    assert msg.size_bytes == 1 + 16
+
+
+def test_explicit_size_respected():
+    msg = Message(ptype=PacketType.VERTEX_MSG, payload=None, size_bytes=999)
+    assert msg.size_bytes == 999
+
+
+def test_reply_correlates_request_id():
+    request = Message(ptype=PacketType.REQUEST, request_id=42)
+    response = request.reply(PacketType.REPLY, payload="ok")
+    assert response.request_id == 42
+    assert response.ptype == PacketType.REPLY
+    assert response.payload == "ok"

@@ -1,0 +1,101 @@
+"""ZeroMQ-pattern socket semantics: REQ/REP, PUSH, PUB/SUB."""
+
+import pytest
+
+from repro.net import Message, Network, PacketType
+from repro.net.sockets import PubSubSocket, PushSocket, ReqRepSocket, SocketError
+from repro.sim import Entity, SimKernel
+
+
+class Node(Entity):
+    def __init__(self, network, name):
+        super().__init__(network, name)
+        self.push = PushSocket(self)
+        self.req = ReqRepSocket(self)
+        self.pub = PubSubSocket(self)
+        self.received = []
+
+    def handle_message(self, message):
+        if message.ptype == PacketType.REQUEST:
+            ReqRepSocket.reply_to(self.network, message, PacketType.REPLY, "pong")
+        elif message.ptype == PacketType.REPLY:
+            self.req.handle_reply(message)
+        else:
+            self.received.append(message)
+
+
+@pytest.fixture()
+def net():
+    kernel = SimKernel()
+    return kernel, Network(kernel)
+
+
+def test_push_is_non_blocking_delivery(net):
+    kernel, network = net
+    a, b = Node(network, "a"), Node(network, "b")
+    a.push.push(b.address, PacketType.VERTEX_MSG, {"x": 1})
+    assert b.received == []  # nothing until the simulator runs
+    kernel.run()
+    assert len(b.received) == 1
+
+
+def test_reqrep_round_trip(net):
+    kernel, network = net
+    a, b = Node(network, "a"), Node(network, "b")
+    replies = []
+    a.req.request(b.address, PacketType.REQUEST, "ping", on_reply=lambda m: replies.append(m.payload))
+    kernel.run()
+    assert replies == ["pong"]
+    assert not a.req.busy
+
+
+def test_reqrep_rejects_second_outstanding_request(net):
+    _, network = net
+    a, b = Node(network, "a"), Node(network, "b")
+    a.req.request(b.address, PacketType.REQUEST)
+    with pytest.raises(SocketError):
+        a.req.request(b.address, PacketType.REQUEST)
+
+
+def test_reqrep_ignores_stale_reply(net):
+    _, network = net
+    a = Node(network, "a")
+    stale = Message(ptype=PacketType.REPLY, request_id=999)
+    assert a.req.handle_reply(stale) is False
+
+
+def test_pubsub_filters_by_type(net):
+    kernel, network = net
+    publisher = Node(network, "pub")
+    sub_a, sub_b = Node(network, "sa"), Node(network, "sb")
+    publisher.pub.subscribe(sub_a.address, [PacketType.DIRECTORY_UPDATE])
+    publisher.pub.subscribe(
+        sub_b.address, [PacketType.DIRECTORY_UPDATE, PacketType.SUPERSTEP_ADVANCE]
+    )
+    n1 = publisher.pub.publish(PacketType.DIRECTORY_UPDATE, "state")
+    n2 = publisher.pub.publish(PacketType.SUPERSTEP_ADVANCE, "go")
+    kernel.run()
+    assert (n1, n2) == (2, 1)
+    assert len(sub_a.received) == 1
+    assert len(sub_b.received) == 2
+
+
+def test_pubsub_unsubscribe(net):
+    kernel, network = net
+    publisher = Node(network, "pub")
+    sub = Node(network, "s")
+    publisher.pub.subscribe(sub.address, [PacketType.DIRECTORY_UPDATE])
+    publisher.pub.unsubscribe(sub.address)
+    publisher.pub.publish(PacketType.DIRECTORY_UPDATE)
+    kernel.run()
+    assert sub.received == []
+
+
+def test_pubsub_subscriber_order_deterministic(net):
+    _, network = net
+    publisher = Node(network, "pub")
+    subs = [Node(network, f"s{i}") for i in range(5)]
+    for s in reversed(subs):
+        publisher.pub.subscribe(s.address, [PacketType.DIRECTORY_UPDATE])
+    order = publisher.pub.subscribers_of(PacketType.DIRECTORY_UPDATE)
+    assert order == sorted(order)

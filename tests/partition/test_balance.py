@@ -1,0 +1,49 @@
+"""Load-balance metrics used by Figures 5b and 6."""
+
+import numpy as np
+import pytest
+
+from repro.partition import edge_loads, imbalance_factor, load_distribution
+from repro.partition.balance import balance_summary
+
+
+def test_edge_loads_counts():
+    loads = edge_loads(np.array([0, 1, 1, 2, 1]), 4)
+    assert loads.tolist() == [1, 3, 1, 0]
+
+
+def test_edge_loads_validates_range():
+    with pytest.raises(ValueError):
+        edge_loads(np.array([5]), 4)
+
+
+def test_imbalance_perfect():
+    assert imbalance_factor(np.array([10, 10, 10])) == 1.0
+
+
+def test_imbalance_skewed():
+    assert imbalance_factor(np.array([30, 10, 20])) == pytest.approx(1.5)
+
+
+def test_imbalance_empty_loads():
+    assert imbalance_factor(np.zeros(4)) == 1.0
+
+
+def test_load_distribution_axes():
+    normalized, cumulative = load_distribution(np.array([5, 15, 10]))
+    assert normalized.tolist() == [0.5, 1.0, 1.5]
+    assert cumulative.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+
+def test_load_distribution_ideal_is_vertical_line():
+    normalized, _ = load_distribution(np.full(8, 42))
+    assert np.allclose(normalized, 1.0)
+
+
+def test_balance_summary_fields():
+    s = balance_summary(np.array([4, 6]))
+    assert s["mean"] == 5
+    assert s["max"] == 6
+    assert s["min"] == 4
+    assert s["imbalance"] == pytest.approx(1.2)
+    assert s["cv"] > 0

@@ -1,0 +1,108 @@
+"""Baseline partitioners (Blogel hash/Voronoi, GraphX vertex cuts)."""
+
+import numpy as np
+import pytest
+
+from repro.gen import powerlaw_graph
+from repro.partition import (
+    canonical_random_vertex_cut,
+    edge_loads,
+    edge_partition_2d,
+    hash_vertex_partition,
+    imbalance_factor,
+    random_vertex_cut,
+    voronoi_partition,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_graph(1000, 12000, alpha=2.1, seed=8)
+
+
+ALL = [
+    ("hash", lambda us, vs, n, P: hash_vertex_partition(us, vs, P)),
+    ("rvc", lambda us, vs, n, P: random_vertex_cut(us, vs, P)),
+    ("crvc", lambda us, vs, n, P: canonical_random_vertex_cut(us, vs, P)),
+    ("2d", lambda us, vs, n, P: edge_partition_2d(us, vs, P)),
+    (
+        "voronoi",
+        lambda us, vs, n, P: voronoi_partition(us, vs, n, P, np.random.default_rng(0)),
+    ),
+]
+
+
+@pytest.mark.parametrize("name,fn", ALL, ids=[a[0] for a in ALL])
+def test_owners_in_range(graph, name, fn):
+    us, vs, n = graph
+    owners = fn(us, vs, n, 16)
+    assert owners.min() >= 0 and owners.max() < 16
+    assert len(owners) == len(us)
+
+
+def test_hash_partition_keeps_source_edges_together(graph):
+    us, vs, n = graph
+    owners = hash_vertex_partition(us, vs, 16)
+    # All edges sharing a source share an owner.
+    for src in np.unique(us)[:50]:
+        assert len(np.unique(owners[us == src])) == 1
+
+
+def test_crvc_colocates_both_directions():
+    us = np.array([3, 8])
+    vs = np.array([8, 3])
+    owners = canonical_random_vertex_cut(us, vs, 32)
+    assert owners[0] == owners[1]
+    # RVC generally does not.
+    rng = np.random.default_rng(0)
+    u = rng.integers(0, 10_000, 500)
+    v = rng.integers(0, 10_000, 500)
+    fwd = random_vertex_cut(u, v, 32)
+    bwd = random_vertex_cut(v, u, 32)
+    assert (fwd != bwd).any()
+
+
+def test_2d_bounds_vertex_replication(graph):
+    us, vs, n = graph
+    P = 16
+    owners = edge_partition_2d(us, vs, P)
+    side = int(np.ceil(np.sqrt(P)))
+    for src in np.unique(us)[:50]:
+        assert len(np.unique(owners[us == src])) <= side
+
+
+def test_vertex_cuts_balance_edges_well(graph):
+    """Edge cuts balance edges near-perfectly — the property that makes
+    GraphX's partitioning look good until communication is counted."""
+    us, vs, n = graph
+    rvc = imbalance_factor(edge_loads(random_vertex_cut(us, vs, 16), 16))
+    hashed = imbalance_factor(edge_loads(hash_vertex_partition(us, vs, 16), 16))
+    assert rvc < hashed
+
+
+def test_voronoi_is_worst_on_skewed_graphs(graph):
+    """§4.2: Blogel-Vor is not competitive; its blocks are wildly uneven
+    on skewed graphs."""
+    us, vs, n = graph
+    rng = np.random.default_rng(0)
+    voronoi = imbalance_factor(edge_loads(voronoi_partition(us, vs, n, 16, rng), 16))
+    hashed = imbalance_factor(edge_loads(hash_vertex_partition(us, vs, 16), 16))
+    assert voronoi > 1.5 * hashed
+
+
+def test_voronoi_unreached_vertices_assigned():
+    # Two disconnected cliques; few seeds may miss one.
+    us = np.array([0, 1, 2, 10, 11, 12])
+    vs = np.array([1, 2, 0, 11, 12, 10])
+    owners = voronoi_partition(us, vs, 13, 4, np.random.default_rng(1), seed_fraction=0.05)
+    assert (owners >= 0).all()
+
+
+def test_voronoi_validates_seed_fraction():
+    with pytest.raises(ValueError):
+        voronoi_partition(np.array([0]), np.array([1]), 2, 2, np.random.default_rng(0), seed_fraction=0)
+
+
+def test_hash_partition_validates():
+    with pytest.raises(ValueError):
+        hash_vertex_partition(np.array([0]), np.array([1]), 0)

@@ -1,0 +1,62 @@
+"""Property-based placement invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import ConsistentHashRing
+from repro.partition import EdgePlacer
+from repro.sketch import CountMinSketch
+
+agent_sets = st.sets(st.integers(min_value=0, max_value=100), min_size=1, max_size=10)
+edge_arrays = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=500), st.integers(min_value=0, max_value=500)),
+    min_size=1,
+    max_size=50,
+)
+
+
+def build(agents, degree_stream=()):
+    ring = ConsistentHashRing(agents, virtual_factor=16)
+    sketch = CountMinSketch(width=256, depth=4)
+    if len(degree_stream):
+        sketch.add(np.asarray(degree_stream, dtype=np.int64))
+    return EdgePlacer(ring, sketch, replication_threshold=20)
+
+
+@given(agents=agent_sets, edges=edge_arrays)
+@settings(max_examples=50, deadline=None)
+def test_owner_always_a_member(agents, edges):
+    placer = build(agents)
+    us = np.array([e[0] for e in edges])
+    vs = np.array([e[1] for e in edges])
+    owners = placer.owner_of_edges(us, vs)
+    assert set(int(o) for o in owners) <= agents
+
+
+@given(agents=agent_sets, edges=edge_arrays)
+@settings(max_examples=50, deadline=None)
+def test_deterministic_per_edge(agents, edges):
+    placer = build(agents)
+    us = np.array([e[0] for e in edges])
+    vs = np.array([e[1] for e in edges])
+    assert np.array_equal(placer.owner_of_edges(us, vs), placer.owner_of_edges(us, vs))
+
+
+@given(agents=agent_sets, edges=edge_arrays, hot=st.integers(min_value=0, max_value=500))
+@settings(max_examples=50, deadline=None)
+def test_edges_of_vertex_confined_to_replica_set(agents, edges, hot):
+    placer = build(agents, degree_stream=[hot] * 100)
+    others = np.array([e[1] for e in edges])
+    owners = placer.owner_of_edges(np.full(len(others), hot), others)
+    assert set(int(o) for o in owners) <= set(placer.replica_set(hot))
+
+
+@given(agents=agent_sets, hot=st.integers(min_value=0, max_value=500))
+@settings(max_examples=50, deadline=None)
+def test_replica_factor_never_underestimates_after_inserts(agents, hot):
+    """CountMin never underestimates, so a vertex past the threshold is
+    always split (may split early, never late)."""
+    placer = build(agents, degree_stream=[hot] * 25)
+    k = int(placer.replication_factor(hot)[0])
+    assert k >= min(1 + 25 // 20, len(agents))

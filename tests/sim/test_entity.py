@@ -1,0 +1,71 @@
+"""Entity base class: attach/detach, busy-time accounting."""
+
+import pytest
+
+from repro.net import Network
+from repro.sim import Entity, SimKernel
+
+
+class Recorder(Entity):
+    def __init__(self, network, name):
+        super().__init__(network, name)
+        self.received = []
+
+    def handle_message(self, message):
+        self.received.append(message)
+
+
+@pytest.fixture()
+def net():
+    return Network(SimKernel())
+
+
+def test_attach_assigns_unique_addresses(net):
+    a = Recorder(net, "a")
+    b = Recorder(net, "b")
+    assert a.address != b.address
+    assert net.entity_at(a.address) is a
+
+
+def test_detach_removes_entity(net):
+    a = Recorder(net, "a")
+    a.detach()
+    assert net.entity_at(a.address) is None
+    assert not net.is_attached(a.address)
+
+
+def test_charge_extends_busy_horizon(net):
+    a = Recorder(net, "a")
+    a.charge(2.0)
+    assert a.available_at() == 2.0
+    a.charge(1.0)  # serial work queues behind the first
+    assert a.available_at() == 3.0
+    assert a.busy_backlog() == 3.0
+
+
+def test_charge_after_idle_gap_starts_at_now(net):
+    a = Recorder(net, "a")
+    a.charge(1.0)
+    net.kernel.schedule(5.0, lambda: None)
+    net.kernel.run()
+    assert a.busy_backlog() == 0.0
+    a.charge(1.0)
+    assert a.available_at() == 6.0
+
+
+def test_negative_charge_rejected(net):
+    a = Recorder(net, "a")
+    with pytest.raises(ValueError):
+        a.charge(-0.1)
+
+
+def test_base_handle_message_raises(net):
+    e = Entity(net, "raw")
+    with pytest.raises(NotImplementedError):
+        e.handle_message(None)
+
+
+def test_entity_has_private_rng(net):
+    a = Recorder(net, "a")
+    b = Recorder(net, "b")
+    assert a.rng.random() != b.rng.random()

@@ -1,0 +1,171 @@
+"""Kernel semantics: ordering, cancellation, determinism, budgets."""
+
+import pytest
+
+from repro.sim import EventHandle, SimKernel
+from repro.sim.kernel import SimulationError
+
+
+def test_events_fire_in_time_order():
+    k = SimKernel()
+    fired = []
+    k.schedule(3.0, fired.append, "c")
+    k.schedule(1.0, fired.append, "a")
+    k.schedule(2.0, fired.append, "b")
+    k.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    k = SimKernel()
+    fired = []
+    for tag in range(10):
+        k.schedule(1.0, fired.append, tag)
+    k.run()
+    assert fired == list(range(10))
+
+
+def test_clock_advances_to_event_time():
+    k = SimKernel(start_time=5.0)
+    k.schedule(2.5, lambda: None)
+    k.run()
+    assert k.now == 7.5
+
+
+def test_run_until_stops_before_later_events():
+    k = SimKernel()
+    fired = []
+    k.schedule(1.0, fired.append, "early")
+    k.schedule(10.0, fired.append, "late")
+    k.run(until=5.0)
+    assert fired == ["early"]
+    assert k.now == 5.0
+    assert k.pending == 1
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    k = SimKernel()
+    k.run(until=42.0)
+    assert k.now == 42.0
+
+
+def test_cancelled_event_does_not_fire():
+    k = SimKernel()
+    fired = []
+    handle = k.schedule(1.0, fired.append, "x")
+    k.schedule(0.5, fired.append, "y")
+    handle.cancel()
+    assert handle.cancelled
+    k.run()
+    assert fired == ["y"]
+
+
+def test_cancel_after_fire_is_noop():
+    k = SimKernel()
+    handle = k.schedule(0.0, lambda: None)
+    k.run()
+    handle.cancel()  # must not raise
+
+
+def test_scheduling_into_past_rejected():
+    k = SimKernel(start_time=10.0)
+    with pytest.raises(SimulationError):
+        k.schedule_at(5.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    k = SimKernel()
+    with pytest.raises(SimulationError):
+        k.schedule(-1.0, lambda: None)
+
+
+def test_non_finite_time_rejected():
+    k = SimKernel()
+    with pytest.raises(SimulationError):
+        k.schedule(float("inf"), lambda: None)
+    with pytest.raises(SimulationError):
+        k.schedule(float("nan"), lambda: None)
+
+
+def test_events_scheduled_during_run_fire():
+    k = SimKernel()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 3:
+            k.schedule(1.0, chain, depth + 1)
+
+    k.schedule(0.0, chain, 0)
+    k.run()
+    assert fired == [0, 1, 2, 3]
+    assert k.now == 3.0
+
+
+def test_max_events_budget():
+    k = SimKernel()
+
+    def forever():
+        k.schedule(1.0, forever)
+
+    k.schedule(0.0, forever)
+    fired = k.run(max_events=100)
+    assert fired == 100
+
+
+def test_run_until_idle_raises_on_runaway():
+    k = SimKernel()
+
+    def forever():
+        k.schedule(1.0, forever)
+
+    k.schedule(0.0, forever)
+    with pytest.raises(SimulationError):
+        k.run_until_idle(max_events=50)
+
+
+def test_kernel_not_reentrant():
+    k = SimKernel()
+
+    def recurse():
+        with pytest.raises(SimulationError):
+            k.run()
+
+    k.schedule(0.0, recurse)
+    k.run()
+
+
+def test_step_skips_cancelled_and_returns_false_when_empty():
+    k = SimKernel()
+    handle = k.schedule(1.0, lambda: None)
+    handle.cancel()
+    assert k.step() is False
+    assert k.step() is False
+
+
+def test_events_processed_counter():
+    k = SimKernel()
+    for _ in range(5):
+        k.schedule(1.0, lambda: None)
+    k.run()
+    assert k.events_processed == 5
+
+
+def test_determinism_across_instances():
+    def build_and_run():
+        k = SimKernel()
+        out = []
+        k.schedule(1.0, out.append, 1)
+        k.schedule(1.0, out.append, 2)
+        k.schedule(0.5, lambda: k.schedule(0.5, out.append, 0))
+        k.run()
+        return out, k.now
+
+    assert build_and_run() == build_and_run()
+
+
+def test_event_handle_reports_time():
+    k = SimKernel()
+    handle = k.schedule(4.0, lambda: None)
+    assert isinstance(handle, EventHandle)
+    assert handle.time == 4.0

@@ -1,0 +1,79 @@
+"""Property-based tests for the CountMinSketch invariants ElGA relies on."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch import CountMinSketch
+
+key_lists = st.lists(st.integers(min_value=0, max_value=2**62), min_size=0, max_size=200)
+
+
+@given(keys=key_lists)
+@settings(max_examples=60, deadline=None)
+def test_no_underestimate_ever(keys):
+    """The one-direction guarantee: the replication decision may fire
+    early, never late."""
+    cms = CountMinSketch(width=64, depth=4)
+    cms.add(np.array(keys, dtype=np.int64)) if keys else None
+    truth = {}
+    for k in keys:
+        truth[k] = truth.get(k, 0) + 1
+    for k, count in truth.items():
+        assert cms.query(k) >= count
+
+
+@given(keys=key_lists)
+@settings(max_examples=40, deadline=None)
+def test_total_tracks_stream_length(keys):
+    cms = CountMinSketch(width=32, depth=2)
+    if keys:
+        cms.add(np.array(keys, dtype=np.int64))
+    assert cms.total == len(keys)
+
+
+@given(keys=key_lists)
+@settings(max_examples=40, deadline=None)
+def test_delete_of_inserted_restores_exactly(keys):
+    """Turnstile streams that never delete an absent edge leave the
+    sketch exactly where it started."""
+    cms = CountMinSketch(width=32, depth=2)
+    baseline = cms.table.copy()
+    arr = np.array(keys, dtype=np.int64)
+    if len(arr):
+        cms.add(arr)
+        cms.remove(arr)
+    assert np.array_equal(cms.table, baseline)
+
+
+@given(a_keys=key_lists, b_keys=key_lists)
+@settings(max_examples=40, deadline=None)
+def test_merge_commutes_with_stream_concat(a_keys, b_keys):
+    a = CountMinSketch(width=64, depth=3, seed=5)
+    b = CountMinSketch(width=64, depth=3, seed=5)
+    c = CountMinSketch(width=64, depth=3, seed=5)
+    if a_keys:
+        a.add(np.array(a_keys, dtype=np.int64))
+    if b_keys:
+        b.add(np.array(b_keys, dtype=np.int64))
+    combined = a_keys + b_keys
+    if combined:
+        c.add(np.array(combined, dtype=np.int64))
+    a.merge(b)
+    assert a == c
+
+
+@given(keys=key_lists, split=st.integers(min_value=0, max_value=200))
+@settings(max_examples=40, deadline=None)
+def test_incremental_equals_batch(keys, split):
+    """Adding in two calls equals adding once — the delta-flush path."""
+    split = min(split, len(keys))
+    inc = CountMinSketch(width=64, depth=3)
+    one = CountMinSketch(width=64, depth=3)
+    if keys[:split]:
+        inc.add(np.array(keys[:split], dtype=np.int64))
+    if keys[split:]:
+        inc.add(np.array(keys[split:], dtype=np.int64))
+    if keys:
+        one.add(np.array(keys, dtype=np.int64))
+    assert inc == one

@@ -1,0 +1,67 @@
+"""Count Sketch: unbiased but two-sided (why ElGA uses CountMin)."""
+
+import numpy as np
+import pytest
+
+from repro.sketch import CountMinSketch, CountSketch
+
+
+def test_reasonable_point_estimates():
+    cs = CountSketch(width=2048, depth=5)
+    rng = np.random.default_rng(0)
+    keys = rng.integers(0, 200, size=20_000)
+    cs.add(keys)
+    truth = np.bincount(keys, minlength=200)
+    est = cs.query(np.arange(200))
+    assert np.abs(est - truth).mean() < 0.05 * truth.mean()
+
+
+def test_can_underestimate_unlike_countmin():
+    """The structural difference §2.4 highlights: Count Sketch errors
+    are two-sided, CountMin's are one-sided."""
+    rng = np.random.default_rng(4)
+    keys = rng.integers(0, 5000, size=100_000)
+    truth = np.bincount(keys, minlength=5000)
+
+    cs = CountSketch(width=64, depth=3)
+    cs.add(keys)
+    cs_est = cs.query(np.arange(5000))
+    assert (cs_est < truth).any()  # underestimates exist
+
+    cms = CountMinSketch(width=64, depth=3)
+    cms.add(keys)
+    cms_est = cms.query(np.arange(5000))
+    assert not (cms_est < truth).any()  # never underestimates
+
+
+def test_depth_forced_odd():
+    cs = CountSketch(width=64, depth=4)
+    assert cs.depth % 2 == 1
+
+
+def test_turnstile():
+    cs = CountSketch(width=512, depth=5)
+    cs.add([3] * 10)
+    cs.remove([3] * 10)
+    assert abs(int(cs.query(3))) <= 1
+    assert cs.total == 0
+
+
+def test_merge():
+    a = CountSketch(width=256, depth=3, seed=2)
+    b = CountSketch(width=256, depth=3, seed=2)
+    a.add([1] * 5)
+    b.add([1] * 7)
+    a.merge(b)
+    assert abs(int(a.query(1)) - 12) <= 2
+
+
+def test_merge_incompatible_rejected():
+    a = CountSketch(width=256, depth=3)
+    with pytest.raises(ValueError):
+        a.merge(CountSketch(width=128, depth=3))
+
+
+def test_invalid_dims_rejected():
+    with pytest.raises(ValueError):
+        CountSketch(width=0)

@@ -1,0 +1,86 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_datasets_lists_all_rows(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "twitter-2010" in out and "pokec-x2500" in out
+    assert out.count("\n") >= 15  # header + 14 rows
+
+
+def test_run_pagerank(capsys):
+    code = main(
+        [
+            "run",
+            "--dataset",
+            "livejournal",
+            "--scale",
+            "0.05",
+            "--algorithm",
+            "pagerank",
+            "--max-iters",
+            "3",
+            "--top",
+            "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "pagerank: 3 superstep(s)" in out
+    assert "per-superstep ms" in out
+
+
+def test_run_async_sssp(capsys):
+    code = main(
+        [
+            "run",
+            "--dataset",
+            "skitter",
+            "--scale",
+            "0.05",
+            "--algorithm",
+            "sssp",
+            "--source",
+            "0",
+        ]
+    )
+    assert code == 0
+    assert "async" in capsys.readouterr().out
+
+
+def test_sssp_requires_source():
+    with pytest.raises(SystemExit):
+        main(["run", "--algorithm", "sssp", "--scale", "0.05"])
+
+
+def test_query_prints_values(capsys):
+    code = main(
+        [
+            "query",
+            "--dataset",
+            "livejournal",
+            "--scale",
+            "0.05",
+            "--algorithm",
+            "wcc",
+            "0",
+            "1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "vertex 0:" in out and "vertex 1:" in out
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--dataset", "no-such-graph"])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
