@@ -8,13 +8,17 @@ is that methodology; :mod:`bench.runner` formats the tables and series
 each ``benchmarks/bench_*.py`` file prints.
 """
 
-from repro.bench.runner import Series, Table, print_experiment_header
+from repro.bench.counters import PerfCounters, aggregate_counters
+from repro.bench.runner import Series, Table, print_counters, print_experiment_header
 from repro.bench.stats import TrialStats, t_confidence_interval, trials
 
 __all__ = [
+    "PerfCounters",
     "Series",
     "Table",
     "TrialStats",
+    "aggregate_counters",
+    "print_counters",
     "print_experiment_header",
     "t_confidence_interval",
     "trials",

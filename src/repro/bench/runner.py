@@ -23,6 +23,19 @@ def print_experiment_header(exp_id: str, caption: str) -> None:
     print("-" * len(line))
 
 
+def print_counters(counters, label: str = "perf counters") -> None:
+    """Render a :class:`~repro.bench.counters.PerfCounters` snapshot
+    (or any flat name -> number dict) as an aligned block."""
+    snap = counters.snapshot() if hasattr(counters, "snapshot") else dict(counters)
+    print(f"[{label}]")
+    if not snap:
+        print("    (empty)")
+        return
+    width = max(len(name) for name in snap)
+    for name in sorted(snap):
+        print(f"    {name.ljust(width)}  {_format_cell(snap[name])}")
+
+
 def _format_cell(cell: Cell, width: int = 0) -> str:
     if cell is None:
         text = "—"

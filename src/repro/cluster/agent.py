@@ -45,7 +45,9 @@ from repro.net.message import Message, PacketType
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a package import cycle
     from repro.core.program import RunSpec
+from repro.bench.counters import PerfCounters
 from repro.net.sockets import PushSocket
+from repro.partition.cache import PlacementCache
 from repro.partition.placer import EdgePlacer
 from repro.hashing.ring import ConsistentHashRing
 from repro.sim.entity import Entity
@@ -145,6 +147,7 @@ class Agent(Entity):
         self.directory_address = directory_address
         self.push = PushSocket(self)
         self.metrics = AgentMetrics()
+        self.perf = PerfCounters()
 
         # Edge stores: out-copy (keyed by source) and in-copy (keyed by
         # destination) adjacency sets — "flat hash maps with vectors".
@@ -158,10 +161,13 @@ class Agent(Entity):
         self.persistent: Dict[str, Dict[int, float]] = {}
         self.persistent_active: Dict[str, Set[int]] = {}
 
-        # Directory view.
+        # Directory view.  ``placer`` is the persistent PlacementCache,
+        # rebound to a fresh EdgePlacer on every adopted broadcast; its
+        # memos survive broadcasts whose epoch token is unchanged.
         self.dstate: Optional[DirectoryState] = None
         self.ring: Optional[ConsistentHashRing] = None
-        self.placer: Optional[EdgePlacer] = None
+        self.placer: Optional[PlacementCache] = None
+        self._placement_cache = PlacementCache(counters=self.perf)
         self._pending_state: Optional[DirectoryState] = None
 
         # Dynamic-update plumbing.
@@ -264,12 +270,15 @@ class Agent(Entity):
             seed=self.config.seed,
             weights=state.weights,
         )
-        self.placer = EdgePlacer(
-            self.ring,
-            state.sketch,
-            replication_threshold=self.config.replication_threshold,
-            hash_fn=self.config.hash_fn,
-            split_gate=state.split_vertices,
+        self.placer = self._placement_cache.bind(
+            state.epoch_token,
+            EdgePlacer(
+                self.ring,
+                state.sketch,
+                replication_threshold=self.config.replication_threshold,
+                hash_fn=self.config.hash_fn,
+                split_gate=state.split_vertices,
+            ),
         )
         # Membership decides the leaving state: a just-joined agent may
         # see one last broadcast predating its join (it is simply not a
@@ -450,6 +459,21 @@ class Agent(Entity):
         except (KeyError, AttributeError):
             raise LookupError(f"agent {agent_id} not in directory state") from None
 
+    def _charge_placement_lookups(self) -> None:
+        """Charge the last cached lookup batch honestly: misses at the
+        full sketch+ring rate, hits at the reduced memo-probe rate (see
+        ``CostModel.elga_lookup_cached``)."""
+        costs = self.config.costs
+        width, depth = self.config.sketch_width, self.config.sketch_depth
+        ring_positions = max(1, len(self.ring) * self.config.virtual_factor)
+        cache = self._placement_cache
+        self.charge(
+            cache.last_misses
+            * costs.placement_lookup_cost(width, depth, ring_positions)
+            + cache.last_hits
+            * costs.placement_lookup_cost(width, depth, ring_positions, cached=True)
+        )
+
     # ------------------------------------------------------------------
     # dynamic updates (ingest, forwarding, sketch maintenance)
     # ------------------------------------------------------------------
@@ -490,15 +514,8 @@ class Agent(Entity):
                     PacketType.EDGE_MIGRATE_ACK,
                     {"token": payload.get("token")},
                 )
-        self.charge(
-            n
-            * costs.placement_lookup_cost(
-                self.config.sketch_width,
-                self.config.sketch_depth,
-                max(1, len(self.ring) * self.config.virtual_factor),
-            )
-        )
         owners = self.placer.owner_of_edges(own, other)
+        self._charge_placement_lookups()
         mine = owners == self.agent_id
         # Forward misplaced changes to the best known destination.
         if (~mine).any():
@@ -630,10 +647,23 @@ class Agent(Entity):
         Directories.  The cluster orchestrator (or an autoscaler
         driver) triggers reports at its sampling cadence.
         """
+        self._sync_placement_metrics()
         self.push.push(
             self.directory_address,
             PacketType.METRIC_REPORT,
             {"agent_id": self.agent_id, "metrics": self.metrics.snapshot()},
+        )
+
+    def _sync_placement_metrics(self) -> None:
+        """Mirror the placement-cache perf counters into the metric
+        snapshot the autoscaler path consumes."""
+        counts = self.perf.counts
+        self.metrics.placement_cache_hits = int(counts.get("placement_cache_hits", 0))
+        self.metrics.placement_cache_misses = int(
+            counts.get("placement_cache_misses", 0)
+        )
+        self.metrics.placement_epoch_invalidations = int(
+            counts.get("placement_epoch_invalidations", 0)
         )
 
     def flush_sketch(self) -> None:
@@ -678,10 +708,16 @@ class Agent(Entity):
         # A replica of a split vertex participates in replica sync even
         # if the second-level hash assigned it no edges.
         if self.dstate is not None and self.dstate.split_vertices:
-            for v in self.dstate.split_vertices:
-                k = int(self.placer.replication_factor(v)[0])
-                if k > 1 and self.agent_id in self.ring.successors(int(v), k):
-                    ids.add(int(v))
+            split = np.fromiter(
+                self.dstate.split_vertices,
+                dtype=np.int64,
+                count=len(self.dstate.split_vertices),
+            )
+            split.sort()
+            k, reps = self.placer.replica_matrix(split)
+            self.perf.add("hosted_split_vectorized_rows", int(split.size))
+            mine = (k > 1) & (reps == self.agent_id).any(axis=1)
+            ids.update(int(v) for v in split[mine])
         return np.array(sorted(ids), dtype=np.int64)
 
     def _build_table(self, run: _RunState, resume: bool) -> None:
@@ -702,29 +738,45 @@ class Agent(Entity):
             table.out_deg_local = local_outdeg
             table.out_deg_total = local_outdeg.copy()
 
-        # Split bookkeeping.
+        # Split bookkeeping: batch the replica-set resolution for every
+        # hosted split vertex; only the (few) hubs loop below.
         run.my_split = {}
         if len(ids) and self.dstate.split_vertices:
-            present_split = [int(v) for v in self.dstate.split_vertices if v in set(ids.tolist())]
-            for v in present_split:
-                k = int(self.placer.replication_factor(v)[0])
-                if k <= 1:
-                    continue
-                replicas = self.ring.successors(v, k)
-                if self.agent_id not in replicas:
-                    continue
-                run.my_split[v] = replicas
-                p = int(table.pos(np.array([v]))[0])
-                table.split_k[p] = k
-                table.is_primary[p] = replicas[0] == self.agent_id
+            split = np.fromiter(
+                self.dstate.split_vertices,
+                dtype=np.int64,
+                count=len(self.dstate.split_vertices),
+            )
+            split.sort()
+            present = split[np.isin(split, ids, assume_unique=True)]
+            if len(present):
+                ks, reps = self.placer.replica_matrix(present)
+                pos = np.searchsorted(ids, present)
+                for v, k, row, p in zip(present, ks, reps, pos):
+                    if k <= 1:
+                        continue
+                    replicas = [int(a) for a in row[:k]]
+                    if self.agent_id not in replicas:
+                        continue
+                    run.my_split[int(v)] = replicas
+                    table.split_k[p] = k
+                    table.is_primary[p] = replicas[0] == self.agent_id
 
-        # Values: persisted (incremental/resume) or fresh.
+        # Values: persisted (incremental/resume) or fresh.  Persisted
+        # lookups are a searchsorted join against the sorted key array,
+        # not a per-vertex dict probe.
         persisted = self.persistent.get(program.name, {})
         if len(ids):
             if (spec.incremental or resume) and persisted:
-                table.values = np.array(
-                    [persisted.get(int(v), np.nan) for v in ids], dtype=np.float64
+                pkeys = np.fromiter(persisted.keys(), dtype=np.int64, count=len(persisted))
+                pvals = np.fromiter(
+                    persisted.values(), dtype=np.float64, count=len(persisted)
                 )
+                order = np.argsort(pkeys, kind="stable")
+                pkeys, pvals = pkeys[order], pvals[order]
+                ppos = np.minimum(np.searchsorted(pkeys, ids), len(pkeys) - 1)
+                found = pkeys[ppos] == ids
+                table.values = np.where(found, pvals[ppos], np.nan)
                 fresh = np.isnan(table.values)
                 if fresh.any():
                     table.values[fresh] = program.initial_value(ids[fresh], run.ctx)
@@ -737,7 +789,12 @@ class Agent(Entity):
         if len(ids):
             if resume:
                 act = self.persistent_active.get(program.name, set())
-                table.active = np.array([int(v) in act for v in ids], dtype=bool)
+                if act:
+                    act_arr = np.fromiter(act, dtype=np.int64, count=len(act))
+                    act_arr.sort()
+                    table.active = np.isin(ids, act_arr, assume_unique=True)
+                else:
+                    table.active = np.zeros(len(ids), dtype=bool)
             elif spec.incremental:
                 activate = getattr(spec, "activate", None)
                 table.active = np.zeros(len(ids), dtype=bool)
@@ -748,13 +805,9 @@ class Agent(Entity):
                 table.active = program.initially_active(ids, table.values, run.ctx)
 
         # Edge routing caches (destination agent per edge copy).
-        ring_positions = max(1, len(self.ring) * self.config.virtual_factor)
-        lookup = costs.placement_lookup_cost(
-            self.config.sketch_width, self.config.sketch_depth, ring_positions
-        )
         if len(out_keys):
             dest = self.placer.owner_of_edges(out_others, out_keys)
-            self.charge(lookup * len(out_keys))
+            self._charge_placement_lookups()
             run.out_src_pos, run.out_dst_raw, run.out_segments = self._routing(
                 table, out_keys, out_others, dest
             )
@@ -768,7 +821,7 @@ class Agent(Entity):
                 # In-copy (u, v) is stored keyed by v; the reverse
                 # message (v -> u) goes to the holder of the out-copy.
                 dest = self.placer.owner_of_edges(in_others, in_keys)
-                self.charge(lookup * len(in_keys))
+                self._charge_placement_lookups()
                 run.in_src_pos, run.in_dst_raw, run.in_segments = self._routing(
                     table, in_keys, in_others, dest
                 )
@@ -1102,8 +1155,14 @@ class Agent(Entity):
         run = self.run
         costs = self.config.costs
         ring_positions = max(1, len(self.ring) * self.config.virtual_factor)
+        # Routing was resolved (and charged) once at table build; the
+        # per-superstep re-resolution is a placement-cache probe and is
+        # charged at the reduced cached rate.
         lookup = costs.placement_lookup_cost(
-            self.config.sketch_width, self.config.sketch_depth, ring_positions
+            self.config.sketch_width,
+            self.config.sketch_depth,
+            ring_positions,
+            cached=True,
         )
         for agent_id, start, end in segments:
             seg_src = src_pos[start:end]

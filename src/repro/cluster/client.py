@@ -11,11 +11,13 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from repro.bench.counters import PerfCounters
 from repro.cluster.config import ClusterConfig
 from repro.cluster.directory import DirectoryState
 from repro.hashing.ring import ConsistentHashRing
 from repro.net.message import Message, PacketType
 from repro.net.sockets import PushSocket
+from repro.partition.cache import PlacementCache
 from repro.partition.placer import EdgePlacer
 from repro.sim.entity import Entity
 
@@ -43,7 +45,9 @@ class ClientProxy(Entity):
         self.directory_address = directory_address
         self.push = PushSocket(self)
         self.dstate: Optional[DirectoryState] = None
-        self.placer: Optional[EdgePlacer] = None
+        self.perf = PerfCounters()
+        self.placer: Optional[PlacementCache] = None
+        self._placement_cache = PlacementCache(counters=self.perf)
         self.latencies: List[float] = []
         self.queries_sent = 0
         self.replies_received = 0
@@ -72,12 +76,15 @@ class ClientProxy(Entity):
             seed=self.config.seed,
             weights=state.weights,
         )
-        self.placer = EdgePlacer(
-            ring,
-            state.sketch,
-            replication_threshold=self.config.replication_threshold,
-            hash_fn=self.config.hash_fn,
-            split_gate=state.split_vertices,
+        self.placer = self._placement_cache.bind(
+            state.epoch_token,
+            EdgePlacer(
+                ring,
+                state.sketch,
+                replication_threshold=self.config.replication_threshold,
+                hash_fn=self.config.hash_fn,
+                split_gate=state.split_vertices,
+            ),
         )
 
     def query(

@@ -40,6 +40,13 @@ class CostModel:
     # One placement lookup: CountMinSketch query (d=8 rows) plus two
     # O(log(P·V)) binary searches (§3.4.1).
     elga_lookup: float = 55e-9
+    # One placement lookup served from a participant's epoch-versioned
+    # PlacementCache: a hash-probe into a memo table instead of the
+    # sketch query + ring searches.  Participants charge hits at this
+    # reduced rate and misses at the full ``placement_lookup_cost``;
+    # the cache is only consulted while its directory epoch matches, so
+    # the answer is bit-identical to the uncached path.
+    elga_lookup_cached: float = 8e-9
     # Applying one vertex update / aggregating one received value.
     elga_vertex_op: float = 25e-9
     # Ingesting one edge change (hash-map insert + sketch update).
@@ -116,10 +123,17 @@ class CostModel:
         return depth * per_row
 
     def placement_lookup_cost(
-        self, width: int, depth: int, ring_positions: int
+        self, width: int, depth: int, ring_positions: int, cached: bool = False
     ) -> float:
         """One edge-to-Agent resolution: sketch query + two ring
-        binary searches of O(log(P · virtual_factor)) (§3.4.1–2)."""
+        binary searches of O(log(P · virtual_factor)) (§3.4.1–2).
+
+        With ``cached=True``, the reduced memo-table charge for a
+        PlacementCache hit (see ``elga_lookup_cached``) — the only
+        simulated-time change the cache introduces.
+        """
+        if cached:
+            return self.elga_lookup_cached
         search = 2 * max(1.0, math.log2(max(ring_positions, 2))) * 1.6e-9
         return self.sketch_query_cost(width, depth) + search
 

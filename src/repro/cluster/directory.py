@@ -46,7 +46,15 @@ class DirectoryState:
     instance for every broadcast.
     """
 
-    __slots__ = ("version", "batch_id", "agents", "sketch", "split_vertices", "weights")
+    __slots__ = (
+        "version",
+        "batch_id",
+        "agents",
+        "sketch",
+        "split_vertices",
+        "weights",
+        "epoch",
+    )
 
     def __init__(
         self,
@@ -56,6 +64,7 @@ class DirectoryState:
         sketch: CountMinSketch,
         split_vertices: frozenset,
         weights: Optional[Dict[int, float]] = None,
+        epoch: Optional[tuple] = None,
     ):
         self.version = version
         self.batch_id = batch_id
@@ -65,6 +74,23 @@ class DirectoryState:
         # Capacity weights (§3.4.2 heterogeneous extension): scale each
         # agent's virtual-position count on every participant's ring.
         self.weights = dict(weights or {})
+        # Placement epoch: (membership version, sketch version, split
+        # registry size).  Placement is a pure function of this token's
+        # underlying state, so participants' placement caches invalidate
+        # exactly when it changes — a batch-clock-only broadcast bumps
+        # ``version`` but not the epoch, and caches survive it.
+        self.epoch = epoch
+
+    @property
+    def epoch_token(self) -> tuple:
+        """The placement-invalidation key for this state.
+
+        Falls back to the broadcast version (invalidate-per-broadcast,
+        always safe) for states built without an explicit epoch.
+        """
+        if self.epoch is not None:
+            return self.epoch
+        return ("v", self.version)
 
     @property
     def nbytes(self) -> int:
@@ -139,6 +165,12 @@ class Directory(Entity):
             split_vertices=frozenset(),
         )
         self._weights: Dict[int, float] = {}
+        # Placement-epoch components (lead only; peers mirror the lead's
+        # epoch via DIRECTORY_SYNC).  Membership bumps on join/leave,
+        # sketch on every delta merge; the split component is the
+        # (monotone) registry size at broadcast time.
+        self._membership_version = 0
+        self._sketch_version = 0
         # Latest metric snapshot per agent (§3.4.3: "Metrics are passed
         # to Directories"); autoscalers read these.
         self.metric_store: Dict[int, dict] = {}
@@ -170,8 +202,12 @@ class Directory(Entity):
                     PacketType.DIRECTORY_UPDATE in message.payload
                     and self.state.version > 0
                 ):
+                    # The lead's state.sketch is the live master copy,
+                    # mutated by future delta merges — hand late joiners
+                    # a snapshot, never the live object.
+                    payload = self._snapshot_state() if self.is_lead else self.state
                     update = Message(
-                        ptype=PacketType.DIRECTORY_UPDATE, payload=self.state
+                        ptype=PacketType.DIRECTORY_UPDATE, payload=payload
                     )
                     update.src = self.address
                     update.dst = message.src
@@ -224,6 +260,7 @@ class Directory(Entity):
         weight = float(payload.get("weight", 1.0))
         if weight != 1.0:
             self._weights[agent_id] = weight
+        self._membership_version += 1
         self._replace_state(agents=agents, bump_batch=False)
         self._broadcast_now()
 
@@ -231,11 +268,16 @@ class Directory(Entity):
         agents = dict(self.state.agents)
         agents.pop(int(payload["agent_id"]), None)
         self._weights.pop(int(payload["agent_id"]), None)
+        self._membership_version += 1
         self._replace_state(agents=agents, bump_batch=False)
         self._broadcast_now()
 
     def _lead_sketch_delta(self, delta: CountMinSketch) -> None:
+        # Bump at merge time, not broadcast time: the live master sketch
+        # changes here, so any state snapshot taken from now on (e.g. a
+        # late-joiner SUBSCRIBE reply) must carry a new epoch.
         self.state.sketch.merge(delta)
+        self._sketch_version += 1
         self._sketch_dirty = True
         self._maybe_schedule_sketch_broadcast()
 
@@ -276,6 +318,7 @@ class Directory(Entity):
             sketch=self.state.sketch,  # lead keeps the live master copy
             split_vertices=split,
             weights=self._weights,
+            epoch=(self._membership_version, self._sketch_version, len(split)),
         )
 
     def advance_batch_clock(self) -> int:
@@ -286,16 +329,27 @@ class Directory(Entity):
         self._broadcast_now()
         return self.state.batch_id
 
-    def _broadcast_now(self) -> None:
-        """Sync peers and publish the new state to local subscribers."""
-        snapshot = DirectoryState(
+    def _snapshot_state(self) -> DirectoryState:
+        """An immutable copy of the lead's state, stamped with the epoch
+        describing its contents *right now* (the live sketch may have
+        merged deltas since ``self.state`` was built)."""
+        return DirectoryState(
             version=self.state.version,
             batch_id=self.state.batch_id,
             agents=self.state.agents,
             sketch=self.state.sketch.copy(),
             split_vertices=self.state.split_vertices,
             weights=self.state.weights,
+            epoch=(
+                self._membership_version,
+                self._sketch_version,
+                len(self.state.split_vertices),
+            ),
         )
+
+    def _broadcast_now(self) -> None:
+        """Sync peers and publish the new state to local subscribers."""
+        snapshot = self._snapshot_state()
         for peer in self.peers:
             msg = Message(ptype=PacketType.DIRECTORY_SYNC, payload=snapshot)
             msg.src = self.address

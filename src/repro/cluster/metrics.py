@@ -25,6 +25,11 @@ class AgentMetrics:
     edges_migrated: int = 0        # edges sent away on rebalance
     supersteps: int = 0
     replica_syncs: int = 0
+    # Placement fast path (synced from the agent's PerfCounters when a
+    # METRIC_REPORT is produced).
+    placement_cache_hits: int = 0
+    placement_cache_misses: int = 0
+    placement_epoch_invalidations: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict copy (what a METRIC_REPORT would carry)."""
@@ -37,6 +42,9 @@ class AgentMetrics:
             "edges_migrated": self.edges_migrated,
             "supersteps": self.supersteps,
             "replica_syncs": self.replica_syncs,
+            "placement_cache_hits": self.placement_cache_hits,
+            "placement_cache_misses": self.placement_cache_misses,
+            "placement_epoch_invalidations": self.placement_epoch_invalidations,
         }
 
 

@@ -18,12 +18,14 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from repro.bench.counters import PerfCounters
 from repro.cluster.config import ClusterConfig
 from repro.cluster.directory import DirectoryState
 from repro.graph.stream import EdgeBatch
 from repro.hashing.ring import ConsistentHashRing
 from repro.net.message import Message, PacketType
 from repro.net.sockets import PushSocket
+from repro.partition.cache import PlacementCache
 from repro.partition.placer import EdgePlacer
 from repro.sim.entity import Entity
 
@@ -51,7 +53,9 @@ class Streamer(Entity):
         self.directory_address = directory_address
         self.push = PushSocket(self)
         self.dstate: Optional[DirectoryState] = None
-        self.placer: Optional[EdgePlacer] = None
+        self.perf = PerfCounters()
+        self.placer: Optional[PlacementCache] = None
+        self._placement_cache = PlacementCache(counters=self.perf)
         self._outstanding = 0
         self._on_complete: Optional[Callable[[float], None]] = None
         self.edges_sent = 0
@@ -79,12 +83,15 @@ class Streamer(Entity):
             seed=self.config.seed,
             weights=state.weights,
         )
-        self.placer = EdgePlacer(
-            ring,
-            state.sketch,
-            replication_threshold=self.config.replication_threshold,
-            hash_fn=self.config.hash_fn,
-            split_gate=state.split_vertices,
+        self.placer = self._placement_cache.bind(
+            state.epoch_token,
+            EdgePlacer(
+                ring,
+                state.sketch,
+                replication_threshold=self.config.replication_threshold,
+                hash_fn=self.config.hash_fn,
+                split_gate=state.split_vertices,
+            ),
         )
 
     # ------------------------------------------------------------------

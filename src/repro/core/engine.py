@@ -298,6 +298,23 @@ class ElGA:
     def n_agents(self) -> int:
         return len(self.cluster.agents)
 
+    def placement_counters(self):
+        """Cluster-wide placement fast-path counters.
+
+        Sums every participant's (agents, streamers, clients)
+        :class:`~repro.bench.counters.PerfCounters` — cache hit/miss
+        totals, epoch invalidations, vectorized-batch sizes — into one
+        fresh ``PerfCounters`` for the bench runner and tests.
+        """
+        from repro.bench.counters import aggregate_counters
+
+        participants = list(sorted_agents(self.cluster.agents))
+        participants += list(self.cluster.streamers)
+        participants += list(self.cluster.clients)
+        return aggregate_counters(
+            p.perf for p in participants if getattr(p, "perf", None) is not None
+        )
+
     def validate_against_reference(self) -> bool:
         """Check the distributed edge stores against the mirror graph.
 

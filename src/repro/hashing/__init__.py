@@ -11,6 +11,7 @@ default here.
 from repro.hashing.hashes import (
     HASH_FUNCTIONS,
     abseil64,
+    as_u64_keys,
     crc64,
     identity64,
     mult64,
@@ -22,6 +23,7 @@ __all__ = [
     "HASH_FUNCTIONS",
     "ConsistentHashRing",
     "abseil64",
+    "as_u64_keys",
     "crc64",
     "identity64",
     "mult64",

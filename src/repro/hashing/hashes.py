@@ -31,6 +31,25 @@ def _as_u64(x: HashInput) -> np.ndarray:
     return arr
 
 
+def as_u64_keys(x: HashInput) -> np.ndarray:
+    """Canonical ``uint64`` reinterpretation of vertex ids for hashing.
+
+    Signed integers are first widened to ``int64`` and then *bit-viewed*
+    as ``uint64`` (two's complement), so a negative or narrow-dtype
+    vertex id hashes to the same value no matter which code path (or
+    which endpoint of an edge) produced it.  Every placement-level hash
+    input must go through this one helper.
+
+    Examples
+    --------
+    >>> int(as_u64_keys(np.array([-1], dtype=np.int32))[0]) == 2**64 - 1
+    True
+    >>> int(as_u64_keys(np.array([-1], dtype=np.int64))[0]) == 2**64 - 1
+    True
+    """
+    return _as_u64(np.atleast_1d(np.asarray(x)))
+
+
 def _restore(result: np.ndarray, original: HashInput) -> HashInput:
     if np.ndim(original) == 0 and not isinstance(original, np.ndarray):
         return int(result)

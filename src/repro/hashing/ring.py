@@ -131,6 +131,11 @@ class ConsistentHashRing:
         if not self._members:
             self._positions = np.empty(0, dtype=np.uint64)
             self._owners = np.empty(0, dtype=np.int64)
+            self._member_ids_arr = np.empty(0, dtype=np.int64)
+            self._succ_comp = np.empty(0, dtype=np.int64)
+            self._succ_slots = np.empty(0, dtype=np.int64)
+            self._succ_seg_start = np.zeros(1, dtype=np.int64)
+            self._succ_first_slot = np.empty(0, dtype=np.int64)
             self._dirty = False
             return
         ids = np.array(sorted(self._members), dtype=np.int64)
@@ -142,6 +147,20 @@ class ConsistentHashRing:
         order = np.lexsort((owners, positions))
         self._positions = positions[order]
         self._owners = owners[order]
+        # Per-member slot index, grouped, for the batched successor
+        # lookup: slots sorted by (member index, slot index) plus the
+        # composite key member_index * n_slots + slot that makes "first
+        # slot >= s owned by member j" a single searchsorted.
+        n_slots = len(self._positions)
+        owner_idx = np.searchsorted(ids, self._owners)
+        grp = np.argsort(owner_idx, kind="stable")
+        self._member_ids_arr = ids
+        self._succ_slots = grp.astype(np.int64)
+        self._succ_comp = owner_idx[grp].astype(np.int64) * n_slots + grp
+        self._succ_seg_start = np.searchsorted(
+            owner_idx[grp], np.arange(len(ids) + 1)
+        ).astype(np.int64)
+        self._succ_first_slot = self._succ_slots[self._succ_seg_start[:-1]]
         self._dirty = False
 
     def _ensure_built(self) -> None:
@@ -199,6 +218,60 @@ class ConsistentHashRing:
     def successors(self, key: int, k: int) -> List[int]:
         """Replica set for a raw key (hash applied first)."""
         return self.successors_hash(int(self.hash_fn(int(key))), k)
+
+    def successors_hash_batch(self, key_hashes, ks) -> np.ndarray:
+        """Replica sets for many hashed keys at once, fully vectorized.
+
+        Returns an ``(n, k_max)`` int64 matrix whose row ``i`` holds the
+        next ``ks[i]`` distinct members clockwise from ``key_hashes[i]``
+        (identical to :meth:`successors_hash`), right-padded with ``-1``.
+        ``ks`` may be a scalar or a per-key array; values are capped at
+        the member count.
+
+        The trick that removes the per-key ring walk: the ``j``-th
+        successor of a start slot ``s`` is the member with the ``j``-th
+        smallest *first slot at or after* ``s`` (wrapping).  With slots
+        pre-grouped by member, each first-slot query is one searchsorted
+        on a composite key, and the ordering is one argsort per key —
+        all O(n · P log) array work, no Python loop.
+        """
+        self._ensure_built()
+        if len(self._members) == 0:
+            raise LookupError("ring has no members")
+        hashes = np.atleast_1d(np.asarray(key_hashes, dtype=np.uint64))
+        n_members = len(self._member_ids_arr)
+        ks_arr = np.minimum(
+            np.broadcast_to(np.asarray(ks, dtype=np.int64), hashes.shape), n_members
+        )
+        if hashes.size == 0:
+            return np.empty((0, 0), dtype=np.int64)
+        if np.any(ks_arr < 1):
+            raise ValueError("replica counts must be >= 1")
+        n_slots = len(self._positions)
+        starts = np.searchsorted(self._positions, hashes, side="left")
+        ustarts, inverse = np.unique(starts, return_inverse=True)
+        # First slot >= start owned by each member (wrapping adds
+        # n_slots, which keeps wrapped members ordered by their first
+        # slot from the ring's origin, after all non-wrapped ones —
+        # exactly the scalar walk's visit order).
+        qkeys = (
+            np.arange(n_members, dtype=np.int64)[None, :] * n_slots
+            + ustarts[:, None]
+        )
+        pos = np.searchsorted(self._succ_comp, qkeys.ravel()).reshape(qkeys.shape)
+        valid = pos < self._succ_seg_start[1:][None, :]
+        pos_c = np.minimum(pos, n_slots - 1)
+        first = np.where(
+            valid,
+            self._succ_slots[pos_c],
+            self._succ_first_slot[None, :] + n_slots,
+        )
+        order = np.argsort(first, axis=1, kind="stable")
+        k_max = int(ks_arr.max())
+        succ = self._member_ids_arr[order[:, :k_max]][inverse]
+        pad = np.arange(k_max, dtype=np.int64)[None, :] >= ks_arr[:, None]
+        succ[pad] = -1
+        return succ
 
     # -- introspection ---------------------------------------------------------
 

@@ -18,10 +18,12 @@ from repro.partition.baselines import (
     random_vertex_cut,
     voronoi_partition,
 )
+from repro.partition.cache import PlacementCache
 from repro.partition.placer import EdgePlacer
 
 __all__ = [
     "EdgePlacer",
+    "PlacementCache",
     "canonical_random_vertex_cut",
     "edge_loads",
     "edge_partition_2d",

@@ -1,0 +1,308 @@
+"""Epoch-versioned placement cache — the placement fast path.
+
+Placement is a pure function of the directory broadcast state (ring
+membership + degree sketch + split registry), so between directory
+epochs every sketch query and ring search is recomputable-but-redundant
+work.  :class:`PlacementCache` memoizes, per epoch token:
+
+* per-vertex replication factors and (for non-split vertices, the
+  overwhelmingly common case) the single owning Agent;
+* replica sets of split vertices;
+* recently-resolved *edge* owners for split vertices, keyed by the
+  packed ``(own, other)`` pair, since a split vertex's owner depends on
+  both endpoints.
+
+The epoch token is carried in every
+:class:`~repro.cluster.directory.DirectoryState` broadcast (membership
+version ⊕ sketch flush ⊕ split-registry version), so participants
+invalidate exactly when placement can change and never otherwise.  A
+cache bound to a fresh :class:`~repro.partition.placer.EdgePlacer` with
+an unchanged epoch keeps its memos — this is what lets routing survive
+batch-clock-only broadcasts.
+
+The cache is a drop-in stand-in for the placer: it implements the same
+lookup API and delegates anything else (``ring``, ``sketch``, …) to the
+wrapped placer, so Agents, Streamers, and ClientProxies use it without
+code changes at call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bench.counters import PerfCounters
+from repro.hashing.hashes import as_u64_keys
+from repro.partition.placer import EdgePlacer
+
+_U32_LIMIT = np.int64(1) << np.int64(32)
+_SHIFT32 = np.uint64(32)
+
+
+class PlacementCache:
+    """Memoized placement lookups, invalidated by directory epoch.
+
+    Parameters
+    ----------
+    counters:
+        Optional shared :class:`~repro.bench.counters.PerfCounters`;
+        a private one is created otherwise.
+    max_vertices, max_edges:
+        Memo capacity bounds.  The vertex memo stops admitting new
+        entries when full; the edge memo restarts from the latest batch
+        (split edges are few, so either limit is rarely reached).
+
+    Examples
+    --------
+    >>> from repro.hashing import ConsistentHashRing
+    >>> from repro.sketch import CountMinSketch
+    >>> placer = EdgePlacer(ConsistentHashRing([0, 1]), CountMinSketch(64, 2),
+    ...                     replication_threshold=10)
+    >>> cache = PlacementCache().bind((1, 0, 0), placer)
+    >>> import numpy as np
+    >>> a = cache.owner_of_edges(np.array([5]), np.array([9]))
+    >>> b = cache.owner_of_edges(np.array([5]), np.array([9]))  # cache hit
+    >>> bool(a[0] == b[0]) and cache.last_hits == 1
+    True
+    """
+
+    def __init__(
+        self,
+        counters: Optional[PerfCounters] = None,
+        max_vertices: int = 2_000_000,
+        max_edges: int = 1_000_000,
+    ):
+        self.counters = counters if counters is not None else PerfCounters()
+        self.max_vertices = int(max_vertices)
+        self.max_edges = int(max_edges)
+        self._epoch = None
+        self._placer: Optional[EdgePlacer] = None
+        # Per-call hit/miss split, read by the cost-charging layer.
+        self.last_hits = 0
+        self.last_misses = 0
+        self._reset_memos()
+
+    # -- binding -----------------------------------------------------------
+
+    @property
+    def epoch(self):
+        """The directory epoch the memos are valid for."""
+        return self._epoch
+
+    @property
+    def placer(self) -> Optional[EdgePlacer]:
+        """The wrapped (uncached) placer."""
+        return self._placer
+
+    def bind(self, epoch, placer: EdgePlacer) -> "PlacementCache":
+        """Point the cache at ``placer``, valid for ``epoch``.
+
+        Memos survive a rebind with an unchanged epoch (the broadcast
+        that carried it changed nothing placement-relevant — e.g. a
+        batch-clock bump).  ``epoch=None`` always invalidates: safe for
+        states that do not carry a token.
+        """
+        if self._placer is not None and (epoch is None or epoch != self._epoch):
+            self.counters.add("placement_epoch_invalidations")
+            self._reset_memos()
+        self._epoch = epoch
+        self._placer = placer
+        return self
+
+    def _reset_memos(self) -> None:
+        self._v_ids = np.empty(0, dtype=np.int64)
+        self._v_k = np.empty(0, dtype=np.int64)
+        self._v_owner = np.empty(0, dtype=np.int64)  # -1 where k > 1
+        self._e_keys = np.empty(0, dtype=np.uint64)
+        self._e_owner = np.empty(0, dtype=np.int64)
+        self._replica_sets: Dict[int, List[int]] = {}
+
+    def _require_placer(self) -> EdgePlacer:
+        if self._placer is None:
+            raise RuntimeError("PlacementCache used before bind()")
+        return self._placer
+
+    # -- lookups -----------------------------------------------------------
+
+    def owner_of_edges(self, own_vertices, other_vertices) -> np.ndarray:
+        """Cached, vectorized :meth:`EdgePlacer.owner_of_edges`.
+
+        Resolves what it can from the memos (vertex owners for k == 1
+        rows, packed edge keys for split rows) and delegates only the
+        misses to the wrapped placer, learning their results.
+        """
+        placer = self._require_placer()
+        own = np.atleast_1d(np.asarray(own_vertices, dtype=np.int64))
+        other = np.atleast_1d(np.asarray(other_vertices, dtype=np.int64))
+        if own.shape != other.shape:
+            raise ValueError(f"ragged edge arrays: {own.shape} vs {other.shape}")
+        n = own.size
+        if n == 0:
+            self.last_hits = self.last_misses = 0
+            return np.empty(0, dtype=np.int64)
+        owners = np.empty(n, dtype=np.int64)
+        resolved = np.zeros(n, dtype=bool)
+        vhit = np.zeros(n, dtype=bool)
+        k_row = np.zeros(n, dtype=np.int64)
+        if self._v_ids.size:
+            pos = np.searchsorted(self._v_ids, own)
+            pos_c = np.minimum(pos, self._v_ids.size - 1)
+            vhit = self._v_ids[pos_c] == own
+            k_row[vhit] = self._v_k[pos_c[vhit]]
+            plain = vhit & (k_row == 1)
+            owners[plain] = self._v_owner[pos_c[plain]]
+            resolved |= plain
+        split_rows = vhit & (k_row > 1)
+        if split_rows.any() and self._e_keys.size:
+            packable = _packable(own, other)
+            rows = np.flatnonzero(split_rows & packable)
+            if rows.size:
+                keys = _pack(own[rows], other[rows])
+                epos = np.searchsorted(self._e_keys, keys)
+                epos_c = np.minimum(epos, self._e_keys.size - 1)
+                ehit = self._e_keys[epos_c] == keys
+                owners[rows[ehit]] = self._e_owner[epos_c[ehit]]
+                resolved[rows[ehit]] = True
+        miss = ~resolved
+        n_miss = int(miss.sum())
+        self.last_hits = n - n_miss
+        self.last_misses = n_miss
+        self.counters.add("placement_cache_hits", self.last_hits)
+        self.counters.add("placement_cache_misses", n_miss)
+        if n_miss:
+            sub_own = own[miss]
+            sub_other = other[miss]
+            sub_owners = placer.owner_of_edges(sub_own, sub_other)
+            owners[miss] = sub_owners
+            self._learn(sub_own, sub_other, sub_owners, vhit[miss], k_row[miss])
+        return owners
+
+    def replication_factor(self, vertices) -> np.ndarray:
+        """Cached :meth:`EdgePlacer.replication_factor` (k >= 1)."""
+        placer = self._require_placer()
+        verts = np.atleast_1d(np.asarray(vertices, dtype=np.int64))
+        if verts.size == 0:
+            return placer.replication_factor(verts)
+        k = np.empty(verts.size, dtype=np.int64)
+        hit = np.zeros(verts.size, dtype=bool)
+        if self._v_ids.size:
+            pos = np.searchsorted(self._v_ids, verts)
+            pos_c = np.minimum(pos, self._v_ids.size - 1)
+            hit = self._v_ids[pos_c] == verts
+            k[hit] = self._v_k[pos_c[hit]]
+        miss = ~hit
+        if miss.any():
+            k[miss] = placer.replication_factor(verts[miss])
+            self._learn_vertices(verts[miss], k[miss])
+        return k
+
+    def replica_set(self, vertex: int) -> List[int]:
+        """Cached :meth:`EdgePlacer.replica_set`."""
+        v = int(vertex)
+        reps = self._replica_sets.get(v)
+        if reps is None:
+            reps = self._require_placer().replica_set(v)
+            self._replica_sets[v] = reps
+        return list(reps)
+
+    def replica_matrix(self, vertices):
+        """Batched replica sets; delegates to the vectorized placer."""
+        return self._require_placer().replica_matrix(vertices)
+
+    def primary_of(self, vertex: int) -> int:
+        return self.replica_set(int(vertex))[0]
+
+    def owner_of_vertex(self, vertex: int, rng=None) -> int:
+        """Cached :meth:`EdgePlacer.owner_of_vertex` (query fast path)."""
+        replicas = self.replica_set(int(vertex))
+        if len(replicas) == 1 or rng is None:
+            return replicas[0]
+        return replicas[int(rng.integers(0, len(replicas)))]
+
+    def lookup_cost_terms(self, n_edges: int) -> dict:
+        return self._require_placer().lookup_cost_terms(n_edges)
+
+    def __getattr__(self, name: str):
+        placer = self.__dict__.get("_placer")
+        if placer is None:
+            raise AttributeError(name)
+        return getattr(placer, name)
+
+    # -- learning ----------------------------------------------------------
+
+    def _learn(
+        self,
+        own: np.ndarray,
+        other: np.ndarray,
+        owners: np.ndarray,
+        vertex_known: np.ndarray,
+        k_known: np.ndarray,
+    ) -> None:
+        """Absorb the results of a delegated miss batch into the memos."""
+        placer = self._require_placer()
+        k_row = k_known.copy()
+        unknown = ~vertex_known
+        if unknown.any():
+            uniq, first = np.unique(own[unknown], return_index=True)
+            k_uniq = np.asarray(placer.replication_factor(uniq), dtype=np.int64)
+            # For non-split vertices the row owner IS the vertex owner.
+            owner_uniq = np.where(k_uniq == 1, owners[unknown][first], -1)
+            self._insert_vertices(uniq, k_uniq, owner_uniq)
+            k_row[unknown] = k_uniq[np.searchsorted(uniq, own[unknown])]
+        split = k_row > 1
+        if split.any():
+            packable = _packable(own, other)
+            rows = split & packable
+            if rows.any():
+                self._insert_edges(_pack(own[rows], other[rows]), owners[rows])
+
+    def _learn_vertices(self, verts: np.ndarray, k: np.ndarray) -> None:
+        """Memoize replication factors (and owners for k == 1) learned
+        outside :meth:`owner_of_edges`."""
+        placer = self._require_placer()
+        uniq, first = np.unique(verts, return_index=True)
+        k_uniq = np.asarray(k, dtype=np.int64)[first]
+        owner_uniq = np.full(uniq.size, -1, dtype=np.int64)
+        plain = k_uniq == 1
+        if plain.any():
+            hashes = np.asarray(placer.hash_fn(as_u64_keys(uniq[plain])))
+            owner_uniq[plain] = placer.ring.lookup_hash(hashes)
+        self._insert_vertices(uniq, k_uniq, owner_uniq)
+
+    def _insert_vertices(
+        self, ids: np.ndarray, k: np.ndarray, owner: np.ndarray
+    ) -> None:
+        if self._v_ids.size:
+            pos = np.minimum(np.searchsorted(self._v_ids, ids), self._v_ids.size - 1)
+            fresh = self._v_ids[pos] != ids
+            ids, k, owner = ids[fresh], k[fresh], owner[fresh]
+        if ids.size == 0 or self._v_ids.size + ids.size > self.max_vertices:
+            return
+        merged = np.concatenate([self._v_ids, ids])
+        order = np.argsort(merged, kind="stable")
+        self._v_ids = merged[order]
+        self._v_k = np.concatenate([self._v_k, k])[order]
+        self._v_owner = np.concatenate([self._v_owner, owner])[order]
+
+    def _insert_edges(self, keys: np.ndarray, owners: np.ndarray) -> None:
+        merged_keys = np.concatenate([self._e_keys, keys])
+        merged_owners = np.concatenate([self._e_owner, owners])
+        uniq, first = np.unique(merged_keys, return_index=True)
+        if uniq.size > self.max_edges:
+            # Restart from the newest batch rather than evict piecemeal.
+            uniq, first = np.unique(keys, return_index=True)
+            merged_owners = owners
+            if uniq.size > self.max_edges:
+                return
+        self._e_keys = uniq
+        self._e_owner = merged_owners[first]
+
+
+def _packable(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Rows whose endpoints both fit the collision-free 32+32 packing."""
+    return (a >= 0) & (a < _U32_LIMIT) & (b >= 0) & (b < _U32_LIMIT)
+
+
+def _pack(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return (a.astype(np.uint64) << _SHIFT32) | b.astype(np.uint64)

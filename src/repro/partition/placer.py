@@ -29,7 +29,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from repro.hashing.hashes import wang64
+from repro.hashing.hashes import as_u64_keys, wang64
 from repro.hashing.ring import ConsistentHashRing
 from repro.sketch.countmin import CountMinSketch
 
@@ -115,6 +115,19 @@ class EdgePlacer:
         k = int(self.replication_factor(vertex)[0])
         return self.ring.successors(int(vertex), k)
 
+    def replica_matrix(self, vertices) -> "tuple[np.ndarray, np.ndarray]":
+        """``(k, replicas)`` for many vertices at once.
+
+        ``replicas`` is an ``(n, k_max)`` int64 matrix right-padded with
+        ``-1``; row ``i`` equals ``replica_set(vertices[i])``.
+        """
+        verts = np.atleast_1d(np.asarray(vertices, dtype=np.int64))
+        k = self.replication_factor(verts)
+        if verts.size == 0:
+            return k, np.empty((0, 0), dtype=np.int64)
+        hashes = np.asarray(self.hash_fn(as_u64_keys(verts)))
+        return k, self.ring.successors_hash_batch(hashes, k)
+
     def primary_of(self, vertex: int) -> int:
         """The first replica — coordinator for split-vertex aggregation."""
         return self.ring.successors(int(vertex), 1)[0]
@@ -136,20 +149,23 @@ class EdgePlacer:
         if own.size == 0:
             return np.empty(0, dtype=np.int64)
         k = self.replication_factor(own)
-        own_hash = np.asarray(self.hash_fn(own.view(np.uint64) if own.dtype == np.int64 else own))
+        own_hash = np.asarray(self.hash_fn(as_u64_keys(own)))
         owners = self.ring.lookup_hash(own_hash)
         split = np.nonzero(k > 1)[0]
         if len(split):
             owners = owners.copy()
-            # Split vertices are few (only hubs); resolve them per unique
-            # vertex to amortize the ring walk.
-            other_hash = np.asarray(self.hash_fn(other[split].astype(np.uint64)))
-            uniq, inverse = np.unique(own[split], return_inverse=True)
-            for idx, vertex in enumerate(uniq):
-                rows = np.nonzero(inverse == idx)[0]
-                kv = int(k[split[rows[0]]])
-                replicas = self.ring.successors_hash(int(own_hash[split[rows[0]]]), kv)
-                owners[split[rows]] = _rendezvous_pick(replicas, other_hash[rows])
+            # Split vertices are few (only hubs); the replica walk is
+            # amortized per unique vertex, then the second-level
+            # rendezvous pick runs in matrix form over all split rows.
+            other_hash = np.asarray(self.hash_fn(as_u64_keys(other[split])))
+            uniq, first, inverse = np.unique(
+                own[split], return_index=True, return_inverse=True
+            )
+            k_uniq = k[split][first]
+            replicas = self.ring.successors_hash_batch(own_hash[split][first], k_uniq)
+            owners[split] = _rendezvous_pick_matrix(
+                replicas[inverse], k_uniq[inverse], other_hash
+            )
         return owners
 
     def owner_of_vertex(self, vertex: int, rng: Optional[np.random.Generator] = None) -> int:
@@ -186,3 +202,24 @@ def _rendezvous_pick(replicas: List[int], other_hashes: np.ndarray) -> np.ndarra
         weights = wang64(salted[:, None] ^ other_hashes[None, :].astype(np.uint64))
     pick = np.argmax(weights, axis=0)
     return np.asarray(replicas, dtype=np.int64)[pick]
+
+
+def _rendezvous_pick_matrix(
+    replica_rows: np.ndarray, ks: np.ndarray, other_hashes: np.ndarray
+) -> np.ndarray:
+    """Matrix form of :func:`_rendezvous_pick` over per-row replica sets.
+
+    ``replica_rows`` is ``(n, k_max)`` right-padded with ``-1``; row
+    ``i`` holds ``ks[i]`` valid replicas.  Picks the same winner as the
+    scalar version: padding columns are masked to weight 0, and argmax's
+    first-maximum tie-break matches the replica-order tie-break.
+    """
+    reps = replica_rows.astype(np.uint64)
+    with np.errstate(over="ignore"):
+        salted = wang64(reps * U64(0x9E3779B97F4A7C15) ^ _LEVEL2_SALT)
+        weights = wang64(salted ^ other_hashes[:, None].astype(np.uint64))
+    k_max = replica_rows.shape[1]
+    valid = np.arange(k_max, dtype=np.int64)[None, :] < ks[:, None]
+    weights = np.where(valid, weights, U64(0))
+    pick = np.argmax(weights, axis=1)
+    return replica_rows[np.arange(len(replica_rows)), pick]

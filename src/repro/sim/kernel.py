@@ -28,6 +28,7 @@ class _Event:
     callback: Callable[..., None] = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    in_queue: bool = field(compare=False, default=True)
 
 
 class EventHandle:
@@ -38,10 +39,11 @@ class EventHandle:
     already-cancelled event is a harmless no-op.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_kernel")
 
-    def __init__(self, event: _Event):
+    def __init__(self, event: _Event, kernel: "SimKernel"):
         self._event = event
+        self._kernel = kernel
 
     @property
     def time(self) -> float:
@@ -55,7 +57,11 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if already fired)."""
-        self._event.cancelled = True
+        event = self._event
+        if not event.cancelled:
+            event.cancelled = True
+            if event.in_queue:
+                self._kernel._note_cancel()
 
 
 class SimKernel:
@@ -80,12 +86,20 @@ class SimKernel:
     1.5
     """
 
+    # Lazy compaction threshold: only bother once the queue is at least
+    # this large AND cancelled events outnumber live ones.
+    _COMPACT_MIN = 64
+
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
         self._queue: list[_Event] = []
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
+        # Count of cancelled events still sitting in the queue, kept
+        # exact by EventHandle.cancel / the pop paths, so liveness checks
+        # are O(1) instead of a queue scan.
+        self._cancelled_pending = 0
 
     @property
     def now(self) -> float:
@@ -119,7 +133,7 @@ class SimKernel:
             )
         event = _Event(time=float(time), seq=next(self._seq), callback=callback, args=args)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     def step(self) -> bool:
         """Fire the single next non-cancelled event.
@@ -129,7 +143,9 @@ class SimKernel:
         """
         while self._queue:
             event = heapq.heappop(self._queue)
+            event.in_queue = False
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self._now = event.time
             self._events_processed += 1
@@ -164,11 +180,12 @@ class SimKernel:
                     break
                 event = self._queue[0]
                 if event.cancelled:
-                    heapq.heappop(self._queue)
+                    heapq.heappop(self._queue).in_queue = False
+                    self._cancelled_pending -= 1
                     continue
                 if until is not None and event.time > until:
                     break
-                heapq.heappop(self._queue)
+                heapq.heappop(self._queue).in_queue = False
                 self._now = event.time
                 self._events_processed += 1
                 event.callback(*event.args)
@@ -194,4 +211,30 @@ class SimKernel:
         return fired
 
     def _has_live_events(self) -> bool:
-        return any(not e.cancelled for e in self._queue)
+        return len(self._queue) > self._cancelled_pending
+
+    def _note_cancel(self) -> None:
+        """Record the cancellation of a still-queued event, compacting
+        the heap lazily once cancelled events dominate it."""
+        self._cancelled_pending += 1
+        if (
+            len(self._queue) >= self._COMPACT_MIN
+            and self._cancelled_pending * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events from the queue in one O(n) pass.
+
+        Re-heapifying live events preserves firing order exactly: the
+        heap invariant depends only on the (time, seq) total order.
+        """
+        live = []
+        for event in self._queue:
+            if event.cancelled:
+                event.in_queue = False
+            else:
+                live.append(event)
+        heapq.heapify(live)
+        self._queue = live
+        self._cancelled_pending = 0

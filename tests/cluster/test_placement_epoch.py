@@ -1,0 +1,80 @@
+"""Epoch token propagation and the agents' placement fast path."""
+
+import numpy as np
+
+from repro.core import ElGA
+
+
+def build(seed=11):
+    elga = ElGA(nodes=2, agents_per_node=2, seed=seed)
+    rng = np.random.default_rng(seed)
+    us = rng.integers(0, 300, size=600).astype(np.int64)
+    vs = rng.integers(0, 300, size=600).astype(np.int64)
+    elga.ingest_edges(us, vs)
+    return elga
+
+
+def test_broadcast_carries_epoch():
+    elga = build()
+    for agent in elga.cluster.agents.values():
+        assert agent.dstate is not None
+        assert agent.dstate.epoch is not None
+        membership, sketch_v, n_split = agent.dstate.epoch
+        assert membership >= len(elga.cluster.agents)
+        assert n_split == len(agent.dstate.split_vertices)
+
+
+def test_batch_clock_bump_preserves_cache_epoch():
+    elga = build()
+    agents = list(elga.cluster.agents.values())
+    before_epochs = [a.dstate.epoch for a in agents]
+    before_inval = [
+        a.perf.counts.get("placement_epoch_invalidations", 0) for a in agents
+    ]
+    elga.cluster.lead.advance_batch_clock()
+    elga.cluster.settle()
+    for agent, epoch, inval in zip(agents, before_epochs, before_inval):
+        assert agent.dstate.epoch == epoch
+        assert (
+            agent.perf.counts.get("placement_epoch_invalidations", 0) == inval
+        ), "batch-clock-only broadcast must not invalidate the placement cache"
+
+
+def test_membership_change_invalidates():
+    elga = build()
+    agents_before = {
+        aid: a.perf.counts.get("placement_epoch_invalidations", 0)
+        for aid, a in elga.cluster.agents.items()
+    }
+    elga.scale_to(len(agents_before) + 1)
+    grew = False
+    for aid, before in agents_before.items():
+        agent = elga.cluster.agents.get(aid)
+        if agent is None:
+            continue
+        if agent.perf.counts.get("placement_epoch_invalidations", 0) > before:
+            grew = True
+    assert grew, "a join must change the epoch and invalidate caches"
+
+
+def test_placement_counters_surface():
+    elga = build()
+    counters = elga.placement_counters()
+    counts = counters.counts
+    assert counts.get("placement_cache_misses", 0) > 0
+    # Ingest resolves each edge at the streamer and again at the agent;
+    # repeats within the same epoch must produce hits somewhere.
+    assert counts.get("placement_cache_hits", 0) > 0
+
+
+def test_metrics_report_includes_cache_counters():
+    elga = build()
+    for agent in elga.cluster.agents.values():
+        agent.report_metrics()
+    elga.cluster.settle()
+    store = elga.cluster.lead.metric_store
+    assert store
+    total_hits = sum(m.get("placement_cache_hits", 0) for m in store.values())
+    total_misses = sum(m.get("placement_cache_misses", 0) for m in store.values())
+    assert total_misses > 0
+    assert total_hits >= 0

@@ -1,0 +1,80 @@
+"""Batched successor walks must match the scalar walk bit-for-bit."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import ConsistentHashRing
+
+
+def build(n_members=7, virtual_factor=16, seed=3):
+    return ConsistentHashRing(
+        list(range(n_members)), virtual_factor=virtual_factor, seed=seed
+    )
+
+
+def test_batch_matches_scalar_walk():
+    ring = build()
+    rng = np.random.default_rng(0)
+    hashes = rng.integers(0, 2**63, size=500, dtype=np.int64).astype(np.uint64)
+    ks = rng.integers(1, 6, size=500, dtype=np.int64)
+    batch = ring.successors_hash_batch(hashes, ks)
+    for i in range(len(hashes)):
+        scalar = ring.successors_hash(int(hashes[i]), int(ks[i]))
+        row = batch[i]
+        assert list(row[: len(scalar)]) == scalar
+        assert (row[len(scalar):] == -1).all()
+
+
+def test_batch_wraparound_start():
+    """A hash at the very top of the space wraps to slot 0's walk."""
+    ring = build()
+    top = np.array([2**64 - 1], dtype=np.uint64)
+    ks = np.array([3], dtype=np.int64)
+    batch = ring.successors_hash_batch(top, ks)
+    assert list(batch[0][:3]) == ring.successors_hash(2**64 - 1, 3)
+
+
+def test_batch_k_capped_at_member_count():
+    ring = build(n_members=3)
+    hashes = np.array([12345, 999], dtype=np.uint64)
+    batch = ring.successors_hash_batch(hashes, np.array([10, 2], dtype=np.int64))
+    # First row: all 3 members, no repeats; padding beyond.
+    assert sorted(int(a) for a in batch[0][:3]) == [0, 1, 2]
+    assert (batch[0][3:] == -1).all() if batch.shape[1] > 3 else True
+    assert (batch[1][2:] == -1).all()
+
+
+def test_batch_duplicate_hashes_share_walk():
+    ring = build()
+    hashes = np.array([42, 42, 42], dtype=np.uint64)
+    ks = np.array([1, 2, 3], dtype=np.int64)
+    batch = ring.successors_hash_batch(hashes, ks)
+    walk = ring.successors_hash(42, 3)
+    assert list(batch[2][:3]) == walk
+    assert list(batch[1][:2]) == walk[:2]
+    assert int(batch[0][0]) == walk[0]
+    assert (batch[0][1:] == -1).all()
+
+
+def test_batch_rejects_nonpositive_k():
+    ring = build()
+    with pytest.raises(ValueError):
+        ring.successors_hash_batch(
+            np.array([1], dtype=np.uint64), np.array([0], dtype=np.int64)
+        )
+
+
+def test_batch_empty_ring_raises():
+    ring = ConsistentHashRing([])
+    with pytest.raises(LookupError):
+        ring.successors_hash_batch(
+            np.array([1], dtype=np.uint64), np.array([1], dtype=np.int64)
+        )
+
+
+def test_batch_empty_input():
+    ring = build()
+    out = ring.successors_hash_batch(
+        np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64)
+    )
+    assert out.shape[0] == 0

@@ -1,0 +1,130 @@
+"""Unit tests for the epoch-versioned PlacementCache."""
+
+import numpy as np
+import pytest
+
+from repro.bench.counters import PerfCounters
+from repro.hashing import ConsistentHashRing
+from repro.partition import EdgePlacer, PlacementCache
+from repro.sketch import CountMinSketch
+
+
+def build_placer(hot=(), members=8, threshold=20, seed=1):
+    ring = ConsistentHashRing(list(range(members)), virtual_factor=16, seed=seed)
+    sketch = CountMinSketch(width=256, depth=4)
+    for v in hot:
+        sketch.add(np.full(100, v, dtype=np.int64))
+    return EdgePlacer(ring, sketch, replication_threshold=threshold)
+
+
+def edges(n=400, hot=None, hot_frac=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    own = rng.integers(0, 5000, size=n).astype(np.int64)
+    other = rng.integers(0, 5000, size=n).astype(np.int64)
+    if hot is not None:
+        mask = rng.random(n) < hot_frac
+        own[mask] = hot
+    return own, other
+
+
+def test_warm_lookup_is_bit_identical_and_all_hits():
+    placer = build_placer(hot=[7])
+    cache = PlacementCache().bind((1, 1, 1), placer)
+    own, other = edges(hot=7)
+    cold = cache.owner_of_edges(own, other)
+    assert np.array_equal(cold, placer.owner_of_edges(own, other))
+    warm = cache.owner_of_edges(own, other)
+    assert np.array_equal(warm, cold)
+    assert cache.last_misses == 0
+    assert cache.last_hits == len(own)
+
+
+def test_same_epoch_rebind_keeps_memos():
+    placer = build_placer()
+    cache = PlacementCache().bind((3, 0, 0), placer)
+    own, other = edges()
+    cache.owner_of_edges(own, other)
+    # Same epoch, fresh placer object (what a batch-clock broadcast does).
+    cache.bind((3, 0, 0), build_placer())
+    cache.owner_of_edges(own, other)
+    assert cache.last_misses == 0
+
+
+def test_epoch_change_invalidates():
+    counters = PerfCounters()
+    cache = PlacementCache(counters=counters).bind((1, 0, 0), build_placer())
+    own, other = edges()
+    cache.owner_of_edges(own, other)
+    cache.bind((2, 0, 0), build_placer())
+    cache.owner_of_edges(own, other)
+    assert cache.last_misses == len(own)
+    assert counters.counts["placement_epoch_invalidations"] == 1
+
+
+def test_none_epoch_always_invalidates():
+    cache = PlacementCache().bind(None, build_placer())
+    own, other = edges()
+    cache.owner_of_edges(own, other)
+    cache.bind(None, build_placer())
+    cache.owner_of_edges(own, other)
+    assert cache.last_misses == len(own)
+
+
+def test_unbound_cache_raises():
+    with pytest.raises(RuntimeError):
+        PlacementCache().owner_of_edges(np.array([1]), np.array([2]))
+
+
+def test_negative_ids_bypass_edge_memo_but_stay_correct():
+    hot = -3
+    placer = build_placer(hot=[hot])
+    cache = PlacementCache().bind((1, 0, 0), placer)
+    own = np.full(64, hot, dtype=np.int64)
+    other = np.arange(-32, 32, dtype=np.int64)
+    for _ in range(2):  # cold then warm
+        assert np.array_equal(
+            cache.owner_of_edges(own, other), placer.owner_of_edges(own, other)
+        )
+
+
+def test_replication_factor_and_replica_set_cached():
+    placer = build_placer(hot=[9])
+    cache = PlacementCache().bind((1, 0, 0), placer)
+    verts = np.array([9, 1, 2, 9], dtype=np.int64)
+    assert np.array_equal(
+        cache.replication_factor(verts), placer.replication_factor(verts)
+    )
+    assert cache.replica_set(9) == placer.replica_set(9)
+    # Second call must come from the memo (placer result already equal).
+    assert cache.replica_set(9) == placer.replica_set(9)
+    assert cache.primary_of(9) == placer.replica_set(9)[0]
+
+
+def test_owner_of_vertex_rng_parity():
+    placer = build_placer(hot=[9])
+    cache = PlacementCache().bind((1, 0, 0), placer)
+    rng_a = np.random.default_rng(5)
+    rng_b = np.random.default_rng(5)
+    for v in (9, 1, 2, 9, 9):
+        assert cache.owner_of_vertex(v, rng=rng_a) == placer.owner_of_vertex(
+            v, rng=rng_b
+        )
+
+
+def test_delegates_unknown_attributes_to_placer():
+    placer = build_placer()
+    cache = PlacementCache().bind((1, 0, 0), placer)
+    assert cache.ring is placer.ring
+    assert cache.sketch is placer.sketch
+
+
+def test_edge_memo_capacity_restarts_from_newest():
+    placer = build_placer(hot=[7], threshold=5)
+    cache = PlacementCache(max_edges=32).bind((1, 0, 0), placer)
+    own = np.full(128, 7, dtype=np.int64)
+    other = np.arange(128, dtype=np.int64)
+    a = cache.owner_of_edges(own, other)
+    assert np.array_equal(a, placer.owner_of_edges(own, other))
+    # Overflowing the memo must never change answers.
+    b = cache.owner_of_edges(own, other)
+    assert np.array_equal(a, b)

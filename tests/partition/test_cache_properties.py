@@ -1,0 +1,77 @@
+"""Property: cached placement is bit-identical to uncached placement
+across arbitrary directory churn.
+
+Drives the same churn the directory produces — joins, leaves, sketch
+flushes, split-registry growth, and batch-clock-only broadcasts (which
+leave the epoch unchanged) — against one long-lived PlacementCache,
+comparing every lookup (cold and warm) to a freshly built EdgePlacer.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import ConsistentHashRing
+from repro.partition import EdgePlacer, PlacementCache
+from repro.sketch import CountMinSketch
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("join"), st.integers(min_value=0, max_value=30)),
+        st.tuples(st.just("leave"), st.integers(min_value=0, max_value=30)),
+        st.tuples(st.just("sketch"), st.integers(min_value=0, max_value=200)),
+        st.tuples(st.just("split"), st.integers(min_value=0, max_value=200)),
+        st.tuples(st.just("clock"), st.just(0)),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(ops=ops, seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=40, deadline=None)
+def test_cached_placement_identical_under_churn(ops, seed):
+    rng = np.random.default_rng(seed)
+    own = rng.integers(0, 200, size=120).astype(np.int64)
+    other = rng.integers(0, 200, size=120).astype(np.int64)
+
+    members = {0, 1}
+    sketch = CountMinSketch(width=128, depth=4)
+    split = set()
+    membership_version = sketch_version = 0
+    cache = PlacementCache()
+
+    def check():
+        epoch = (membership_version, sketch_version, len(split))
+        placer = EdgePlacer(
+            ConsistentHashRing(sorted(members), virtual_factor=8, seed=2),
+            sketch,
+            replication_threshold=15,
+            split_gate=frozenset(split),
+        )
+        cache.bind(epoch, placer)
+        expected = placer.owner_of_edges(own, other)
+        assert np.array_equal(cache.owner_of_edges(own, other), expected)  # cold-ish
+        assert np.array_equal(cache.owner_of_edges(own, other), expected)  # warm
+        assert cache.last_misses == 0
+
+    check()
+    for op, arg in ops:
+        if op == "join":
+            if arg not in members:
+                members.add(arg)
+                membership_version += 1
+        elif op == "leave":
+            if arg in members and len(members) > 1:
+                members.remove(arg)
+                membership_version += 1
+        elif op == "sketch":
+            sketch.add(np.full(20, arg, dtype=np.int64))
+            sketch_version += 1
+        elif op == "split":
+            # The registry only gates vertices the sketch justifies.
+            sketch.add(np.full(20, arg, dtype=np.int64))
+            sketch_version += 1
+            split.add(arg)
+        # "clock": batch-clock bump — epoch unchanged, memos must survive.
+        check()

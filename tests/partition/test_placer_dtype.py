@@ -1,0 +1,64 @@
+"""Regression: placement is dtype- and sign-insensitive.
+
+Both hash levels normalize vertex ids through ``as_u64_keys`` (int64
+two's-complement bit view), so an id names the same owner whether it
+arrives as int32, int64, or a negative value.
+"""
+
+import numpy as np
+
+from repro.hashing import ConsistentHashRing, as_u64_keys
+from repro.partition import EdgePlacer
+from repro.sketch import CountMinSketch
+
+
+def build(hot=(), threshold=20):
+    ring = ConsistentHashRing(list(range(8)), virtual_factor=16, seed=1)
+    sketch = CountMinSketch(width=256, depth=4)
+    for v in hot:
+        sketch.add(np.full(100, v, dtype=np.int64))
+    return EdgePlacer(ring, sketch, replication_threshold=threshold)
+
+
+def test_as_u64_keys_sign_bit_view():
+    assert int(as_u64_keys(np.array([-1], dtype=np.int32))[0]) == 2**64 - 1
+    assert int(as_u64_keys(np.array([-1], dtype=np.int64))[0]) == 2**64 - 1
+    assert int(as_u64_keys(np.array([7], dtype=np.int16))[0]) == 7
+
+
+def test_owner_same_across_input_dtypes():
+    placer = build()
+    own64 = np.array([5, 17, 12345, 99], dtype=np.int64)
+    other64 = np.array([8, 2, 7, 30000], dtype=np.int64)
+    base = placer.owner_of_edges(own64, other64)
+    for dtype in (np.int32, np.int16, np.uint32):
+        assert np.array_equal(
+            placer.owner_of_edges(own64.astype(dtype), other64.astype(dtype)), base
+        )
+
+
+def test_negative_ids_place_consistently():
+    hot = -5
+    placer = build(hot=[hot])
+    others = np.arange(-50, 50, dtype=np.int64)
+    owners = placer.owner_of_edges(np.full(len(others), hot, dtype=np.int64), others)
+    # Split path: every owner must come from the replica set, and the
+    # int32 view of the same ids must agree exactly.
+    assert set(int(o) for o in owners) <= set(placer.replica_set(hot))
+    owners32 = placer.owner_of_edges(
+        np.full(len(others), hot, dtype=np.int32), others.astype(np.int32)
+    )
+    assert np.array_equal(owners, owners32)
+
+
+def test_split_and_plain_paths_agree_on_dtype():
+    """The k==1 fast path and the k>1 rendezvous path both normalize;
+    mixing them in one batch must not depend on input dtype."""
+    hot = 7
+    placer = build(hot=[hot])
+    own = np.array([hot, 3, hot, 11], dtype=np.int64)
+    other = np.array([1, 2, 3, 4], dtype=np.int64)
+    assert np.array_equal(
+        placer.owner_of_edges(own, other),
+        placer.owner_of_edges(own.astype(np.int32), other.astype(np.int32)),
+    )

@@ -1,0 +1,78 @@
+"""O(1) live-event accounting and lazy heap compaction."""
+
+from repro.sim.kernel import SimKernel
+
+
+def noop():
+    pass
+
+
+def test_cancel_counts_pending():
+    k = SimKernel()
+    handles = [k.schedule(1.0, noop) for _ in range(10)]
+    assert k._has_live_events()
+    for h in handles:
+        h.cancel()
+    assert k.pending == 10  # still queued...
+    assert not k._has_live_events()  # ...but none live
+    assert k.run() == 0
+    assert k.pending == 0
+
+
+def test_double_cancel_counts_once():
+    k = SimKernel()
+    h = k.schedule(1.0, noop)
+    h.cancel()
+    h.cancel()
+    assert k._cancelled_pending == 1
+    assert not k._has_live_events()
+
+
+def test_cancel_after_fire_is_noop():
+    k = SimKernel()
+    fired = []
+    h = k.schedule(0.5, fired.append, 1)
+    k.run()
+    h.cancel()  # already fired: must not corrupt the counter
+    assert k._cancelled_pending == 0
+    assert fired == [1]
+    assert not k._has_live_events()
+
+
+def test_compaction_drops_dominant_cancelled_events():
+    k = SimKernel()
+    doomed = [k.schedule(10.0, noop) for _ in range(200)]
+    survivors = [k.schedule(float(i), noop) for i in range(5)]
+    for h in doomed:
+        h.cancel()
+    # Cancelled events dominated a large queue: compaction ran at least
+    # once (below the size floor the remnant is left for pop to drain).
+    assert k.pending < 205
+    assert k.pending - k._cancelled_pending == 5
+    assert k._has_live_events()
+    assert k.run() == 5
+    assert all(not h.cancelled for h in survivors)
+
+
+def test_small_queues_skip_compaction():
+    k = SimKernel()
+    a = k.schedule(1.0, noop)
+    k.schedule(2.0, noop)
+    a.cancel()
+    # Below the size floor nothing is compacted eagerly.
+    assert k.pending == 2
+    assert k._cancelled_pending == 1
+    assert k._has_live_events()
+    assert k.run() == 1
+
+
+def test_firing_order_preserved_across_compaction():
+    k = SimKernel()
+    order = []
+    doomed = [k.schedule(50.0, noop) for _ in range(100)]
+    for i in range(10):
+        k.schedule(float(10 - i), order.append, 10 - i)
+    for h in doomed:
+        h.cancel()
+    k.run()
+    assert order == sorted(order)
