@@ -1,0 +1,244 @@
+"""Chaos scenario harness: fault injection with cluster invariants.
+
+The chaos fabric's correctness claim is strong: with a
+:class:`~repro.net.faults.FaultPlan` misbehaving underneath a reliable
+fabric, every algorithm run must produce results *bit-identical* to a
+fault-free run of the same cluster shape — not merely close.  The
+reliable layer provides exactly-once delivery and the agents fold
+message aggregates in a canonical order, so floating-point sums are a
+pure function of the message multiset and the comparison can be exact.
+
+This module packages that claim as a reusable scenario runner:
+
+* :func:`build_engine_pair` — a fault-free reference engine and a
+  chaos engine (same seed, same shape; the chaos one runs the reliable
+  fabric with the plan installed);
+* :func:`run_chaos_scenario` — ingest the same graph into both, run
+  the same programs (the plan's crash schedule becomes a mid-run scale
+  plan on *both* engines so their step structure matches), check
+  invariants after every settle, and return a :class:`ChaosReport`;
+* :func:`check_cluster_invariants` — the per-settle assertions: no
+  resident edge lost or double-counted, directory versions monotone,
+  migration quiescent;
+* :func:`fault_matrix` — the named fault plans the chaos test-suite
+  sweeps.
+
+``tests/chaos/harness.py`` wraps these in pytest assertions; the
+functions themselves raise :class:`InvariantViolation` so benchmark
+scripts can use them without pytest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.faults import CrashEvent, FaultPlan, PartitionWindow
+from repro.net.message import Message, PacketType
+
+
+class InvariantViolation(AssertionError):
+    """A cluster invariant did not hold after a settle."""
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos scenario (one plan, one graph, N programs).
+
+    ``bit_equal`` maps program name -> whether the chaos run's value
+    dict compared equal (``==``, i.e. bitwise on floats) to the
+    fault-free reference run's.  The traffic counters come from the
+    chaos engine's fabric and quantify how much abuse the plan actually
+    delivered — a scenario that injected nothing proves nothing, so
+    tests should assert on these too.
+    """
+
+    plan_seed: int
+    steps: Dict[str, int] = field(default_factory=dict)
+    bit_equal: Dict[str, bool] = field(default_factory=dict)
+    drops_chaos: int = 0
+    drops_partition: int = 0
+    messages_duplicated: int = 0
+    messages_retried: int = 0
+    duplicates_suppressed: int = 0
+    scale_plan: Dict[int, int] = field(default_factory=dict)
+    directory_versions: List[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """All programs matched the fault-free reference bit-for-bit."""
+        return bool(self.bit_equal) and all(self.bit_equal.values())
+
+    @property
+    def faults_injected(self) -> int:
+        """Total abuse delivered (drops + duplicate copies)."""
+        return self.drops_chaos + self.drops_partition + self.messages_duplicated
+
+
+def build_engine_pair(
+    plan: FaultPlan,
+    nodes: int = 2,
+    agents_per_node: int = 2,
+    seed: int = 9,
+    **config_overrides,
+):
+    """A (reference, chaos) engine pair of identical shape and seed.
+
+    The reference runs the classic perfect fabric; the chaos engine
+    runs the reliable fabric with ``plan`` installed underneath it.
+    Everything else — seed, hash, sketch dimensions — is shared, so any
+    divergence between the two is the fault plan's doing.
+    """
+    from repro.core.engine import ElGA
+
+    reference = ElGA(
+        nodes=nodes, agents_per_node=agents_per_node, seed=seed, **config_overrides
+    )
+    chaos = ElGA(
+        nodes=nodes,
+        agents_per_node=agents_per_node,
+        seed=seed,
+        reliable_transport=True,
+        **config_overrides,
+    )
+    chaos.cluster.network.install_faults(plan)
+    return reference, chaos
+
+
+def check_cluster_invariants(engine, versions_seen: Optional[List[int]] = None) -> None:
+    """Assert the always-true cluster properties; raise on violation.
+
+    Run after every settle point (post-ingest, post-run):
+
+    * every reference edge resident exactly once as an out-copy and
+      once as an in-copy (no loss, no double-count);
+    * resident copy total == 2 x reference edge count;
+    * directory versions observed on the wire are monotone, and the
+      lead's current version is their maximum;
+    * no migration traffic outstanding and every agent on the latest
+      directory state;
+    * the reliable fabric holds no forgotten in-flight sends.
+    """
+    cluster = engine.cluster
+    if not engine.validate_against_reference():
+        raise InvariantViolation(
+            "edge residency diverged from the reference graph "
+            "(an edge was lost, duplicated, or misplaced)"
+        )
+    resident = cluster.total_resident_edges()
+    expected = 2 * engine.reference.num_edges
+    if resident != expected:
+        raise InvariantViolation(
+            f"resident edge copies {resident} != 2 x {engine.reference.num_edges} "
+            "reference edges"
+        )
+    if versions_seen is not None:
+        if any(b < a for a, b in zip(versions_seen, versions_seen[1:])):
+            raise InvariantViolation(
+                f"directory versions went backwards on the wire: {versions_seen}"
+            )
+        if versions_seen and cluster.directory_version() < max(versions_seen):
+            raise InvariantViolation(
+                "lead directory version is behind a broadcast version"
+            )
+    if not cluster.consistent():
+        raise InvariantViolation(
+            "cluster settled while inconsistent (stale directory state "
+            "or outstanding migration acks)"
+        )
+    if cluster.network.pending_reliable:
+        raise InvariantViolation(
+            f"{cluster.network.pending_reliable} reliable sends still pending "
+            "after settle"
+        )
+
+
+def _watch_directory_versions(network) -> List[int]:
+    """Tap the fabric and record every broadcast directory version."""
+    versions: List[int] = []
+
+    def tap(message: Message) -> None:
+        if message.ptype == PacketType.DIRECTORY_UPDATE:
+            version = getattr(message.payload, "version", None)
+            if version is not None:
+                versions.append(int(version))
+
+    network.add_tap(tap)
+    return versions
+
+
+def run_chaos_scenario(
+    us,
+    vs,
+    plan: FaultPlan,
+    programs: Optional[Sequence] = None,
+    nodes: int = 2,
+    agents_per_node: int = 2,
+    seed: int = 9,
+    **config_overrides,
+) -> ChaosReport:
+    """Run the full invariant scenario for one fault plan.
+
+    Both engines ingest ``(us, vs)``; each program in ``programs``
+    (default: PageRank then WCC) runs on both with the plan's crash
+    schedule applied as a mid-run scale plan, so the reference
+    experiences the same membership changes — minus the faults.
+    Invariants are checked on the chaos engine after ingest and after
+    every run; results are compared bit-for-bit.
+    """
+    from repro.core import PageRank
+    from repro.core.algorithms import WCC
+
+    if programs is None:
+        programs = [PageRank(max_iters=15), WCC()]
+    reference, chaos = build_engine_pair(
+        plan, nodes=nodes, agents_per_node=agents_per_node, seed=seed, **config_overrides
+    )
+    versions = _watch_directory_versions(chaos.cluster.network)
+    before = chaos.cluster.network.stats.snapshot()
+    reference.ingest_edges(us, vs)
+    chaos.ingest_edges(us, vs)
+    check_cluster_invariants(chaos, versions)
+
+    report = ChaosReport(plan_seed=plan.seed)
+    for i, program in enumerate(programs):
+        # Crashes are one-time events: the schedule reshapes the first
+        # run; later programs run on the already-shrunk cluster.
+        scale = plan.scale_plan(len(chaos.cluster.agents)) if i == 0 else {}
+        report.scale_plan.update(scale)
+        ref_result = reference.run(program, scale_plan=dict(scale))
+        chaos_result = chaos.run(program, scale_plan=dict(scale))
+        check_cluster_invariants(chaos, versions)
+        report.steps[program.name] = chaos_result.steps
+        report.bit_equal[program.name] = ref_result.values == chaos_result.values
+    after = chaos.cluster.network.stats
+    report.drops_chaos = after.drops_chaos - before.drops_chaos
+    report.drops_partition = after.drops_partition - before.drops_partition
+    report.messages_duplicated = after.messages_duplicated - before.messages_duplicated
+    report.messages_retried = after.messages_retried - before.messages_retried
+    report.duplicates_suppressed = (
+        after.duplicates_suppressed - before.duplicates_suppressed
+    )
+    report.directory_versions = list(versions)
+    return report
+
+
+def fault_matrix(seed: int = 0) -> Dict[str, FaultPlan]:
+    """The named fault plans the chaos suite sweeps.
+
+    Keyed by scenario name; all derive their randomness from ``seed``
+    so the whole matrix is reproducible from one number.
+    """
+    return {
+        "data-loss": FaultPlan.data_plane_chaos(seed=seed, drop_p=0.08, dup_p=0.0),
+        "data-dup-reorder": FaultPlan.data_plane_chaos(
+            seed=seed + 1, drop_p=0.0, dup_p=0.10, reorder_p=0.25
+        ),
+        "data-chaos-crash": FaultPlan.data_plane_chaos(
+            seed=seed + 2, crashes=[CrashEvent(after_step=3)]
+        ),
+        "control-chaos": FaultPlan.control_plane_chaos(seed=seed + 3),
+        "full-chaos": FaultPlan.full_chaos(
+            seed=seed + 4, crashes=[CrashEvent(after_step=4)]
+        ),
+    }

@@ -117,7 +117,17 @@ class _RunState:
         self.initial_work_done = False
         self.ready_sent = False
         self.round_stats: Dict[str, float] = {}
+        # Split-vertex stat contributions, keyed by vertex so they can
+        # be folded in canonical (vertex-id) order at READY time —
+        # partial-arrival order must not leak into float sums.
+        self.split_stats: Dict[int, Dict[str, float]] = {}
         self.future_buffer: Dict[int, List[dict]] = {}  # step -> payloads
+        # This round's incoming (dst, val) message batches.  They are
+        # buffered, not applied on arrival: at the next ADVANCE the
+        # batches are concatenated, sorted canonically, and folded into
+        # the accumulators — so the aggregate is a pure function of the
+        # message *multiset*, independent of delivery order.
+        self.pending_msgs: List[Tuple[np.ndarray, np.ndarray]] = []
 
 
 class Agent(Entity):
@@ -665,6 +675,10 @@ class Agent(Entity):
         self.metrics.placement_epoch_invalidations = int(
             counts.get("placement_epoch_invalidations", 0)
         )
+        self.metrics.transport_retries = int(counts.get("transport_retries", 0))
+        self.metrics.transport_dups_suppressed = int(
+            counts.get("transport_dups_suppressed", 0)
+        )
 
     def flush_sketch(self) -> None:
         """Push accumulated degree deltas to the directory."""
@@ -856,6 +870,8 @@ class Agent(Entity):
     # ------------------------------------------------------------------
 
     def _on_run_start(self, spec: "RunSpec") -> None:
+        if self.run is not None and self.run.spec.run_id == spec.run_id:
+            return  # duplicated RUN_START broadcast; the run is live
         run = _RunState(spec)
         self.run = run
         self._build_table(run, resume=False)
@@ -868,7 +884,22 @@ class Agent(Entity):
         self._split_round_begin()
         self._start_scatter_wave()
         run.initial_work_done = True
+        # A delayed RUN_START can trail peers' round-0 data (they saw
+        # the broadcast first and scattered already); pick it up now.
+        self._drain_pre_run_data(run)
+        self._replay_future(run.step)
         self._check_ready()
+
+    def _drain_pre_run_data(self, run: _RunState) -> None:
+        """File data messages that raced ahead of the run bootstrap
+        under their rounds; ``_replay_future`` drains them in order."""
+        if not self._pre_run_data:
+            return
+        for kind, data_payload, src in self._pre_run_data:
+            run.future_buffer.setdefault(data_payload["round"], []).append(
+                {"kind": kind, "payload": data_payload, "src": src}
+            )
+        self._pre_run_data = []
 
     def _on_advance(self, payload: dict) -> None:
         run = self.run
@@ -879,36 +910,36 @@ class Agent(Entity):
             run.suspended = True
         if run is None or payload.get("run_id") != run.spec.run_id:
             return
-        if self._pre_run_data:
-            # Data messages that raced ahead of the run bootstrap: file
-            # them under their rounds; _replay_future drains in order.
-            for kind, data_payload, src in self._pre_run_data:
-                run.future_buffer.setdefault(data_payload["round"], []).append(
-                    {"kind": kind, "payload": data_payload, "src": src}
-                )
-            self._pre_run_data = []
+        self._drain_pre_run_data(run)
         phase = payload["phase"]
         if phase == "halt":
             self.finalize_run(persist=True)
             return
+        if run.initial_work_done and int(payload["round"]) <= run.round:
+            return  # duplicated or stale ADVANCE; this round already ran
         run.round = int(payload["round"])
         run.step = int(payload["step"])
         run.phase = phase
         run.ready_sent = False
         run.initial_work_done = False
         run.round_stats = {}
+        run.split_stats = {}
         if phase == "resume":
             run.suspended = False
             self._build_table(run, resume=True)
             self._split_round_begin()
             self._start_scatter_wave()
         elif phase == "step":
+            # Fold the previous round's buffered messages into the
+            # accumulators (canonical order) before applying them.
+            self._flush_pending_msgs()
             self._apply_phase()
             # Split partials must be snapshotted before scatter refills
             # the accumulators with this round's local messages.
             self._split_round_begin()
             self._scatter_fresh_actives()
         elif phase == "apply_only":
+            self._flush_pending_msgs()
             self._apply_phase()
             self._split_round_begin()
         else:
@@ -1032,12 +1063,14 @@ class Agent(Entity):
             partials = run.sync_partials.pop(v, [])
             p = int(table.pos(np.array([v]))[0])
             # Combine purely from the snapshots (the primary's own was
-            # added at round begin); the live accumulator already holds
-            # *this* round's incoming messages and must not leak in.
+            # added at round begin); this round's incoming messages sit
+            # in the pending buffer and must not leak in.  Partials fold
+            # in sorted order — replica-arrival order is fabric timing
+            # and must not shape the float reduction.
             agg = program.identity
             got = False
             outdeg = 0.0
-            for partial, pgot, poutdeg in partials:
+            for partial, pgot, poutdeg in sorted(partials):
                 agg = program.ufunc(agg, partial)
                 got = got or pgot
                 outdeg += poutdeg
@@ -1053,9 +1086,9 @@ class Agent(Entity):
                 new, act = program.apply(
                     old, np.array([agg]), np.array([got]), run.ctx
                 )
-                stats = program.step_stats(old, new, act)
-                for key, value in stats.items():
-                    run.round_stats[key] = run.round_stats.get(key, 0.0) + value
+                # Stash per-vertex; _check_ready folds these into the
+                # round stats in vertex order, not completion order.
+                run.split_stats[v] = program.step_stats(old, new, act)
                 new_value = float(new[0])
                 active = bool(act[0])
                 table.values[p] = new_value
@@ -1219,12 +1252,34 @@ class Agent(Entity):
         self._aggregate(payload)
 
     def _aggregate(self, payload: dict) -> None:
+        """Buffer one message batch for this round.
+
+        Nothing is folded on arrival: :meth:`_flush_pending_msgs` sorts
+        the round's full (dst, val) multiset canonically before reducing
+        it, so accumulator floats are identical whether the fabric
+        delivered in order, out of order, or via chaos-delayed retries.
+        """
         run = self.run
+        dst = np.asarray(payload["dst"], dtype=np.int64)
+        val = np.asarray(payload["val"], dtype=np.float64)
+        run.pending_msgs.append((dst, val))
+        self.charge(self.config.costs.elga_vertex_op * len(dst))
+
+    def _flush_pending_msgs(self) -> None:
+        """Fold the buffered round's messages into the accumulators in
+        canonical (dst, value) order — a deterministic reduction of the
+        message multiset."""
+        run = self.run
+        if not run.pending_msgs:
+            return
         table = run.table
-        pos = table.pos(np.asarray(payload["dst"], dtype=np.int64))
-        run.program.ufunc.at(table.accum, pos, payload["val"])
+        batches, run.pending_msgs = run.pending_msgs, []
+        dst = np.concatenate([b[0] for b in batches])
+        val = np.concatenate([b[1] for b in batches])
+        order = np.lexsort((val, dst))
+        pos = table.pos(dst[order])
+        run.program.ufunc.at(table.accum, pos, val[order])
         table.got[pos] = True
-        self.charge(self.config.costs.elga_vertex_op * len(pos))
 
     def _replay_future(self, step: int) -> None:
         run = self.run
@@ -1266,6 +1321,10 @@ class Agent(Entity):
             return
         run.ready_sent = True
         self.metrics.supersteps += 1
+        stats = dict(run.round_stats)
+        for v in sorted(run.split_stats):
+            for key, value in run.split_stats[v].items():
+                stats[key] = stats.get(key, 0.0) + value
         self.push.push(
             self.directory_address,
             PacketType.AGENT_READY,
@@ -1273,7 +1332,7 @@ class Agent(Entity):
                 "agent_id": self.agent_id,
                 "round": run.round,
                 "step": run.step,
-                "stats": dict(run.round_stats),
+                "stats": stats,
             },
         )
         if run.phase == "apply_only":

@@ -45,7 +45,15 @@ class ElGACluster:
     def __init__(self, config: ClusterConfig):
         self.config = config
         self.kernel = SimKernel()
-        self.network = Network(self.kernel, transport=config.transport)
+        self.network = Network(
+            self.kernel,
+            transport=config.transport,
+            reliable=config.reliable_transport,
+            retry_timeout=config.retry_timeout,
+            retry_backoff=config.retry_backoff,
+            retry_timeout_cap=config.retry_timeout_cap,
+            max_retries=config.max_retries,
+        )
         self.master = DirectoryMaster(self.network, seed=config.seed)
         self.directories: List[Directory] = []
         for i in range(config.n_directories):
@@ -58,6 +66,7 @@ class ElGACluster:
             d.peers = [lead.address]
 
         self.agents: Dict[int, Agent] = {}
+        self._departing: List[Agent] = []
         self._next_agent_id = 0
         self._next_streamer_id = 0
         self._next_client_id = 0
@@ -104,8 +113,15 @@ class ElGACluster:
         return agent
 
     def remove_agent(self, agent_id: int, settle: bool = True) -> None:
-        """Gracefully remove one Agent (elastic scale-down)."""
+        """Gracefully remove one Agent (elastic scale-down).
+
+        The agent stays on the departing list until it has drained its
+        edges and detached — :meth:`consistent` must keep counting its
+        in-flight migration traffic even though it is no longer a
+        member (a chaos-delayed migrate batch from a departing agent
+        must not race a mid-run resume)."""
         agent = self.agents.pop(agent_id)
+        self._departing.append(agent)
         agent.initiate_leave()
         if settle:
             self.settle()
@@ -228,7 +244,17 @@ class ElGACluster:
 
     def consistent(self) -> bool:
         """Whether every live agent has adopted the latest directory
-        state and has no migration traffic outstanding."""
+        state and has no migration traffic outstanding.
+
+        Departing agents count until they detach: a graceful leaver
+        only disconnects once its edges have drained *and* every
+        migrate batch is acknowledged, so an attached leaver means
+        migration traffic may still be in flight."""
+        self._departing = [
+            a for a in self._departing if self.network.is_attached(a.address)
+        ]
+        if self._departing:
+            return False
         version = self.lead.state.version
         for agent in self.agents.values():
             if agent.dstate is None or agent.dstate.version != version:

@@ -50,6 +50,16 @@ class ClusterConfig:
         by sketch deltas alone (membership changes broadcast at once).
     seed:
         Experiment root seed (drives every entity's RNG stream).
+    reliable_transport:
+        Run the fabric in reliable mode (sequenced + acknowledged +
+        retransmitted delivery).  Off by default: the perfect simulated
+        fabric needs none of it, and classic benchmarks keep their
+        exact traffic counts.  Chaos runs (an installed ``FaultPlan``)
+        switch it on so dropped messages are recovered rather than
+        deadlocking the barrier protocol.
+    retry_timeout, retry_backoff, retry_timeout_cap, max_retries:
+        Reliable-mode retransmission policy (initial timeout seconds,
+        exponential factor, timeout ceiling, give-up bound).
     """
 
     nodes: int = 4
@@ -63,6 +73,11 @@ class ClusterConfig:
     sketch_broadcast_interval: float = 0.05
     sketch_flush_every: int = 512
     seed: int = 0
+    reliable_transport: bool = False
+    retry_timeout: float = 5e-3
+    retry_backoff: float = 2.0
+    retry_timeout_cap: float = 0.1
+    max_retries: int = 30
     transport: TransportModel = field(default_factory=TransportModel.zeromq)
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
 
@@ -77,6 +92,12 @@ class ClusterConfig:
             raise ValueError("need at least one directory")
         if self.replication_threshold < 1:
             raise ValueError("replication_threshold must be >= 1")
+        if self.retry_timeout <= 0 or self.retry_timeout_cap < self.retry_timeout:
+            raise ValueError("retry timeouts must satisfy 0 < timeout <= cap")
+        if self.retry_backoff < 1.0:
+            raise ValueError("retry_backoff must be >= 1")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
 
     @property
     def hash_fn(self) -> Callable:

@@ -180,6 +180,10 @@ class Directory(Entity):
         self._last_sketch_broadcast = -1e30
         self._broadcast_scheduled = False
         self._ready: Dict[int, Dict[int, dict]] = {}  # step -> agent id -> stats
+        # Highest barrier round already completed this run.  Rounds are
+        # monotone within a run, so a READY for a completed round is a
+        # stale duplicate and must not re-trigger the controller.
+        self._ready_done = -1
         self._membership_dirty = False
         # Engine hook: called by the lead as run_controller(round, step,
         # stats) when all agents report ready.  Returns the next
@@ -256,7 +260,10 @@ class Directory(Entity):
     def _lead_join(self, payload: dict) -> None:
         agents = dict(self.state.agents)
         agent_id = int(payload["agent_id"])
-        agents[agent_id] = int(payload["address"])
+        address = int(payload["address"])
+        if agents.get(agent_id) == address:
+            return  # duplicate JOIN: membership already reflects it
+        agents[agent_id] = address
         weight = float(payload.get("weight", 1.0))
         if weight != 1.0:
             self._weights[agent_id] = weight
@@ -266,7 +273,8 @@ class Directory(Entity):
 
     def _lead_leave(self, payload: dict) -> None:
         agents = dict(self.state.agents)
-        agents.pop(int(payload["agent_id"]), None)
+        if agents.pop(int(payload["agent_id"]), None) is None:
+            return  # duplicate LEAVE: the agent is already gone
         self._weights.pop(int(payload["agent_id"]), None)
         self._membership_version += 1
         self._replace_state(agents=agents, bump_batch=False)
@@ -385,11 +393,16 @@ class Directory(Entity):
     def _lead_collect_ready(self, agent_id: int, payload: dict) -> None:
         round_id = int(payload["round"])
         step = int(payload["step"])
+        if round_id <= self._ready_done:
+            return  # duplicate READY for an already-completed barrier
         bucket = self._ready.setdefault(round_id, {})
         bucket[agent_id] = payload.get("stats", {})
         if set(bucket) >= set(self.state.agents):
-            stats = _merge_stats(bucket.values())
+            # Merge in agent-id order: float sums must not depend on the
+            # order READY messages happened to arrive in.
+            stats = _merge_stats(bucket[k] for k in sorted(bucket))
             del self._ready[round_id]
+            self._ready_done = round_id
             if self.run_controller is None:
                 return
             advance = self.run_controller(round_id, step, stats)
@@ -402,6 +415,9 @@ class Directory(Entity):
 
     def send_run_start(self, payload: dict) -> None:
         """Broadcast a RUN_START to every agent (lead only)."""
+        # Barrier rounds restart from zero with each run.
+        self._ready.clear()
+        self._ready_done = -1
         self._control_broadcast(PacketType.RUN_START, payload)
 
     def _control_broadcast(self, ptype: PacketType, payload: dict) -> None:

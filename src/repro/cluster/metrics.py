@@ -30,6 +30,11 @@ class AgentMetrics:
     placement_cache_hits: int = 0
     placement_cache_misses: int = 0
     placement_epoch_invalidations: int = 0
+    # Reliable-transport recovery path (synced the same way): how often
+    # the fabric had to retransmit this agent's sends, and how many
+    # duplicate deliveries it suppressed on this agent's behalf.
+    transport_retries: int = 0
+    transport_dups_suppressed: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict copy (what a METRIC_REPORT would carry)."""
@@ -45,6 +50,8 @@ class AgentMetrics:
             "placement_cache_hits": self.placement_cache_hits,
             "placement_cache_misses": self.placement_cache_misses,
             "placement_epoch_invalidations": self.placement_epoch_invalidations,
+            "transport_retries": self.transport_retries,
+            "transport_dups_suppressed": self.transport_dups_suppressed,
         }
 
 

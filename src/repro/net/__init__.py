@@ -12,13 +12,27 @@ over 20 µs on its cluster; those constants are the model's presets, so the
 relative transport overheads that shape Figures 11–12 carry over.
 """
 
+from repro.net.faults import (
+    CONTROL_PTYPES,
+    DATA_PTYPES,
+    CrashEvent,
+    FaultPlan,
+    FaultRule,
+    PartitionWindow,
+)
 from repro.net.latency import TransportModel
 from repro.net.message import Message, PacketType, payload_nbytes
 from repro.net.network import Network, NetworkStats
 from repro.net.sockets import PubSubSocket, PushSocket, ReqRepSocket
 
 __all__ = [
+    "CONTROL_PTYPES",
+    "DATA_PTYPES",
+    "CrashEvent",
+    "FaultPlan",
+    "FaultRule",
     "Message",
+    "PartitionWindow",
     "Network",
     "NetworkStats",
     "PacketType",

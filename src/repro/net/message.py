@@ -52,6 +52,7 @@ class PacketType(enum.IntEnum):
     # Generic REQ/REP plumbing
     REQUEST = 40
     REPLY = 41
+    DELIVERY_ACK = 42         # transport-level receipt (reliable fabric mode)
 
     # Metrics / autoscaling
     METRIC_REPORT = 50        # agent -> directory: metric sample
@@ -106,6 +107,9 @@ class Message:
         explicitly (protocol headers add one type byte).
     request_id:
         Correlation id for REQ/REP exchanges.
+    seq:
+        Per-link transport sequence number, assigned by the fabric when
+        reliable delivery is enabled; ``None`` on fire-and-forget sends.
     """
 
     ptype: PacketType
@@ -114,6 +118,7 @@ class Message:
     dst: int = -1
     size_bytes: int = -1
     request_id: Optional[int] = None
+    seq: Optional[int] = None
     send_time: float = field(default=0.0, compare=False)
 
     def __post_init__(self) -> None:

@@ -14,31 +14,64 @@ Delivery semantics mirror ZeroMQ as ElGA uses it:
   (``Entity.charge`` models serial compute);
 * messages between the same pair of entities stay ordered, but there is
   no global order — ElGA is explicitly tolerant of out-of-order arrival.
+
+Two opt-in layers extend the perfect fabric for chaos testing (see
+DESIGN.md, "Delivery semantics and the fault model"):
+
+* an installed :class:`~repro.net.faults.FaultPlan` is consulted on
+  every transmission and may drop, duplicate, reorder, or delay it;
+* **reliable mode** gives every protocol message a per-link sequence
+  number and a retransmit timer.  Receivers acknowledge each sequenced
+  message with a transport-level ``DELIVERY_ACK`` and suppress
+  duplicates (idempotent ack: re-acked, never re-dispatched), so the
+  protocol layer observes exactly-once delivery even while the plan
+  misbehaves underneath.  Retransmission to a detached address is
+  abandoned — addresses are never reused, so a departed entity can
+  never be confused with a successor.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.net.latency import TransportModel
 from repro.net.message import Message, PacketType
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.faults import FaultPlan
     from repro.sim.entity import Entity
-    from repro.sim.kernel import SimKernel
+    from repro.sim.kernel import EventHandle, SimKernel
 
 
 @dataclass
 class NetworkStats:
-    """Aggregate traffic counters for one fabric."""
+    """Aggregate traffic counters for one fabric.
+
+    ``messages_dropped`` totals every drop cause; ``dropped_by_type``
+    and the per-cause counters break it down (detached destination,
+    chaos rule, partition window).  Retransmissions count only in the
+    retry counters — ``messages_sent``/``by_type_count`` stay original
+    sends, so traffic-derived figures (e.g. Figure 16) are unaffected
+    by reliability being switched on.
+    """
 
     messages_sent: int = 0
     bytes_sent: int = 0
     messages_dropped: int = 0
     by_type_count: Dict[PacketType, int] = field(default_factory=lambda: defaultdict(int))
     by_type_bytes: Dict[PacketType, int] = field(default_factory=lambda: defaultdict(int))
+    dropped_by_type: Dict[PacketType, int] = field(default_factory=lambda: defaultdict(int))
+    drops_detached: int = 0
+    drops_chaos: int = 0
+    drops_partition: int = 0
+    messages_duplicated: int = 0
+    messages_retried: int = 0
+    retries_by_type: Dict[PacketType, int] = field(default_factory=lambda: defaultdict(int))
+    retries_abandoned: int = 0
+    duplicates_suppressed: int = 0
+    acks_sent: int = 0
 
     def record(self, message: Message) -> None:
         self.messages_sent += 1
@@ -46,16 +79,76 @@ class NetworkStats:
         self.by_type_count[message.ptype] += 1
         self.by_type_bytes[message.ptype] += message.size_bytes
 
+    def record_drop(self, message: Message, cause: str) -> None:
+        """Count one dropped delivery under its cause and packet type."""
+        self.messages_dropped += 1
+        self.dropped_by_type[message.ptype] += 1
+        if cause == "detached":
+            self.drops_detached += 1
+        elif cause == "chaos":
+            self.drops_chaos += 1
+        elif cause == "partition":
+            self.drops_partition += 1
+        else:  # pragma: no cover - guards future call sites
+            raise ValueError(f"unknown drop cause {cause!r}")
+
     def snapshot(self) -> "NetworkStats":
         """A deep copy usable for interval deltas."""
         copy = NetworkStats(
             messages_sent=self.messages_sent,
             bytes_sent=self.bytes_sent,
             messages_dropped=self.messages_dropped,
+            drops_detached=self.drops_detached,
+            drops_chaos=self.drops_chaos,
+            drops_partition=self.drops_partition,
+            messages_duplicated=self.messages_duplicated,
+            messages_retried=self.messages_retried,
+            retries_abandoned=self.retries_abandoned,
+            duplicates_suppressed=self.duplicates_suppressed,
+            acks_sent=self.acks_sent,
         )
         copy.by_type_count = defaultdict(int, self.by_type_count)
         copy.by_type_bytes = defaultdict(int, self.by_type_bytes)
+        copy.dropped_by_type = defaultdict(int, self.dropped_by_type)
+        copy.retries_by_type = defaultdict(int, self.retries_by_type)
         return copy
+
+
+class _Pending:
+    """One unacknowledged reliable send (retransmit bookkeeping)."""
+
+    __slots__ = ("message", "attempt", "handle")
+
+    def __init__(self, message: Message, handle: "EventHandle"):
+        self.message = message
+        self.attempt = 0
+        self.handle = handle
+
+
+class _DedupWindow:
+    """Per-link receiver dedup state.
+
+    Sequence numbers are per (src, dst) link and start at 1, so arrivals
+    are near-contiguous: ``high_water`` is the largest seq below which
+    everything was delivered, and ``ahead`` holds the (few) seqs that
+    arrived out of order, keeping memory O(reorder window) per link.
+    """
+
+    __slots__ = ("high_water", "ahead")
+
+    def __init__(self) -> None:
+        self.high_water = 0
+        self.ahead: set = set()
+
+    def accept(self, seq: int) -> bool:
+        """True if ``seq`` is new (first delivery), False on a duplicate."""
+        if seq <= self.high_water or seq in self.ahead:
+            return False
+        self.ahead.add(seq)
+        while self.high_water + 1 in self.ahead:
+            self.high_water += 1
+            self.ahead.remove(self.high_water)
+        return True
 
 
 class Network:
@@ -67,15 +160,49 @@ class Network:
         The event loop messages are scheduled on.
     transport:
         Latency/bandwidth model (defaults to the paper's ZeroMQ numbers).
+    reliable:
+        Enable sequenced, acknowledged, retransmitted delivery.  Off by
+        default: the perfect fabric needs none of it, and benchmarks'
+        traffic accounting stays byte-identical to the classic mode.
+    retry_timeout, retry_backoff, retry_timeout_cap:
+        Initial retransmit timeout (seconds), exponential backoff
+        factor, and the timeout ceiling.
+    max_retries:
+        Retransmissions per message before the fabric gives up.  Giving
+        up on an *attached* destination raises (silent loss would
+        corrupt protocol accounting); give-up on a detached one is the
+        normal fate of messages racing a graceful departure.
     """
 
-    def __init__(self, kernel: "SimKernel", transport: Optional[TransportModel] = None):
+    def __init__(
+        self,
+        kernel: "SimKernel",
+        transport: Optional[TransportModel] = None,
+        reliable: bool = False,
+        retry_timeout: float = 5e-3,
+        retry_backoff: float = 2.0,
+        retry_timeout_cap: float = 0.1,
+        max_retries: int = 30,
+    ):
         self.kernel = kernel
         self.transport = transport if transport is not None else TransportModel.zeromq()
         self.stats = NetworkStats()
+        self.reliable = bool(reliable)
+        self.retry_timeout = float(retry_timeout)
+        self.retry_backoff = float(retry_backoff)
+        self.retry_timeout_cap = float(retry_timeout_cap)
+        self.max_retries = int(max_retries)
+        self.faults: Optional["FaultPlan"] = None
         self._entities: Dict[int, "Entity"] = {}
         self._next_address = 0
         self._taps: List[Callable[[Message], None]] = []
+        # Reliable-mode state: per-link sequence counters, in-flight
+        # sends keyed by (src, dst, seq) — seqs are only unique per
+        # link, so the key must carry both endpoints — and per-link
+        # receiver dedup.
+        self._next_seq: Dict[Tuple[int, int], int] = defaultdict(int)
+        self._pending: Dict[Tuple[int, int, int], _Pending] = {}
+        self._dedup: Dict[Tuple[int, int], _DedupWindow] = {}
 
     # -- membership --------------------------------------------------------
 
@@ -104,8 +231,24 @@ class Network:
     # -- test/diagnostic hooks ----------------------------------------------
 
     def add_tap(self, tap: Callable[[Message], None]) -> None:
-        """Register a callback observing every sent message (for tests)."""
+        """Register a callback observing every sent message (for tests).
+
+        Taps see each *send* once; retransmissions and chaos-injected
+        duplicate copies are transport artifacts and are not re-tapped.
+        """
         self._taps.append(tap)
+
+    def install_faults(self, plan: "FaultPlan", reliable: bool = True) -> None:
+        """Put a :class:`~repro.net.faults.FaultPlan` under the fabric.
+
+        By default this also switches on reliable delivery — a plan that
+        drops messages against a fire-and-forget fabric deadlocks the
+        protocols above, which is a finding about the test setup, not
+        the system.  Pass ``reliable=False`` to study exactly that.
+        """
+        self.faults = plan
+        if reliable:
+            self.reliable = True
 
     # -- sending -------------------------------------------------------------
 
@@ -122,12 +265,43 @@ class Network:
         self.stats.record(message)
         for tap in self._taps:
             tap(message)
+        if (
+            self.reliable
+            and message.ptype != PacketType.DELIVERY_ACK
+            and message.seq is None
+        ):
+            link = (message.src, message.dst)
+            self._next_seq[link] += 1
+            message.seq = self._next_seq[link]
+            key = (message.src, message.dst, message.seq)
+            handle = self.kernel.schedule(self.retry_timeout, self._retransmit, key)
+            self._pending[key] = _Pending(message, handle)
+        self._transmit(message)
 
+    def _transmit(self, message: Message) -> None:
+        """Schedule one physical transmission (initial send or retry),
+        subject to the installed fault plan."""
+        extra_delays = [0.0]
+        if self.faults is not None:
+            extra_delays = self.faults.decide(message, self.kernel.now)
+            if not extra_delays:
+                cause = "partition" if self._partitioned(message) else "chaos"
+                self.stats.record_drop(message, cause)
+                return
+            if len(extra_delays) > 1:
+                self.stats.messages_duplicated += len(extra_delays) - 1
         sender = self._entities.get(message.src)
         departure = sender.available_at() if sender is not None else self.kernel.now
         same_node = self._same_node(message.src, message.dst)
-        arrival = departure + self.transport.delay(message.size_bytes, same_node=same_node)
-        self.kernel.schedule_at(arrival, self._deliver, message)
+        base_delay = self.transport.delay(message.size_bytes, same_node=same_node)
+        for extra in extra_delays:
+            self.kernel.schedule_at(departure + base_delay + extra, self._deliver, message)
+
+    def _partitioned(self, message: Message) -> bool:
+        return any(
+            w.separates(message.src, message.dst, self.kernel.now)
+            for w in self.faults.partitions
+        )
 
     def _same_node(self, src: int, dst: int) -> bool:
         a = self._entities.get(src)
@@ -136,9 +310,87 @@ class Network:
             return False
         return getattr(a, "node", 0) == getattr(b, "node", 0)
 
+    # -- delivery ------------------------------------------------------------
+
     def _deliver(self, message: Message) -> None:
+        if message.ptype == PacketType.DELIVERY_ACK:
+            # Transport acks terminate at the fabric: clear the pending
+            # entry even if the original sender has since detached.
+            self._on_delivery_ack(message)
+            return
         entity = self._entities.get(message.dst)
         if entity is None:
-            self.stats.messages_dropped += 1
+            self.stats.record_drop(message, "detached")
             return
+        if message.seq is not None:
+            # Idempotent ack: every arrival is (re-)acknowledged — the
+            # previous ack may itself have been lost — but only the
+            # first is dispatched to the entity.
+            self._send_ack(message)
+            if not self._dedup.setdefault(
+                (message.dst, message.src), _DedupWindow()
+            ).accept(message.seq):
+                self.stats.duplicates_suppressed += 1
+                perf = getattr(entity, "perf", None)
+                if perf is not None:
+                    perf.add("transport_dups_suppressed")
+                return
         entity.handle_message(message)
+
+    # -- reliable-delivery plumbing -----------------------------------------
+
+    def _send_ack(self, message: Message) -> None:
+        ack = Message(
+            ptype=PacketType.DELIVERY_ACK,
+            payload=message.seq,
+            src=message.dst,
+            dst=message.src,
+        )
+        self.stats.acks_sent += 1
+        self.send(ack)
+
+    def _on_delivery_ack(self, ack: Message) -> None:
+        # The ack travels receiver -> sender, so the acknowledged link
+        # is (ack.dst, ack.src) from the original sender's view.
+        entry = self._pending.pop((ack.dst, ack.src, int(ack.payload)), None)
+        if entry is not None:
+            entry.handle.cancel()
+
+    def _retransmit(self, key: Tuple[int, int, int]) -> None:
+        entry = self._pending.get(key)
+        if entry is None:  # acked after the timer was queued
+            return
+        message = entry.message
+        if not self.is_attached(message.dst):
+            # The destination left for good (addresses are never
+            # reused); the message died with it.  The delivery attempts
+            # themselves already counted as detached drops.
+            del self._pending[key]
+            self.stats.retries_abandoned += 1
+            return
+        if entry.attempt >= self.max_retries:
+            from repro.sim.kernel import SimulationError
+
+            raise SimulationError(
+                f"reliable delivery failed: {message.ptype.name} "
+                f"{message.src}->{message.dst} seq={message.seq} gave up "
+                f"after {entry.attempt} retries"
+            )
+        entry.attempt += 1
+        self.stats.messages_retried += 1
+        self.stats.retries_by_type[message.ptype] += 1
+        sender = self._entities.get(message.src)
+        perf = getattr(sender, "perf", None)
+        if perf is not None:
+            perf.add("transport_retries")
+        timeout = min(
+            self.retry_timeout * self.retry_backoff**entry.attempt,
+            self.retry_timeout_cap,
+        )
+        entry.handle = self.kernel.schedule(timeout, self._retransmit, key)
+        self._transmit(message)
+
+    @property
+    def pending_reliable(self) -> int:
+        """In-flight reliable sends awaiting a transport ack (tests)."""
+        return len(self._pending)

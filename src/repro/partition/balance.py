@@ -29,6 +29,8 @@ def imbalance_factor(loads: np.ndarray) -> float:
     runtime scales with this factor.
     """
     loads = np.asarray(loads, dtype=np.float64)
+    if loads.size == 0:
+        return 1.0  # vacuously balanced (and np.mean([]) is nan)
     mean = loads.mean()
     if mean == 0:
         return 1.0

@@ -1,0 +1,54 @@
+"""Pytest-facing wrapper around the chaos scenario runner.
+
+:mod:`repro.bench.chaos` does the work (engine pair, fault matrix,
+invariant checks); this module turns a :class:`~repro.bench.chaos.ChaosReport`
+into readable assertion failures and provides the small shared graph
+the chaos suite runs on.  Import from here in chaos tests so every test
+states the same claim the same way::
+
+    report = assert_chaos_survives(plan)
+
+asserts that, under ``plan``, every program converged bit-identically
+to the fault-free reference, the cluster invariants held after every
+settle, and — unless the plan genuinely injects nothing — the fabric
+actually took abuse (otherwise the scenario proves nothing).
+"""
+
+from __future__ import annotations
+
+from repro.bench.chaos import ChaosReport, run_chaos_scenario
+from repro.gen import powerlaw_graph
+
+#: The default chaos graph: small enough for a fault-matrix sweep in CI
+#: seconds, skewed enough to exercise uneven placement.
+CHAOS_GRAPH_SEED = 5
+
+
+def chaos_graph(n: int = 80, m: int = 320, seed: int = CHAOS_GRAPH_SEED):
+    us, vs, _ = powerlaw_graph(n, m, alpha=2.2, seed=seed)
+    return us, vs
+
+
+def assert_chaos_survives(
+    plan,
+    us=None,
+    vs=None,
+    expect_faults: bool = True,
+    **scenario_kwargs,
+) -> ChaosReport:
+    """Run one fault plan and assert the full invariant contract."""
+    if us is None or vs is None:
+        us, vs = chaos_graph()
+    report = run_chaos_scenario(us, vs, plan, **scenario_kwargs)
+    for program, equal in report.bit_equal.items():
+        assert equal, (
+            f"{program} diverged from the fault-free reference under "
+            f"plan seed {report.plan_seed} (steps={report.steps}, "
+            f"drops={report.drops_chaos}, dups={report.messages_duplicated})"
+        )
+    if expect_faults:
+        assert report.faults_injected > 0, (
+            f"plan seed {report.plan_seed} injected no faults — "
+            "the scenario exercised nothing"
+        )
+    return report

@@ -1,0 +1,71 @@
+"""Property-based chaos: random fault plans x random power-law graphs.
+
+Hypothesis drives the sweep the fixed matrix cannot: arbitrary
+drop/dup/reorder probabilities, arbitrary crash steps, arbitrary small
+graphs.  The properties are the invariant contract itself — results
+bit-equal to the fault-free reference, every reference edge resident
+exactly once per copy direction.  Examples are few (each runs two
+clusters to convergence) but every failure shrinks to a minimal plan
+and replays from its seeds.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.net import CrashEvent, FaultPlan
+
+from tests.chaos.harness import assert_chaos_survives, chaos_graph
+
+pytestmark = pytest.mark.chaos
+
+fault_plans = st.builds(
+    FaultPlan.data_plane_chaos,
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    drop_p=st.floats(min_value=0.0, max_value=0.15),
+    dup_p=st.floats(min_value=0.0, max_value=0.15),
+    reorder_p=st.floats(min_value=0.0, max_value=0.3),
+    delay_p=st.floats(min_value=0.0, max_value=0.1),
+    crashes=st.lists(
+        st.builds(CrashEvent, after_step=st.integers(min_value=1, max_value=4)),
+        max_size=1,
+    ),
+)
+
+graphs = st.builds(
+    chaos_graph,
+    n=st.integers(min_value=30, max_value=90),
+    m=st.integers(min_value=120, max_value=360),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+
+slow_settings = settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@slow_settings
+@given(plan=fault_plans, graph=graphs)
+def test_random_plan_random_graph_bit_equal(plan, graph):
+    """Any data-plane plan on any small power-law graph: bit-equal
+    results and conserved edges (checked inside the scenario runner)."""
+    us, vs = graph
+    assert_chaos_survives(plan, us, vs, expect_faults=False)
+
+
+@slow_settings
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    drop_p=st.floats(min_value=0.3, max_value=0.6),
+)
+def test_extreme_loss_still_converges(seed, drop_p):
+    """Even 30-60% data loss only slows the run down — the retransmit
+    layer (with backoff headroom) eventually lands every message."""
+    plan = FaultPlan.data_plane_chaos(seed=seed, drop_p=drop_p, dup_p=0.0)
+    report = assert_chaos_survives(
+        plan, expect_faults=False, max_retries=60
+    )
+    if report.drops_chaos:
+        assert report.messages_retried > 0

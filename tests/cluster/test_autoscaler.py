@@ -81,3 +81,77 @@ def test_validation():
         ReactiveAutoscaler(scaling_factor=0)
     with pytest.raises(ValueError):
         ReactiveAutoscaler(scaling_factor=1, ema_window=0)
+
+
+# ---------------------------------------------------------------------------
+# Cooldown edge cases (stabilization-window boundary behavior)
+# ---------------------------------------------------------------------------
+
+
+def test_scale_request_inside_stabilization_window_is_held():
+    """A scale-up signal arriving while the window from the *previous*
+    action is still open must be held — and must surface again once the
+    window closes, not be forgotten."""
+    a = ReactiveAutoscaler(scaling_factor=1.0, cooldown=60.0, ema_window=1.0)
+    a.observe(4.0, 0.0)
+    assert a.desired(current_agents=1, now=0.0) == 4  # action at t=0
+    a.observe(12.0, 1.0)
+    # Demand spikes immediately after: every probe inside (0, 60) holds.
+    for now in (1.0, 30.0, 59.999):
+        assert a.desired(current_agents=4, now=now) is None
+    # The held request resurfaces as soon as the window closes.
+    assert a.desired(current_agents=4, now=60.0) is not None
+
+
+def test_cooldown_boundary_is_inclusive():
+    """Exactly ``cooldown`` seconds after an action, the next action is
+    allowed (the wait is "at least", strict inequality on the hold)."""
+    a = ReactiveAutoscaler(scaling_factor=1.0, cooldown=10.0, ema_window=1.0)
+    a.observe(2.0, 0.0)
+    assert a.desired(current_agents=1, now=0.0) == 2
+    a.observe(5.0, 5.0)
+    assert a.desired(current_agents=2, now=9.999) is None
+    assert a.desired(current_agents=2, now=10.0) == 5
+
+
+def test_blocked_attempts_do_not_reset_cooldown():
+    """Probing during the window must not postpone the window's end —
+    only *actions* restart the clock."""
+    a = ReactiveAutoscaler(scaling_factor=1.0, cooldown=10.0, ema_window=1.0)
+    a.observe(3.0, 0.0)
+    assert a.desired(current_agents=1, now=0.0) == 3
+    for now in (2.0, 4.0, 6.0, 8.0, 9.9):  # hammer the policy
+        a.observe(8.0, now)  # sustained demand: EMA converges to 8
+        assert a.desired(current_agents=3, now=now) is None
+    assert a.desired(current_agents=3, now=10.0) == 8
+
+
+def test_first_action_not_blocked_by_initial_cooldown():
+    """A fresh autoscaler has no prior action: the first decision may
+    fire immediately, even at t=0."""
+    a = ReactiveAutoscaler(scaling_factor=1.0, cooldown=3600.0)
+    a.observe(7.0, 0.0)
+    assert a.desired(current_agents=1, now=0.0) == 7
+
+
+def test_no_op_probe_during_cooldown_then_converged_target():
+    """If demand returns to the current size while held, the window's
+    end produces no action (the request expired naturally)."""
+    a = ReactiveAutoscaler(scaling_factor=1.0, cooldown=10.0, ema_window=0.5)
+    a.observe(4.0, 0.0)
+    assert a.desired(current_agents=1, now=0.0) == 4
+    a.observe(12.0, 1.0)
+    assert a.desired(current_agents=4, now=2.0) is None
+    # Demand subsides below the current size before the window closes:
+    # the decayed EMA's ceiling lands back on the current agent count.
+    for t in range(3, 10):
+        a.observe(3.0, float(t))
+    assert a.desired(current_agents=4, now=10.0) is None
+
+
+def test_zero_cooldown_allows_back_to_back_actions():
+    a = ReactiveAutoscaler(scaling_factor=1.0, cooldown=0.0, ema_window=0.1)
+    a.observe(2.0, 0.0)
+    assert a.desired(current_agents=1, now=0.0) == 2
+    a.observe(30.0, 1.0)
+    assert a.desired(current_agents=2, now=1.0) is not None

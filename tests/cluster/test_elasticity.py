@@ -117,3 +117,60 @@ def test_repeated_scaling_stable():
         c.scale_to(target)
         assert c.total_resident_edges() == total
     assert c.consistent()
+
+
+def test_departing_agent_counts_until_detached():
+    """consistent() must keep watching a leaver until it disconnects:
+    it is no longer a member, but its migrate batches are still in
+    flight and a resume must not race them."""
+    c, total = loaded_cluster()
+    victim_id = sorted(c.agents)[0]
+    victim = c.agents[victim_id]
+    c.remove_agent(victim_id, settle=False)
+    # Leave initiated but nothing delivered yet: still inconsistent.
+    assert not c.consistent()
+    c.settle()
+    assert not c.network.is_attached(victim.address)
+    assert c.consistent()
+    assert c.total_resident_edges() == total
+
+
+def test_agent_removal_between_broadcast_and_ready_collection():
+    """Shrink the membership in the middle of a barrier round — after
+    the directory broadcast went out, while AGENT_READY messages are
+    still being collected.  The barrier must neither deadlock (waiting
+    on a departed agent) nor lose state, and the result must match the
+    single-process reference."""
+    from repro.core import ElGA
+    from repro.core.algorithms import WCC
+
+    from tests.conftest import reference_wcc
+
+    engine = ElGA(nodes=2, agents_per_node=2, seed=21)
+    rng = np.random.default_rng(2)
+    us = rng.integers(0, 120, 800)
+    vs = rng.integers(0, 120, 800)
+    keep = us != vs
+    us, vs = us[keep], vs[keep]
+    engine.ingest_edges(us, vs)
+    cluster = engine.cluster
+
+    victim_id = sorted(cluster.agents)[-1]
+    fired = []
+
+    def on_first_ready(message):
+        if message.ptype == PacketType.AGENT_READY and not fired:
+            fired.append(True)
+            # Schedule the leave for "now": it lands between this READY
+            # and the rest of the round's collection.
+            cluster.kernel.schedule(0.0, cluster.remove_agent, victim_id, False)
+
+    cluster.network.add_tap(on_first_ready)
+    result = engine.run(WCC())
+    expected, _ = reference_wcc(us, vs)
+    assert fired, "no AGENT_READY observed — the tap never armed"
+    assert victim_id not in cluster.agents
+    assert {k: int(v) for k, v in result.values.items()} == expected
+    cluster.settle()
+    assert cluster.consistent()
+    assert engine.validate_against_reference()

@@ -47,3 +47,45 @@ def test_balance_summary_fields():
     assert s["min"] == 4
     assert s["imbalance"] == pytest.approx(1.2)
     assert s["cv"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Degenerate inputs (empty clusters, single agents, zero loads)
+# ---------------------------------------------------------------------------
+
+
+def test_imbalance_no_agents_is_finite():
+    """A zero-length load vector (cluster scaled to nothing between
+    measurements) must yield a neutral factor, not nan or a crash."""
+    result = imbalance_factor(np.array([], dtype=np.float64))
+    assert result == 1.0
+    assert np.isfinite(result)
+
+
+def test_imbalance_single_agent():
+    assert imbalance_factor(np.array([37])) == 1.0
+
+
+def test_edge_loads_empty_owner_list():
+    loads = edge_loads(np.array([], dtype=np.int64), 4)
+    assert loads.tolist() == [0, 0, 0, 0]
+
+
+def test_load_distribution_empty():
+    normalized, cumulative = load_distribution(np.array([]))
+    assert len(normalized) == 0
+    assert len(cumulative) == 0
+
+
+def test_balance_summary_empty_loads():
+    s = balance_summary(np.array([]))
+    assert s["mean"] == 0.0
+    assert s["imbalance"] == 1.0
+    assert s["cv"] == 0.0
+
+
+def test_balance_summary_all_zero_loads():
+    """All-zero loads (agents up, no edges yet): balanced by definition."""
+    s = balance_summary(np.zeros(5))
+    assert s["imbalance"] == 1.0
+    assert s["cv"] == 0.0
