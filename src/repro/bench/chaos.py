@@ -62,7 +62,14 @@ class ChaosReport:
     messages_retried: int = 0
     duplicates_suppressed: int = 0
     scale_plan: Dict[int, int] = field(default_factory=dict)
+    crash_plan: Dict[int, int] = field(default_factory=dict)
+    recovery_log: List[dict] = field(default_factory=list)
     directory_versions: List[int] = field(default_factory=list)
+
+    @property
+    def recoveries(self) -> int:
+        """How many crash-recovery cycles the chaos engine completed."""
+        return sum(1 for e in self.recovery_log if e.get("event") == "recover")
 
     @property
     def ok(self) -> bool:
@@ -204,10 +211,18 @@ def run_chaos_scenario(
     for i, program in enumerate(programs):
         # Crashes are one-time events: the schedule reshapes the first
         # run; later programs run on the already-shrunk cluster.
+        # Graceful crashes mirror onto the reference as scale plans (a
+        # drain is a legitimate membership change both sides share);
+        # abrupt crashes hit ONLY the chaos engine — recovery's whole
+        # claim is converging bit-identical to the fault-free run.
         scale = plan.scale_plan(len(chaos.cluster.agents)) if i == 0 else {}
+        crashes = plan.crash_plan() if i == 0 else {}
         report.scale_plan.update(scale)
+        report.crash_plan.update(crashes)
         ref_result = reference.run(program, scale_plan=dict(scale))
-        chaos_result = chaos.run(program, scale_plan=dict(scale))
+        chaos_result = chaos.run(
+            program, scale_plan=dict(scale), crash_plan=dict(crashes) or None
+        )
         check_cluster_invariants(chaos, versions)
         report.steps[program.name] = chaos_result.steps
         report.bit_equal[program.name] = ref_result.values == chaos_result.values
@@ -220,6 +235,7 @@ def run_chaos_scenario(
         after.duplicates_suppressed - before.duplicates_suppressed
     )
     report.directory_versions = list(versions)
+    report.recovery_log = list(chaos.cluster.recovery_log)
     return report
 
 

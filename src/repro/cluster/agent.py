@@ -41,6 +41,13 @@ import numpy as np
 from repro.cluster.config import ClusterConfig
 from repro.cluster.directory import DirectoryState
 from repro.cluster.metrics import AgentMetrics
+from repro.cluster.recovery import (
+    Checkpoint,
+    RecoveryStore,
+    copy_active,
+    copy_store,
+    copy_values,
+)
 from repro.net.message import Message, PacketType
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a package import cycle
@@ -146,6 +153,10 @@ class Agent(Entity):
         node: int,
         directory_address: int,
         weight: float = 1.0,
+        recovery: Optional[RecoveryStore] = None,
+        recover_from: Optional[int] = None,
+        restore_checkpoint: Optional[Tuple[int, int]] = None,
+        incarnation: int = 0,
     ):
         super().__init__(network, f"agent-{agent_id}", config.seed)
         self.config = config
@@ -196,6 +207,20 @@ class Agent(Entity):
 
         self.run: Optional[_RunState] = None
 
+        # Crash tolerance: durable side-channel, liveness, and fencing.
+        # ``_data_inc`` stamps every data-plane message with the cluster
+        # incarnation it belongs to; after a recovery, stragglers from
+        # the previous incarnation are silently dropped.
+        self._recovery_store = recovery if recovery is not None else RecoveryStore()
+        self._recovery = self._recovery_store.slot(self.agent_id)
+        self.crashed = False
+        self._heartbeat_pending = False
+        self._recover_epoch = incarnation
+        self._data_inc = incarnation
+        self.restored_from: Optional[dict] = None
+        if recover_from is not None:
+            self._restore_from_crash(recover_from, restore_checkpoint)
+
         self._subscribe_and_join()
 
     # ------------------------------------------------------------------
@@ -210,6 +235,7 @@ class Agent(Entity):
                 PacketType.DIRECTORY_UPDATE,
                 PacketType.SUPERSTEP_ADVANCE,
                 PacketType.RUN_START,
+                PacketType.RECOVER,
             ],
         )
         self.push.push(
@@ -250,7 +276,9 @@ class Agent(Entity):
         elif ptype == PacketType.REPLICA_VALUE:
             self._on_replica_value(message.payload, message.src)
         elif ptype == PacketType.VERTEX_MSG_ACK:
-            self._on_data_ack()
+            self._on_data_ack(message.payload)
+        elif ptype == PacketType.RECOVER:
+            self._on_recover(message.payload)
         elif ptype == PacketType.CLIENT_QUERY:
             self._on_client_query(message)
         else:
@@ -358,6 +386,11 @@ class Agent(Entity):
             # Remove locally.
             for key, other in zip(keys[wrong], others[wrong]):
                 store[int(key)].discard(int(other))
+            self._wal_log(
+                role,
+                [(int(k), int(o), -1) for k, o in zip(keys[wrong], others[wrong])],
+                sketched=False,
+            )
             removed = int(wrong.sum())
             if role == "out":
                 self.n_out_edges -= removed
@@ -562,7 +595,7 @@ class Agent(Entity):
 
         # Apply local changes.
         store = self.out_store if role == "out" else self.in_store
-        applied_vertices: List[int] = []
+        applied_rows: List[Tuple[int, int, int]] = []
         n_applied = 0
         rows = np.nonzero(mine)[0]
         for i in rows:
@@ -575,16 +608,16 @@ class Agent(Entity):
                 if val not in bucket:
                     bucket.add(val)
                     n_applied += 1
-                    applied_vertices.append(key)
+                    applied_rows.append((key, val, 1))
             else:  # remove
                 if bucket is not None and val in bucket:
                     bucket.remove(val)
                     n_applied += 1
-                    applied_vertices.append(-key - 1)  # negative = decrement
+                    applied_rows.append((key, val, -1))
                     if not bucket:
                         del store[key]
-        inserts = [v for v in applied_vertices if v >= 0]
-        removes = [-v - 1 for v in applied_vertices if v < 0]
+        inserts = [k for k, _, a in applied_rows if a > 0]
+        removes = [k for k, _, a in applied_rows if a < 0]
         if role == "out":
             self.n_out_edges += len(inserts) - len(removes)
         else:
@@ -605,15 +638,33 @@ class Agent(Entity):
         # Migrated vertex state rides along with the edges — but only
         # the final owner keeps it (a forwarding hop that merged values
         # for edges passing through would hoard stale state).
+        wal_values: Optional[Dict[str, Dict[int, float]]] = None
+        wal_active: Optional[Dict[str, Set[int]]] = None
         if len(rows):
             kept = {int(own[i]) for i in rows}
             for prog, values in payload.get("values", {}).items():
-                dest = self.persistent.setdefault(prog, {})
-                dest.update({int(k): v for k, v in values.items() if int(k) in kept})
+                incoming = {int(k): v for k, v in values.items() if int(k) in kept}
+                if incoming:
+                    self.persistent.setdefault(prog, {}).update(incoming)
+                    wal_values = wal_values or {}
+                    wal_values[prog] = incoming
             for prog, actives in payload.get("active", {}).items():
-                self.persistent_active.setdefault(prog, set()).update(
-                    int(v) for v in actives if int(v) in kept
-                )
+                incoming_act = {int(v) for v in actives if int(v) in kept}
+                if incoming_act:
+                    self.persistent_active.setdefault(prog, set()).update(incoming_act)
+                    wal_active = wal_active or {}
+                    wal_active[prog] = incoming_act
+
+        # Durability: every applied mutation — and any migrated-in
+        # vertex state — hits the write-ahead log before this handler
+        # returns, so a replacement can reconstruct the shard exactly.
+        self._wal_log(
+            role,
+            applied_rows,
+            sketched=count_in_sketch,
+            values=wal_values,
+            active=wal_active,
+        )
 
         # Update acks go end-to-end to the original requester, counting
         # edges terminally handled here (forwarded rows are acked by
@@ -689,6 +740,11 @@ class Agent(Entity):
         )
         self.sketch_delta.clear()
         self._delta_count = 0
+        # The flushed delta is now the directory's; checkpoint so a
+        # crash-restore cannot replay the WAL's sketched rows and
+        # re-report degrees the directory already counted.
+        self._recovery_store.snapshot_agent(self)
+        self.metrics.checkpoints_taken += 1
 
     # ------------------------------------------------------------------
     # client queries (low-latency path)
@@ -881,6 +937,7 @@ class Agent(Entity):
         if spec.mode == "async":
             self._async_initial_scatter()
             return
+        self._start_heartbeats()
         self._split_round_begin()
         self._start_scatter_wave()
         run.initial_work_done = True
@@ -915,6 +972,11 @@ class Agent(Entity):
         if phase == "halt":
             self.finalize_run(persist=True)
             return
+        if run.suspended and phase != "resume":
+            # Parked (scale drain or crash rollback): only a resume
+            # re-opens the run.  A straggling pre-crash step ADVANCE
+            # (reliable-transport retransmit) must not reanimate it.
+            return
         if run.initial_work_done and int(payload["round"]) <= run.round:
             return  # duplicated or stale ADVANCE; this round already ran
         run.round = int(payload["round"])
@@ -926,6 +988,7 @@ class Agent(Entity):
         run.split_stats = {}
         if phase == "resume":
             run.suspended = False
+            self._start_heartbeats()
             self._build_table(run, resume=True)
             self._split_round_begin()
             self._start_scatter_wave()
@@ -1022,19 +1085,21 @@ class Agent(Entity):
         self._maybe_apply_split()
 
     def _on_replica_sync(self, payload: dict, src: int) -> None:
+        if self._stale_data(payload):
+            return
         run = self.run
         if run is None:
             self._pre_run_data.append(("sync", payload, src))
-            self._ack_data(src)
+            self._ack_data(src, payload)
             return
         if payload["round"] != run.round or not run.initial_work_done:
             run.future_buffer.setdefault(payload["round"], []).append(
                 {"kind": "sync", "payload": payload, "src": src}
             )
-            self._ack_data(src)
+            self._ack_data(src, payload)
             return
         self._ingest_replica_sync(payload)
-        self._ack_data(src)
+        self._ack_data(src, payload)
         self._check_ready()
 
     def _ingest_replica_sync(self, payload: dict) -> None:
@@ -1113,19 +1178,21 @@ class Agent(Entity):
             self._scatter_positions(np.asarray(newly_scatterable, dtype=np.int64))
 
     def _on_replica_value(self, payload: dict, src: int) -> None:
+        if self._stale_data(payload):
+            return
         run = self.run
         if run is None:
             self._pre_run_data.append(("value", payload, src))
-            self._ack_data(src)
+            self._ack_data(src, payload)
             return
         if payload["round"] != run.round or not run.initial_work_done:
             run.future_buffer.setdefault(payload["round"], []).append(
                 {"kind": "value", "payload": payload, "src": src}
             )
-            self._ack_data(src)
+            self._ack_data(src, payload)
             return
         self._ingest_replica_value(payload)
-        self._ack_data(src)
+        self._ack_data(src, payload)
         self._check_ready()
 
     def _ingest_replica_value(self, payload: dict) -> None:
@@ -1222,12 +1289,14 @@ class Agent(Entity):
     # ------------------------------------------------------------------
 
     def _on_vertex_msg(self, payload: dict, src: int) -> None:
+        if self._stale_data(payload):
+            return
         run = self.run
         if run is None:
             # Joined mid-suspension: the run bootstrap rides on the
             # resume broadcast, which may arrive after peers' data.
             self._pre_run_data.append(("msg", payload, src))
-            self._ack_data(src)
+            self._ack_data(src, payload)
             return
         if run.spec.mode == "async":
             self._async_on_msg(payload)
@@ -1238,10 +1307,10 @@ class Agent(Entity):
             run.future_buffer.setdefault(payload["round"], []).append(
                 {"kind": "msg", "payload": payload, "src": src}
             )
-            self._ack_data(src)
+            self._ack_data(src, payload)
             return
         self._aggregate_remote(payload)
-        self._ack_data(src)
+        self._ack_data(src, payload)
         self._check_ready()
 
     def _aggregate_local(self, payload: dict) -> None:
@@ -1297,17 +1366,27 @@ class Agent(Entity):
     # ------------------------------------------------------------------
 
     def _send_data(self, agent_id: int, ptype: PacketType, payload: dict) -> None:
+        payload["inc"] = self._data_inc
         self.run.outstanding_acks += 1
         self.metrics.messages_sent += 1
         self.push.push(self._agent_address(agent_id), ptype, payload)
 
-    def _ack_data(self, src: int) -> None:
-        self.push.push(src, PacketType.VERTEX_MSG_ACK, None)
+    def _stale_data(self, payload: dict) -> bool:
+        """Fencing: data stamped with a pre-recovery incarnation is a
+        straggler from a rolled-back superstep — drop it silently (its
+        sender's ack accounting was reset by the rollback)."""
+        return int(payload.get("inc", 0)) < self._data_inc
 
-    def _on_data_ack(self) -> None:
+    def _ack_data(self, src: int, payload: Optional[dict] = None) -> None:
+        inc = int(payload.get("inc", 0)) if payload else self._data_inc
+        self.push.push(src, PacketType.VERTEX_MSG_ACK, {"inc": inc})
+
+    def _on_data_ack(self, payload) -> None:
         run = self.run
         if run is None:
             return
+        if isinstance(payload, dict) and int(payload.get("inc", 0)) != self._data_inc:
+            return  # ack for a send the rollback already wrote off
         run.outstanding_acks -= 1
         self._check_ready()
 
@@ -1335,6 +1414,13 @@ class Agent(Entity):
                 "stats": stats,
             },
         )
+        if (
+            run.phase == "step"
+            and self.config.checkpoint_every > 0
+            and run.step >= 1
+            and run.step % self.config.checkpoint_every == 0
+        ):
+            self._take_value_checkpoint(run)
         if run.phase == "apply_only":
             self._persist_and_suspend()
 
@@ -1367,12 +1453,217 @@ class Agent(Entity):
             return
         if persist and run.table is not None:
             self._persist_table()
+        if persist:
+            # Halt checkpoint: the post-run state becomes the durable
+            # restore base (and truncates the WAL).
+            self._recovery_store.snapshot_agent(self)
+            self.metrics.checkpoints_taken += 1
         self.run = None
         if self._pending_state is not None:
             self._adopt_state(self._pending_state)
         buffered, self._buffered_updates = self._buffered_updates, []
         for payload in buffered:
             self._apply_edge_update(payload, count_in_sketch=True)
+
+    # ------------------------------------------------------------------
+    # crash tolerance: heartbeats, WAL, checkpoints, recovery
+    # ------------------------------------------------------------------
+
+    def _start_heartbeats(self) -> None:
+        """(Re)arm the periodic HEARTBEAT push to this agent's Directory.
+
+        The chain is tied to synchronous-run liveness: each tick
+        re-schedules itself only while the run is live, so an idle (or
+        suspended, or crashed) agent leaves the simulator quiescent.
+        """
+        if self.config.heartbeat_interval <= 0 or self._heartbeat_pending:
+            return
+        self._heartbeat_pending = True
+        self.kernel.schedule(self.config.heartbeat_interval, self._heartbeat_tick)
+
+    def _heartbeat_tick(self) -> None:
+        self._heartbeat_pending = False
+        run = self.run
+        if self.crashed or run is None or run.suspended or run.spec.mode != "sync":
+            return  # chain ends; the next run start / resume re-arms it
+        self.metrics.heartbeats_sent += 1
+        self.push.push(
+            self.directory_address,
+            PacketType.HEARTBEAT,
+            {"agent_id": self.agent_id},
+        )
+        self._heartbeat_pending = True
+        self.kernel.schedule(self.config.heartbeat_interval, self._heartbeat_tick)
+
+    def _wal_log(
+        self,
+        role: str,
+        rows: List[Tuple[int, int, int]],
+        sketched: bool,
+        values: Optional[Dict[str, Dict[int, float]]] = None,
+        active: Optional[Dict[str, Set[int]]] = None,
+    ) -> None:
+        if not rows and not values and not active:
+            return
+        self._recovery.wal.append(role, rows, sketched, values=values, active=active)
+        self.metrics.wal_records_logged += len(rows)
+
+    def _take_value_checkpoint(self, run: _RunState) -> None:
+        """Coordinated checkpoint at a barrier step.
+
+        Taken exactly when this agent reports READY for a plain step:
+        every apply for ``run.step`` — including the asynchronous
+        split-vertex applies — has run, so the captured table is
+        precisely what an apply-only drain at this step would persist.
+        The WAL truncates: the checkpoint now covers everything before
+        it.
+        """
+        table = run.table
+        persistent = copy_values(self.persistent)
+        active = copy_active(self.persistent_active)
+        if table is not None and len(table):
+            store = persistent.setdefault(run.program.name, {})
+            act = active.setdefault(run.program.name, set())
+            for v, value, is_active in zip(table.ids, table.values, table.active):
+                store[int(v)] = float(value)
+                if is_active:
+                    act.add(int(v))
+                else:
+                    act.discard(int(v))
+        checkpoint = Checkpoint(
+            out_store=copy_store(self.out_store),
+            in_store=copy_store(self.in_store),
+            persistent=persistent,
+            persistent_active=active,
+            sketch_delta=self.sketch_delta.copy(),
+            run_id=run.spec.run_id,
+            step=run.step,
+        )
+        self._recovery.checkpoints.save(checkpoint)
+        self._recovery.wal.truncate()
+        self.metrics.checkpoints_taken += 1
+
+    def _restore_from_crash(
+        self, crashed_id: int, restore_checkpoint: Optional[Tuple[int, int]]
+    ) -> None:
+        """Rebuild a crashed agent's shard from its durable slot.
+
+        Restore base (latest checkpoint) + WAL suffix reconstructs the
+        exact edge stores and un-flushed sketch delta; persisted values
+        come from the rollback checkpoint (mid-run recovery), the
+        pre-run snapshot (restart-mode recovery from a mid-run base), or
+        the base itself.  Edges the ring now routes elsewhere are
+        dropped by the first directory adoption's migration pass.
+        """
+        source = self._recovery_store.slot(crashed_id)
+        base = source.checkpoints.latest
+        rolled = None
+        if restore_checkpoint is not None:
+            rolled = source.checkpoints.checkpoint_for(*restore_checkpoint)
+            if rolled is None:
+                raise RuntimeError(
+                    f"replacement for agent {crashed_id} needs checkpoint "
+                    f"{restore_checkpoint} but the durable slot lacks it"
+                )
+        if base is not None:
+            self.out_store = copy_store(base.out_store)
+            self.in_store = copy_store(base.in_store)
+            self.persistent = copy_values(base.persistent)
+            self.persistent_active = copy_active(base.persistent_active)
+            if base.sketch_delta is not None:
+                self.sketch_delta = base.sketch_delta.copy()
+            self.metrics.checkpoints_restored += 1
+        if rolled is not None:
+            # Mid-run rollback: values from the common checkpoint step.
+            self.persistent = copy_values(rolled.persistent)
+            self.persistent_active = copy_active(rolled.persistent_active)
+        elif base is not None and base.run_id is not None:
+            # Restart-mode recovery from a mid-run base: its values are
+            # partially converged and must not seed the re-run; fall
+            # back to the snapshot from before the run's first one.
+            pre = source.checkpoints.pre_run
+            self.persistent = copy_values(pre.persistent) if pre is not None else {}
+            self.persistent_active = (
+                copy_active(pre.persistent_active) if pre is not None else {}
+            )
+        replayed = source.wal.replay(
+            self.out_store,
+            self.in_store,
+            sketch_delta=self.sketch_delta,
+            persistent=self.persistent,
+            persistent_active=self.persistent_active,
+        )
+        self.metrics.wal_records_replayed += replayed
+        self.n_out_edges = sum(len(s) for s in self.out_store.values())
+        self.n_in_edges = sum(len(s) for s in self.in_store.values())
+        self._prune_stores()
+        self.metrics.recoveries_participated += 1
+        self.restored_from = {
+            "agent_id": crashed_id,
+            "checkpoint_step": restore_checkpoint[1] if restore_checkpoint else None,
+            "wal_rows_replayed": replayed,
+            "edges_restored": self.n_out_edges + self.n_in_edges,
+        }
+        # Seed this agent's own slot so it is itself recoverable from
+        # the moment it joins (its WAL starts empty, so the snapshot is
+        # the covering base).
+        self._recovery_store.snapshot_agent(self)
+
+    def _on_recover(self, payload: dict) -> None:
+        """Cluster-wide recovery directive, broadcast after an eviction.
+
+        ``mode`` is decided by the engine from durable checkpoint
+        coverage:
+
+        * ``rollback`` — restore persisted values from the common
+          checkpoint step and suspend; the engine resumes the barrier at
+          that step once the replacement has joined and migration has
+          quiesced.
+        * ``restart`` — no usable common checkpoint (WAL-only
+          degradation): drop the run entirely; the engine re-issues
+          RUN_START and the algorithm re-runs from pre-run state.
+        """
+        incarnation = int(payload["incarnation"])
+        if incarnation <= self._recover_epoch:
+            return  # duplicate broadcast
+        self._recover_epoch = incarnation
+        self._data_inc = incarnation
+        run = self.run
+        if run is None or run.spec.run_id != payload.get("run_id"):
+            return
+        self.metrics.recoveries_participated += 1
+        if payload["mode"] == "restart":
+            self.run = None
+            if self._pending_state is not None:
+                self._adopt_state(self._pending_state)
+            return
+        step = int(payload["step"])
+        checkpoint = self._recovery.checkpoints.checkpoint_for(run.spec.run_id, step)
+        if checkpoint is None:
+            raise RuntimeError(
+                f"agent {self.agent_id} told to roll back to step {step} "
+                "but holds no such checkpoint"
+            )
+        self.persistent = copy_values(checkpoint.persistent)
+        self.persistent_active = copy_active(checkpoint.persistent_active)
+        # Drop every trace of post-checkpoint progress: the resume
+        # rebuilds the table from the restored persistent state, and
+        # stragglers from the old incarnation are fenced by ``inc``.
+        run.table = None
+        run.suspended = True
+        run.ready_sent = False
+        run.initial_work_done = False
+        run.outstanding_acks = 0
+        run.expected_syncs = {}
+        run.sync_partials = {}
+        run.expected_values = set()
+        run.pending_msgs = []
+        run.future_buffer = {}
+        run.round_stats = {}
+        run.split_stats = {}
+        run.step = step
+        if self._pending_state is not None:
+            self._adopt_state(self._pending_state)
 
     # ------------------------------------------------------------------
     # asynchronous mode (monotone programs)
@@ -1437,6 +1728,7 @@ class Agent(Entity):
                     {
                         "step": 0,
                         "round": 0,
+                        "inc": self._data_inc,
                         "dst": np.array([v], dtype=np.int64),
                         "val": np.array([payload_val]),
                     },
@@ -1469,6 +1761,7 @@ class Agent(Entity):
                 payload = {
                     "step": 0,
                     "round": 0,
+                    "inc": self._data_inc,
                     "dst": dst_raw[start:end][mask],
                     "val": values[seg_src[mask]],
                 }

@@ -51,7 +51,9 @@ class ClientProxy(Entity):
         self.latencies: List[float] = []
         self.queries_sent = 0
         self.replies_received = 0
-        self._pending: Dict[int, tuple] = {}  # token -> (send time, callback)
+        self.queries_retried = 0
+        # token -> (send time, callback, vertex, program, owner agent id)
+        self._pending: Dict[int, tuple] = {}
         self._next_token = 0
         self.push.push(
             self.directory_address, PacketType.SUBSCRIBE, [PacketType.DIRECTORY_UPDATE]
@@ -68,6 +70,7 @@ class ClientProxy(Entity):
     def _adopt(self, state: DirectoryState) -> None:
         if self.dstate is not None and state.version <= self.dstate.version:
             return
+        previous = self.dstate
         self.dstate = state
         ring = ConsistentHashRing(
             state.agent_ids(),
@@ -86,6 +89,40 @@ class ClientProxy(Entity):
                 split_gate=state.split_vertices,
             ),
         )
+        if previous is not None:
+            self._failover_pending(state)
+
+    def _failover_pending(self, state: DirectoryState) -> None:
+        """Re-issue in-flight queries whose target left the membership.
+
+        A crashed agent never answers; once the directory broadcasts the
+        post-eviction epoch, every pending query routed at it is resent
+        to the vertex's owner under the new ring.  The original send
+        time is kept so latency benchmarks charge failover its real
+        cost.
+        """
+        live = set(state.agents)
+        stranded = [
+            token
+            for token, (_, _, _, _, owner) in self._pending.items()
+            if owner not in live
+        ]
+        for token in stranded:
+            sent_at, callback, vertex, program, _ = self._pending[token]
+            owner = self.placer.owner_of_vertex(vertex, rng=self.rng)
+            self._pending[token] = (sent_at, callback, vertex, program, owner)
+            self.queries_retried += 1
+            self._send_query(token, vertex, program, owner)
+
+    def _send_query(self, token: int, vertex: int, program: str, owner: int) -> None:
+        address = self.dstate.agents.get(owner)
+        if address is None:
+            address = next(iter(sorted(self.dstate.agents.values())))
+        self.push.push(
+            address,
+            PacketType.CLIENT_QUERY,
+            {"vertex": vertex, "program": program, "token": token},
+        )
 
     def query(
         self,
@@ -101,24 +138,17 @@ class ClientProxy(Entity):
             )
         token = self._next_token
         self._next_token += 1
-        self._pending[token] = (self.now, callback)
         self.queries_sent += 1
         owner = self.placer.owner_of_vertex(int(vertex), rng=self.rng)
-        address = self.dstate.agents.get(owner)
-        if address is None:
-            address = next(iter(sorted(self.dstate.agents.values())))
-        self.push.push(
-            address,
-            PacketType.CLIENT_QUERY,
-            {"vertex": int(vertex), "program": program, "token": token},
-        )
+        self._pending[token] = (self.now, callback, int(vertex), program, owner)
+        self._send_query(token, int(vertex), program, owner)
 
     def _on_reply(self, payload: dict) -> None:
         token = payload.get("token")
         entry = self._pending.pop(token, None)
         if entry is None:
             return  # duplicate/stale reply
-        sent_at, callback = entry
+        sent_at, callback = entry[0], entry[1]
         self.replies_received += 1
         self.latencies.append(self.now - sent_at)
         if callback is not None:

@@ -18,6 +18,7 @@ from repro.cluster.agent import Agent
 from repro.cluster.client import ClientProxy
 from repro.cluster.config import ClusterConfig
 from repro.cluster.directory import Directory, DirectoryMaster
+from repro.cluster.recovery import RecoveryStore
 from repro.cluster.streamer import Streamer
 from repro.graph.stream import EdgeBatch
 from repro.net.message import PacketType
@@ -64,6 +65,8 @@ class ElGACluster:
         lead.peers = [d.address for d in self.directories[1:]]
         for d in self.directories[1:]:
             d.peers = [lead.address]
+        for d in self.directories:
+            d.master_address = self.master.address
 
         self.agents: Dict[int, Agent] = {}
         self._departing: List[Agent] = []
@@ -73,6 +76,15 @@ class ElGACluster:
         self.streamers: List[Streamer] = []
         self.clients: List[ClientProxy] = []
         self._scale_rng = entity_rng(config.seed, "cluster-scaler")
+        # Crash tolerance: the durable side-channel every agent
+        # checkpoints into, the crashed-agent parking lot, the recovery
+        # incarnation counter (fences pre-crash data traffic), and a
+        # deterministic trace of crash/recovery decisions.
+        self.recovery = RecoveryStore()
+        self._crashed: Dict[int, Agent] = {}
+        self._incarnation = 0
+        self._crash_rng = entity_rng(config.seed, "cluster-crasher")
+        self.recovery_log: List[dict] = []
 
         for i in range(config.total_agents):
             self.add_agent(node=i // config.agents_per_node, settle=False)
@@ -91,13 +103,22 @@ class ElGACluster:
         return self.directories[index % len(self.directories)]
 
     def add_agent(
-        self, node: Optional[int] = None, settle: bool = True, weight: float = 1.0
+        self,
+        node: Optional[int] = None,
+        settle: bool = True,
+        weight: float = 1.0,
+        recover_from: Optional[int] = None,
+        restore_checkpoint: Optional[tuple] = None,
     ) -> Agent:
         """Bring up one new Agent (elastic scale-up).
 
         ``weight`` is the heterogeneous-capacity extension (§3.4.2
         future work): a weight-w agent contributes w× the virtual ring
         positions and therefore claims roughly w× the edges.
+        ``recover_from`` makes the new agent a *replacement*: it
+        restores the named crashed agent's durable checkpoint (rolled
+        back to ``restore_checkpoint`` when given) and replays its WAL
+        suffix before joining.
         """
         agent_id = self._next_agent_id
         self._next_agent_id += 1
@@ -105,7 +126,16 @@ class ElGACluster:
             node = agent_id // self.config.agents_per_node
         directory = self.directory_for(agent_id)
         agent = Agent(
-            self.network, self.config, agent_id, node, directory.address, weight=weight
+            self.network,
+            self.config,
+            agent_id,
+            node,
+            directory.address,
+            weight=weight,
+            recovery=self.recovery,
+            recover_from=recover_from,
+            restore_checkpoint=restore_checkpoint,
+            incarnation=self._incarnation,
         )
         self.agents[agent_id] = agent
         if settle:
@@ -125,6 +155,74 @@ class ElGACluster:
         agent.initiate_leave()
         if settle:
             self.settle()
+
+    def crash_agent(self, agent_id: Optional[int] = None) -> int:
+        """Abruptly kill one Agent (no drain, no goodbye — §fault model).
+
+        The victim's endpoint vanishes from the fabric mid-flight:
+        pending retransmissions from it are cancelled, messages to it
+        are abandoned by the reliable transport, and nothing it held
+        in memory survives.  Recovery is driven by the failure detector
+        (heartbeat leases) and the durable checkpoint/WAL side-channel.
+
+        Picks a seeded-random victim when ``agent_id`` is None; returns
+        the crashed agent's id.
+        """
+        if not self.agents:
+            raise RuntimeError("no live agents to crash")
+        if agent_id is None:
+            agent_id = int(self._crash_rng.choice(sorted(self.agents)))
+        agent = self.agents.pop(agent_id)
+        agent.crashed = True
+        self.network.detach_abrupt(agent.address)
+        self._crashed[agent_id] = agent
+        self.recovery_log.append(
+            {"event": "crash", "agent_id": agent_id, "time": round(self.kernel.now, 9)}
+        )
+        return agent_id
+
+    def replace_crashed_agent(
+        self,
+        crashed_id: int,
+        run_id: Optional[int] = None,
+        step: Optional[int] = None,
+    ) -> Agent:
+        """Bring up a replacement for a crashed Agent.
+
+        The replacement restores the victim's durable state (latest
+        checkpoint + WAL replay; rolled back to the ``(run_id, step)``
+        value checkpoint when given) and joins the directory normally —
+        the membership broadcast then routes it the edges it now owns
+        and migrates away the restored edges the ring re-homed.
+        """
+        crashed = self._crashed.pop(crashed_id, None)
+        node = crashed.node if crashed is not None else None
+        weight = crashed.weight if crashed is not None else 1.0
+        restore = (run_id, step) if run_id is not None and step is not None else None
+        agent = self.add_agent(
+            node=node,
+            settle=False,
+            weight=weight,
+            recover_from=crashed_id,
+            restore_checkpoint=restore,
+        )
+        self.recovery.forget(crashed_id)
+        self.recovery_log.append(
+            {
+                "event": "replace",
+                "crashed": crashed_id,
+                "replacement": agent.agent_id,
+                "restored_step": step,
+                "wal_replayed": agent.metrics.wal_records_replayed,
+                "edges_restored": agent.total_edges,
+            }
+        )
+        return agent
+
+    def bump_incarnation(self) -> int:
+        """Advance the recovery incarnation (fences stale data traffic)."""
+        self._incarnation += 1
+        return self._incarnation
 
     def scale_to(self, n_agents: int, settle: bool = True) -> None:
         """Scale the cluster up or down to ``n_agents`` total Agents.
@@ -226,7 +324,17 @@ class ElGACluster:
         merged: Dict[int, dict] = {}
         for directory in self.directories:
             merged.update(directory.metric_store)
-        return merged
+        # Autoscaling must never size the cluster off ghosts: drop
+        # snapshots from agents that are suspected, evicted, or crashed
+        # (a dead agent's last report would otherwise linger in a
+        # non-lead directory's store forever).
+        live = set(self.agents)
+        suspected = self.lead._suspected
+        return {
+            agent_id: snap
+            for agent_id, snap in merged.items()
+            if agent_id in live and agent_id not in suspected
+        }
 
     # ------------------------------------------------------------------
     # introspection

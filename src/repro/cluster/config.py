@@ -60,6 +60,21 @@ class ClusterConfig:
     retry_timeout, retry_backoff, retry_timeout_cap, max_retries:
         Reliable-mode retransmission policy (initial timeout seconds,
         exponential factor, timeout ceiling, give-up bound).
+    heartbeat_interval:
+        Simulated seconds between an Agent's HEARTBEAT pushes to its
+        Directory while a synchronous run is live.  ``0`` disables
+        failure detection entirely (the default: classic benchmarks
+        keep their exact traffic counts, and a perfect fabric can
+        never lose an agent).
+    lease_timeout:
+        How long a Directory lets an agent's liveness lease go stale
+        before suspecting it.  Must exceed ``heartbeat_interval`` when
+        detection is enabled.
+    checkpoint_every:
+        Take a coordinated value checkpoint every N supersteps during a
+        synchronous run.  ``0`` disables checkpointing; a crash then
+        degrades to WAL-only recovery (the run restarts from persisted
+        pre-run state instead of rolling back to a mid-run barrier).
     """
 
     nodes: int = 4
@@ -78,6 +93,9 @@ class ClusterConfig:
     retry_backoff: float = 2.0
     retry_timeout_cap: float = 0.1
     max_retries: int = 30
+    heartbeat_interval: float = 0.0
+    lease_timeout: float = 0.025
+    checkpoint_every: int = 0
     transport: TransportModel = field(default_factory=TransportModel.zeromq)
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
 
@@ -98,6 +116,12 @@ class ClusterConfig:
             raise ValueError("retry_backoff must be >= 1")
         if self.max_retries < 1:
             raise ValueError("max_retries must be >= 1")
+        if self.heartbeat_interval < 0:
+            raise ValueError("heartbeat_interval must be >= 0")
+        if self.heartbeat_interval > 0 and self.lease_timeout <= self.heartbeat_interval:
+            raise ValueError("lease_timeout must exceed heartbeat_interval")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
 
     @property
     def hash_fn(self) -> Callable:

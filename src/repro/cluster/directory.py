@@ -135,6 +135,20 @@ class DirectoryMaster(Entity):
             address = self._directories[self._next % len(self._directories)]
             self._next += 1
             ReqRepSocket.reply_to(self.network, message, PacketType.DIRECTORY_ASSIGN, address)
+        elif message.ptype == PacketType.AGENT_SUSPECT:
+            # Failure-detection arbiter: the lead suspects an agent whose
+            # lease lapsed; the master confirms the eviction iff the
+            # agent's endpoint is actually gone (crashed), protecting
+            # slow-but-alive agents from false suspicion.
+            payload = message.payload
+            evict = not self.network.is_attached(int(payload["address"]))
+            verdict = Message(
+                ptype=PacketType.EVICT_CONFIRM,
+                payload={"agent_id": int(payload["agent_id"]), "evict": evict},
+            )
+            verdict.src = self.address
+            verdict.dst = message.src
+            self.network.send(verdict)
         else:
             raise ValueError(f"DirectoryMaster got unexpected {message.ptype.name}")
 
@@ -190,6 +204,17 @@ class Directory(Entity):
         # SUPERSTEP_ADVANCE payload, or None to hold the barrier (used
         # for mid-run elastic scaling).
         self.run_controller: Optional[Callable[[int, int, dict], Optional[dict]]] = None
+        # Failure detection (lead only).  Leases map agent id -> last
+        # heartbeat time; suspicion is arbitrated by the master (whose
+        # address the cluster wires in) before eviction.  While
+        # ``_recovering`` the barrier is held shut: no READY bucket may
+        # complete until the engine finishes reshaping the run.
+        self.master_address: Optional[int] = None
+        self.on_eviction: Optional[Callable[[int], None]] = None
+        self._leases: Dict[int, float] = {}
+        self._suspected: Set[int] = set()
+        self._lease_pending = False
+        self._recovering = False
 
     # -- message dispatch -----------------------------------------------------
 
@@ -224,6 +249,10 @@ class Directory(Entity):
             self._to_lead(message)
         elif ptype == PacketType.SPLIT_REPORT:
             self._to_lead(message)
+        elif ptype == PacketType.HEARTBEAT:
+            self._to_lead(message)
+        elif ptype == PacketType.EVICT_CONFIRM:
+            self._on_evict_confirm(message.payload)
         elif ptype == PacketType.AGENT_READY:
             self._on_agent_ready(message)
         elif ptype == PacketType.READY_REBROADCAST:
@@ -233,7 +262,11 @@ class Directory(Entity):
             self.metric_store[int(payload["agent_id"])] = dict(payload["metrics"])
         elif ptype == PacketType.DIRECTORY_SYNC:
             self._on_sync(message)
-        elif ptype == PacketType.SUPERSTEP_ADVANCE or ptype == PacketType.RUN_START:
+        elif ptype in (
+            PacketType.SUPERSTEP_ADVANCE,
+            PacketType.RUN_START,
+            PacketType.RECOVER,
+        ):
             # Lead-originated control, re-published to local subscribers.
             self.pubsub.publish(ptype, message.payload)
         else:
@@ -247,6 +280,7 @@ class Directory(Entity):
                 PacketType.AGENT_LEAVE: self._lead_leave,
                 PacketType.SKETCH_DELTA: self._lead_sketch_delta,
                 PacketType.SPLIT_REPORT: self._lead_split_report,
+                PacketType.HEARTBEAT: self._lead_heartbeat,
             }[message.ptype]
             handler(message.payload)
         else:
@@ -391,6 +425,12 @@ class Directory(Entity):
         self._lead_collect_ready(int(payload["agent_id"]), payload)
 
     def _lead_collect_ready(self, agent_id: int, payload: dict) -> None:
+        if self._recovering:
+            # An eviction shrank membership mid-round; letting the stale
+            # bucket auto-complete would advance the barrier under the
+            # engine's feet.  READYs for the recovered run restart from
+            # the resume (or re-issued RUN_START) round.
+            return
         round_id = int(payload["round"])
         step = int(payload["step"])
         if round_id <= self._ready_done:
@@ -411,6 +451,12 @@ class Directory(Entity):
 
     def send_advance(self, payload: dict) -> None:
         """Broadcast a SUPERSTEP_ADVANCE to every agent (lead only)."""
+        if payload.get("phase") == "resume":
+            # The barrier re-opens (post-scale or post-recovery); leases
+            # restart from now so time spent suspended never counts
+            # against anyone.
+            self._recovering = False
+            self._reseed_leases()
         self._control_broadcast(PacketType.SUPERSTEP_ADVANCE, payload)
 
     def send_run_start(self, payload: dict) -> None:
@@ -418,7 +464,101 @@ class Directory(Entity):
         # Barrier rounds restart from zero with each run.
         self._ready.clear()
         self._ready_done = -1
+        self._recovering = False
+        self._suspected.clear()
+        self._reseed_leases()
         self._control_broadcast(PacketType.RUN_START, payload)
+
+    # -- failure detection (lead only) ----------------------------------------
+
+    def _reseed_leases(self) -> None:
+        if self.config.heartbeat_interval <= 0:
+            return
+        now = self.now
+        self._leases = {agent_id: now for agent_id in self.state.agents}
+        if not self._lease_pending:
+            self._lease_pending = True
+            self.kernel.schedule(self.config.lease_timeout / 2.0, self._lease_tick)
+
+    def _lead_heartbeat(self, payload: dict) -> None:
+        self._leases[int(payload["agent_id"])] = self.now
+
+    def _lease_tick(self) -> None:
+        self._lease_pending = False
+        controller = self.run_controller
+        if (
+            controller is None
+            or getattr(controller, "done", False)
+            or self.config.heartbeat_interval <= 0
+        ):
+            return  # chain ends with the run; the next run re-arms it
+        now = self.now
+        # While recovery reshapes the cluster — or an apply-only drain /
+        # suspension holds the barrier — agents legitimately go quiet;
+        # refresh instead of suspecting.
+        quiet = self._recovering or getattr(controller, "phase", "") == "apply_only"
+        for agent_id in sorted(self.state.agents):
+            last = self._leases.get(agent_id)
+            if last is None or quiet:
+                self._leases[agent_id] = now
+                continue
+            if agent_id in self._suspected:
+                continue  # verdict pending at the master
+            if now - last > self.config.lease_timeout:
+                self._suspect(agent_id, now - last)
+        self._lease_pending = True
+        self.kernel.schedule(self.config.lease_timeout / 2.0, self._lease_tick)
+
+    def _suspect(self, agent_id: int, overdue: float) -> None:
+        if self.master_address is None:
+            return  # nobody to arbitrate; keep waiting
+        self._suspected.add(agent_id)
+        self.network.stats.lease_expirations += 1
+        interval = self.config.heartbeat_interval
+        self.network.stats.heartbeats_missed += (
+            max(1, int(overdue / interval)) if interval > 0 else 1
+        )
+        suspect = Message(
+            ptype=PacketType.AGENT_SUSPECT,
+            payload={
+                "agent_id": agent_id,
+                "address": self.state.agents.get(agent_id, -1),
+            },
+        )
+        suspect.src = self.address
+        suspect.dst = self.master_address
+        self.network.send(suspect)
+
+    def _on_evict_confirm(self, payload: dict) -> None:
+        if not self.is_lead:
+            raise RuntimeError("only the lead evicts members")
+        agent_id = int(payload["agent_id"])
+        self._suspected.discard(agent_id)
+        if not payload.get("evict"):
+            # False suspicion (slow but alive): refresh and move on.
+            self._leases[agent_id] = self.now
+            return
+        if agent_id not in self.state.agents:
+            return  # duplicate confirmation; already evicted
+        agents = dict(self.state.agents)
+        agents.pop(agent_id)
+        self._weights.pop(agent_id, None)
+        self._leases.pop(agent_id, None)
+        self.metric_store.pop(agent_id, None)
+        self._membership_version += 1
+        # Hold the barrier shut *before* anything else: the eviction
+        # shrinks membership, and a stale READY bucket must not
+        # auto-complete against the smaller set.
+        self._recovering = True
+        self._ready.clear()
+        self._replace_state(agents=agents, bump_batch=False)
+        self._broadcast_now()
+        if self.on_eviction is not None:
+            self.on_eviction(agent_id)
+
+    def broadcast_recover(self, payload: dict) -> None:
+        """Broadcast a RECOVER directive to every agent (lead only)."""
+        self._control_broadcast(PacketType.RECOVER, payload)
 
     def _control_broadcast(self, ptype: PacketType, payload: dict) -> None:
         if not self.is_lead:

@@ -35,6 +35,13 @@ class AgentMetrics:
     # duplicate deliveries it suppressed on this agent's behalf.
     transport_retries: int = 0
     transport_dups_suppressed: int = 0
+    # Crash-tolerance path: liveness signalling and durability work.
+    heartbeats_sent: int = 0
+    checkpoints_taken: int = 0
+    checkpoints_restored: int = 0
+    wal_records_logged: int = 0
+    wal_records_replayed: int = 0
+    recoveries_participated: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict copy (what a METRIC_REPORT would carry)."""
@@ -52,6 +59,12 @@ class AgentMetrics:
             "placement_epoch_invalidations": self.placement_epoch_invalidations,
             "transport_retries": self.transport_retries,
             "transport_dups_suppressed": self.transport_dups_suppressed,
+            "heartbeats_sent": self.heartbeats_sent,
+            "checkpoints_taken": self.checkpoints_taken,
+            "checkpoints_restored": self.checkpoints_restored,
+            "wal_records_logged": self.wal_records_logged,
+            "wal_records_replayed": self.wal_records_replayed,
+            "recoveries_participated": self.recoveries_participated,
         }
 
 

@@ -1,0 +1,256 @@
+"""Durability for crash recovery: checkpoints and a write-ahead log.
+
+ElGA's elasticity machinery (§3.4.3) assumes departures are graceful —
+an agent drains its edges before disconnecting.  A *crash* leaves no
+time to drain, so whatever must survive has to already be off the
+failed process.  This module models that durable side-channel (in a
+real deployment: local disk or a replicated log; here: plain objects
+owned by the cluster orchestrator, deliberately *outside* any
+:class:`~repro.sim.entity.Entity`, so they survive the entity's death).
+
+Two complementary structures per agent:
+
+* :class:`CheckpointStore` — full snapshots of an agent's durable
+  state: edge stores, persisted algorithm values/activation, and the
+  un-flushed sketch delta.  During a synchronous run, *value
+  checkpoints* additionally capture the in-flight vertex table at
+  coordinated barrier steps (every ``checkpoint_every`` supersteps) so
+  that recovery can roll the whole cluster back to the last global
+  checkpoint instead of restarting the run from scratch.
+* :class:`EdgeWAL` — an append-only log of edge-store mutations applied
+  since the last checkpoint.  Replaying the WAL suffix on top of the
+  restored checkpoint reconstructs the exact edge stores (and the exact
+  pending sketch delta) the agent held when it died.  The WAL is
+  truncated whenever a checkpoint is taken.
+
+Checkpoints use copy-on-write-free deep copies of the (small, simulated)
+stores; sizes are tracked so benchmarks can reason about checkpoint
+cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+def copy_store(store: Dict[int, Set[int]]) -> Dict[int, Set[int]]:
+    return {k: set(v) for k, v in store.items()}
+
+
+def copy_values(values: Dict[str, Dict[int, float]]) -> Dict[str, Dict[int, float]]:
+    return {prog: dict(vals) for prog, vals in values.items()}
+
+
+def copy_active(active: Dict[str, Set[int]]) -> Dict[str, Set[int]]:
+    return {prog: set(vs) for prog, vs in active.items()}
+
+
+@dataclass
+class Checkpoint:
+    """One durable snapshot of an agent's recoverable state."""
+
+    out_store: Dict[int, Set[int]]
+    in_store: Dict[int, Set[int]]
+    persistent: Dict[str, Dict[int, float]]
+    persistent_active: Dict[str, Set[int]]
+    sketch_delta: Optional[object] = None  # CountMinSketch copy (or None)
+    # Which run / barrier step this snapshot belongs to.  ``run_id`` is
+    # None for checkpoints taken outside any run (e.g. at agent start).
+    run_id: Optional[int] = None
+    step: int = 0
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(s) for s in self.out_store.values()) + sum(
+            len(s) for s in self.in_store.values()
+        )
+
+
+@dataclass
+class WALRecord:
+    """One applied edge-store mutation batch.
+
+    ``rows`` holds ``(key, other, action)`` triples for mutations that
+    were *actually applied* (duplicate-suppressed inserts and no-op
+    removes never reach the log).  ``sketched`` marks streaming updates
+    that also fed the agent's un-flushed sketch delta; migration traffic
+    does not (§3.4.1: the sketch counts logical graph changes once).
+    ``values``/``active`` carry persisted vertex state that rode along
+    with a migration batch, so a restore recovers algorithm state that
+    moved here after the last checkpoint.
+    """
+
+    role: str  # "out" | "in"
+    rows: List[Tuple[int, int, int]]
+    sketched: bool
+    values: Optional[Dict[str, Dict[int, float]]] = None
+    active: Optional[Dict[str, Set[int]]] = None
+
+
+class EdgeWAL:
+    """Append-only log of edge mutations since the last checkpoint."""
+
+    def __init__(self) -> None:
+        self._records: List[WALRecord] = []
+        self.records_logged = 0
+
+    def append(
+        self,
+        role: str,
+        rows: List[Tuple[int, int, int]],
+        sketched: bool,
+        values: Optional[Dict[str, Dict[int, float]]] = None,
+        active: Optional[Dict[str, Set[int]]] = None,
+    ) -> None:
+        if not rows and not values and not active:
+            return
+        self._records.append(WALRecord(role, list(rows), sketched, values, active))
+        self.records_logged += len(rows)
+
+    def truncate(self) -> None:
+        """Drop all records (a checkpoint now covers them)."""
+        self._records = []
+
+    def __len__(self) -> int:
+        return sum(len(r.rows) for r in self._records)
+
+    def replay(
+        self,
+        out_store: Dict[int, Set[int]],
+        in_store: Dict[int, Set[int]],
+        sketch_delta: Optional[object] = None,
+        persistent: Optional[Dict[str, Dict[int, float]]] = None,
+        persistent_active: Optional[Dict[str, Set[int]]] = None,
+    ) -> int:
+        """Re-apply every logged mutation onto the given stores.
+
+        Returns the number of rows replayed.  When ``sketch_delta`` is
+        given, sketched insert/remove rows are re-counted into it so the
+        replacement agent re-reports exactly the degree deltas the
+        crashed agent had not yet flushed.  When ``persistent`` /
+        ``persistent_active`` are given, migrated-in vertex state logged
+        alongside the rows is merged back in.
+        """
+        import numpy as np
+
+        replayed = 0
+        for record in self._records:
+            store = out_store if record.role == "out" else in_store
+            for key, other, action in record.rows:
+                if action > 0:
+                    store.setdefault(key, set()).add(other)
+                else:
+                    bucket = store.get(key)
+                    if bucket is not None:
+                        bucket.discard(other)
+                        if not bucket:
+                            del store[key]
+                replayed += 1
+            if record.sketched and sketch_delta is not None:
+                inserts = [k for k, _, a in record.rows if a > 0]
+                removes = [k for k, _, a in record.rows if a <= 0]
+                if inserts:
+                    sketch_delta.add(np.asarray(inserts, dtype=np.int64))
+                if removes:
+                    sketch_delta.remove(np.asarray(removes, dtype=np.int64))
+            if record.values and persistent is not None:
+                for prog, vals in record.values.items():
+                    persistent.setdefault(prog, {}).update(vals)
+            if record.active and persistent_active is not None:
+                for prog, verts in record.active.items():
+                    persistent_active.setdefault(prog, set()).update(verts)
+        return replayed
+
+
+class CheckpointStore:
+    """Durable checkpoint slots for one agent.
+
+    ``latest`` is the most recent full snapshot (the restore base for a
+    replacement agent).  ``value_checkpoints`` additionally keeps every
+    barrier-step snapshot of the *current* run, keyed by ``(run_id,
+    step)``: survivors roll back to the crashed agent's checkpoint step,
+    which may be older than their own latest (the crash can land between
+    an agent checkpointing step ``s`` and a peer doing the same).
+    """
+
+    def __init__(self) -> None:
+        self.latest: Optional[Checkpoint] = None
+        self.value_checkpoints: Dict[Tuple[int, int], Checkpoint] = {}
+        # Snapshot from just before the current run's first mid-run
+        # checkpoint: the restore base when recovery must *restart* a
+        # run instead of rolling back (mid-run checkpoints overwrite
+        # ``latest`` with partially-converged values).
+        self.pre_run: Optional[Checkpoint] = None
+        self.checkpoints_taken = 0
+
+    def save(self, checkpoint: Checkpoint) -> None:
+        if checkpoint.run_id is not None and (
+            self.latest is None or self.latest.run_id != checkpoint.run_id
+        ):
+            self.pre_run = self.latest
+        self.latest = checkpoint
+        if checkpoint.run_id is not None:
+            self.value_checkpoints[(checkpoint.run_id, checkpoint.step)] = checkpoint
+        self.checkpoints_taken += 1
+
+    def checkpoint_for(self, run_id: int, step: int) -> Optional[Checkpoint]:
+        return self.value_checkpoints.get((run_id, step))
+
+    def steps_for(self, run_id: int) -> List[int]:
+        return sorted(s for (r, s) in self.value_checkpoints if r == run_id)
+
+    def prune_run(self, run_id: int) -> None:
+        """Drop per-step value checkpoints once a run has completed."""
+        stale = [key for key in self.value_checkpoints if key[0] == run_id]
+        for key in stale:
+            del self.value_checkpoints[key]
+
+
+@dataclass
+class AgentRecoverySlot:
+    """Everything durably held on behalf of one agent."""
+
+    checkpoints: CheckpointStore = field(default_factory=CheckpointStore)
+    wal: EdgeWAL = field(default_factory=EdgeWAL)
+
+
+class RecoveryStore:
+    """Cluster-wide durable storage, one slot per agent id.
+
+    Owned by :class:`~repro.cluster.cluster.ElGACluster` and handed to
+    each agent at construction; slots outlive the agent entity, which
+    is the whole point.
+    """
+
+    def __init__(self) -> None:
+        self._slots: Dict[int, AgentRecoverySlot] = {}
+
+    def slot(self, agent_id: int) -> AgentRecoverySlot:
+        if agent_id not in self._slots:
+            self._slots[agent_id] = AgentRecoverySlot()
+        return self._slots[agent_id]
+
+    def forget(self, agent_id: int) -> None:
+        self._slots.pop(agent_id, None)
+
+    def prune_run(self, run_id: int) -> None:
+        """Drop every agent's per-step checkpoints for a finished run."""
+        for slot in self._slots.values():
+            slot.checkpoints.prune_run(run_id)
+
+    def snapshot_agent(self, agent, run_id: Optional[int] = None, step: int = 0) -> Checkpoint:
+        """Capture a full checkpoint of ``agent`` and truncate its WAL."""
+        checkpoint = Checkpoint(
+            out_store=copy_store(agent.out_store),
+            in_store=copy_store(agent.in_store),
+            persistent=copy_values(agent.persistent),
+            persistent_active=copy_active(agent.persistent_active),
+            sketch_delta=agent.sketch_delta.copy(),
+            run_id=run_id,
+            step=step,
+        )
+        slot = self.slot(agent.agent_id)
+        slot.checkpoints.save(checkpoint)
+        slot.wal.truncate()
+        return checkpoint

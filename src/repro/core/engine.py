@@ -20,6 +20,7 @@ True
 
 from __future__ import annotations
 
+from dataclasses import replace as dc_replace
 from typing import Dict, Iterable, List, Optional, Set
 
 import numpy as np
@@ -75,6 +76,12 @@ class ElGA:
         self._touched_since_run: Set[int] = set()
         self._deletions_since_run = False
         self.ingest_reports: List[dict] = []
+        self._active_controller: Optional[SyncRunController] = None
+        # Recovery-mode bookkeeping for the current sync run: who was a
+        # member when it started, and whether a mid-run elastic scale
+        # already reshaped membership (which invalidates rollback).
+        self._run_members: Set[int] = set()
+        self._scaled_mid_run = False
 
     # ------------------------------------------------------------------
     # graph mutation
@@ -137,6 +144,7 @@ class ElGA:
         incremental: bool = False,
         activate: Optional[np.ndarray] = None,
         scale_plan: Optional[Dict[int, int]] = None,
+        crash_plan: Optional[Dict[int, int]] = None,
     ) -> RunResult:
         """Execute a vertex program to convergence.
 
@@ -154,6 +162,12 @@ class ElGA:
             Mid-run manual scaling: ``{superstep: agent_count}``
             reshapes the cluster after that superstep completes
             (Figure 17's operator action).  Sync mode only.
+        crash_plan:
+            Injected abrupt failures: ``{superstep: count}`` crashes
+            that many agents (no drain) shortly after the barrier for
+            that superstep completes.  Detection and recovery then run
+            through the normal heartbeat/checkpoint machinery; requires
+            ``heartbeat_interval > 0``.  Sync mode only.
 
         Notes
         -----
@@ -177,12 +191,23 @@ class ElGA:
         self._touched_since_run.clear()
         self._deletions_since_run = False
         if mode == "async":
+            if crash_plan:
+                raise ValueError("crash_plan requires synchronous mode")
             return self._run_async(spec)
         if mode != "sync":
             raise ValueError(f"unknown mode {mode!r}")
-        return self._run_sync(spec, scale_plan)
+        return self._run_sync(spec, scale_plan, crash_plan)
 
-    def _run_sync(self, spec: RunSpec, scale_plan: Optional[Dict[int, int]]) -> RunResult:
+    def _run_sync(
+        self,
+        spec: RunSpec,
+        scale_plan: Optional[Dict[int, int]],
+        crash_plan: Optional[Dict[int, int]] = None,
+    ) -> RunResult:
+        if crash_plan and self.config.heartbeat_interval <= 0:
+            raise ValueError(
+                "crash_plan needs failure detection: set heartbeat_interval > 0"
+            )
         lead = self.cluster.lead
         kernel = self.cluster.kernel
         controller = SyncRunController(
@@ -190,21 +215,30 @@ class ElGA:
             kernel,
             scale_plan=scale_plan,
             on_suspended=self._on_run_suspended,
+            crash_plan=crash_plan,
+            on_crash=self._on_crash_due,
         )
         self._active_controller = controller
+        self._run_members = set(self.cluster.agents)
+        self._scaled_mid_run = False
         lead.run_controller = controller
+        lead.on_eviction = self._on_agent_evicted
         start = kernel.now
         lead.send_run_start(spec)
         self.cluster.settle()
         lead.run_controller = None
+        lead.on_eviction = None
         self._active_controller = None
+        # Restart-mode recovery may have reissued the run under a fresh
+        # run_id; prune whatever id actually completed.
+        self.cluster.recovery.prune_run(controller.spec.run_id)
         if not controller.done:
             raise RuntimeError(
                 "run ended without halting — barrier deadlock or lost messages"
             )
         return RunResult(
             program_name=spec.program.name,
-            run_id=spec.run_id,
+            run_id=controller.spec.run_id,
             mode="sync",
             values=self._collect(spec.program.name),
             steps=controller.final_step,
@@ -221,7 +255,9 @@ class ElGA:
         paper's operator issuing pdsh/SIGINT commands mid-computation.
         """
         controller = self._active_controller
+        self._scaled_mid_run = True
         self.cluster.scale_to(target_agents, settle=False)
+        self._run_members = set(self.cluster.agents)
 
         def poll() -> None:
             if self.cluster.consistent():
@@ -232,6 +268,114 @@ class ElGA:
                 self.cluster.kernel.schedule(1e-3, poll)
 
         self.cluster.kernel.schedule(1e-3, poll)
+
+    def _on_crash_due(self, count: int) -> None:
+        """Controller-scheduled fault injection: crash ``count`` agents
+        a beat after the superstep's ADVANCE goes out, so the failure
+        lands mid-superstep with messages in flight."""
+
+        def crash() -> None:
+            for _ in range(count):
+                if len(self.cluster.agents) > 1:
+                    self.cluster.crash_agent()
+
+        self.cluster.kernel.schedule(5e-4, crash)
+
+    def _on_agent_evicted(self, agent_id: int) -> None:
+        """Directory-driven recovery, end to end (runs in simulated time).
+
+        Called by the lead the moment it evicts a crashed agent.  The
+        sequence:
+
+        1. Decide the recovery mode from the *durable* store: roll the
+           whole cluster back to the newest checkpoint step every
+           member (including the victim) holds, or — when there is no
+           such step, checkpointing is off, or membership already
+           changed mid-run — restart the run (WAL-only degradation).
+        2. Broadcast RECOVER; every surviving agent rolls back (or
+           drops the run) and bumps its data-incarnation fence.
+        3. Once all survivors acknowledge (observed via their recovery
+           epoch), bring up the replacement: it restores the victim's
+           checkpoint, replays the WAL suffix, and joins — the
+           membership broadcast then migrates every edge to where the
+           new ring says it lives.
+        4. When migration quiesces, re-open the barrier: resume at the
+           checkpoint step, or re-issue RUN_START.
+        """
+        controller = self._active_controller
+        cluster = self.cluster
+        if controller is None or controller.done:
+            return
+        run_id = controller.spec.run_id
+        step = 0
+        if (
+            self.config.checkpoint_every > 0
+            and not self._scaled_mid_run
+            and self._run_members - {agent_id} == set(cluster.agents)
+        ):
+            common: List[int] = []
+            for member in sorted(set(cluster.agents) | {agent_id}):
+                steps = cluster.recovery.slot(member).checkpoints.steps_for(run_id)
+                common.append(max(steps) if steps else 0)
+            step = min(common) if common else 0
+        mode = "rollback" if step >= 1 else "restart"
+        incarnation = cluster.bump_incarnation()
+        cluster.recovery_log.append(
+            {
+                "event": "recover",
+                "mode": mode,
+                "crashed": agent_id,
+                "step": step,
+                "incarnation": incarnation,
+            }
+        )
+        lead = cluster.lead
+        kernel = cluster.kernel
+        lead.broadcast_recover(
+            {"mode": mode, "run_id": run_id, "step": step, "incarnation": incarnation}
+        )
+
+        def await_rollback() -> None:
+            rolled = all(
+                agent._recover_epoch >= incarnation
+                for agent in cluster.agents.values()
+            )
+            if not rolled:
+                kernel.schedule(1e-3, await_rollback)
+                return
+            cluster.replace_crashed_agent(
+                agent_id,
+                run_id=run_id if mode == "rollback" else None,
+                step=step if mode == "rollback" else None,
+            )
+            self._run_members = set(cluster.agents)
+
+            def await_consistent() -> None:
+                if not cluster.consistent():
+                    kernel.schedule(1e-3, await_consistent)
+                    return
+                if mode == "rollback":
+                    lead.send_advance(
+                        controller.resume_payload(controller.next_round(), step)
+                    )
+                else:
+                    # Restart under a *fresh* run_id: any straggling
+                    # control traffic from the aborted attempt (same old
+                    # run_id, possibly retransmitted much later by the
+                    # reliable transport) is then rejected by the
+                    # agents' run_id guard instead of corrupting the
+                    # new run.
+                    cluster.recovery.prune_run(run_id)
+                    self._run_counter += 1
+                    controller.spec = dc_replace(
+                        controller.spec, run_id=self._run_counter
+                    )
+                    controller.mark_restarted()
+                    lead.send_run_start(controller.spec)
+
+            kernel.schedule(1e-3, await_consistent)
+
+        kernel.schedule(1e-3, await_rollback)
 
     def _run_async(self, spec: RunSpec) -> RunResult:
         if not spec.program.supports_async:

@@ -119,17 +119,22 @@ class SyncRunController:
         kernel,
         scale_plan: Optional[Dict[int, int]] = None,
         on_suspended: Optional[Callable[[int, int, int], None]] = None,
+        crash_plan: Optional[Dict[int, int]] = None,
+        on_crash: Optional[Callable[[int], None]] = None,
     ):
         self.spec = spec
         self.kernel = kernel
         self.scale_plan = dict(scale_plan or {})
         self.on_suspended = on_suspended
+        self.crash_plan = dict(crash_plan or {})
+        self.on_crash = on_crash
         self.phase = "init"
         self.round_started_at = kernel.now
         self.round_durations: List[Tuple[str, int, float]] = []
         self.stats_history: List[Dict[str, float]] = []
         self.done = False
         self.final_step = 0
+        self._last_round = 0
         self._ctx = {"global_n": spec.global_n}
 
     # -- payload builders -------------------------------------------------
@@ -137,6 +142,7 @@ class SyncRunController:
     def _payload(self, round_id: int, step: int, phase: str) -> dict:
         self.phase = phase
         self.round_started_at = self.kernel.now
+        self._last_round = round_id
         return {
             "run_id": self.spec.run_id,
             "round": round_id,
@@ -173,7 +179,24 @@ class SyncRunController:
         if step in self.scale_plan:
             # Drain in-flight state, then the engine reshapes the cluster.
             return self._payload(round_id + 1, step + 1, "apply_only")
+        if self.crash_plan and self.on_crash is not None:
+            due = self.crash_plan.pop(step, None)
+            if due:
+                # The ADVANCE for the next step goes out now; fire the
+                # crash while that round is in flight (abrupt: nothing
+                # drains).  Only armed on plain steps so the failure
+                # detector is never quiesced when the crash lands.
+                self.on_crash(due)
         return self._payload(round_id + 1, step + 1, "step")
+
+    def next_round(self) -> int:
+        """The first round id not yet used by any issued payload."""
+        return self._last_round + 1
+
+    def mark_restarted(self) -> None:
+        """Reset phase tracking when recovery restarts the run."""
+        self.phase = "init"
+        self.round_started_at = self.kernel.now
 
     def resume_payload(self, round_id: int, step: int) -> dict:
         """Built by the engine once migration has quiesced.

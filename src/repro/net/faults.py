@@ -159,15 +159,23 @@ class PartitionWindow:
 class CrashEvent:
     """A scheduled agent departure, keyed by superstep.
 
-    The fabric itself cannot "crash" an agent — departure is a protocol
-    action (the paper's SIGINT graceful leave, §3.4.3).  The chaos
-    harness translates crash events into the engine's mid-run
-    ``scale_plan``, so ``agents_removed`` agents drain and leave after
-    superstep ``after_step`` completes.
+    Two flavors:
+
+    * **graceful** (default): the paper's SIGINT leave (§3.4.3).  The
+      chaos harness translates these into the engine's mid-run
+      ``scale_plan``, so ``agents_removed`` agents drain and leave
+      after superstep ``after_step`` completes.
+    * **abrupt** (``abrupt=True``): a process death.  The harness turns
+      these into a ``crash_plan`` — shortly after superstep
+      ``after_step`` completes, the victim is detached from the fabric
+      mid-superstep with no drain; the directory's lease-based failure
+      detector must notice, evict it, and drive checkpoint/WAL
+      recovery (see ``cluster/recovery.py``).
     """
 
     after_step: int
     agents_removed: int = 1
+    abrupt: bool = False
 
     def __post_init__(self) -> None:
         if self.after_step < 1:
@@ -272,19 +280,37 @@ class FaultPlan:
     # -- harness integration -----------------------------------------------
 
     def scale_plan(self, current_agents: int) -> Dict[int, int]:
-        """Translate crash events into the engine's mid-run scale plan.
+        """Translate *graceful* crash events into the engine's mid-run
+        scale plan.
 
         Returns ``{superstep: target agent count}``, compounding
         removals across events (two crashes of one agent each leave
-        ``current_agents - 2`` at the second event's step).
+        ``current_agents - 2`` at the second event's step).  Abrupt
+        crashes are not drains and are excluded; they come from
+        :meth:`crash_plan` instead.
         """
         plan: Dict[int, int] = {}
         target = int(current_agents)
         for crash in self.crashes:
+            if crash.abrupt:
+                continue
             target -= crash.agents_removed
             if target < 1:
                 raise ValueError("crash schedule removes every agent")
             plan[crash.after_step] = target
+        return plan
+
+    def crash_plan(self) -> Dict[int, int]:
+        """Translate *abrupt* crash events into the engine's crash plan.
+
+        Returns ``{superstep: victims}``: shortly after that superstep's
+        barrier completes, that many agents are killed mid-superstep
+        (detached from the fabric, no drain).
+        """
+        plan: Dict[int, int] = {}
+        for crash in self.crashes:
+            if crash.abrupt:
+                plan[crash.after_step] = plan.get(crash.after_step, 0) + crash.agents_removed
         return plan
 
     # -- convenience constructors ------------------------------------------

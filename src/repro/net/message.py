@@ -58,6 +58,12 @@ class PacketType(enum.IntEnum):
     METRIC_REPORT = 50        # agent -> directory: metric sample
     SCALE_COMMAND = 51        # autoscaler -> cluster: target agent count
 
+    # Failure detection / crash recovery
+    HEARTBEAT = 60            # agent -> directory: liveness lease refresh
+    AGENT_SUSPECT = 61        # lead directory -> master: lease expired
+    EVICT_CONFIRM = 62        # master -> lead directory: eviction verdict
+    RECOVER = 63              # lead directory -> agents: roll back / restart
+
 
 _SCALAR_BYTES = 8
 

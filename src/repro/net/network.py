@@ -72,6 +72,12 @@ class NetworkStats:
     retries_abandoned: int = 0
     duplicates_suppressed: int = 0
     acks_sent: int = 0
+    # Crash-recovery observability, recorded by the directory's failure
+    # detector (the fabric is the shared observability plane): lease
+    # checks that found an agent overdue, and leases that expired all
+    # the way to a confirmed eviction.
+    heartbeats_missed: int = 0
+    lease_expirations: int = 0
 
     def record(self, message: Message) -> None:
         self.messages_sent += 1
@@ -106,6 +112,8 @@ class NetworkStats:
             retries_abandoned=self.retries_abandoned,
             duplicates_suppressed=self.duplicates_suppressed,
             acks_sent=self.acks_sent,
+            heartbeats_missed=self.heartbeats_missed,
+            lease_expirations=self.lease_expirations,
         )
         copy.by_type_count = defaultdict(int, self.by_type_count)
         copy.by_type_bytes = defaultdict(int, self.by_type_bytes)
@@ -216,6 +224,22 @@ class Network:
     def detach(self, address: int) -> None:
         """Remove an entity; later messages to it are counted as dropped."""
         self._entities.pop(address, None)
+
+    def detach_abrupt(self, address: int) -> None:
+        """Crash semantics: remove an entity *and* its transport state.
+
+        A dead process cannot retransmit, so every unacknowledged
+        reliable send it originated is abandoned immediately (copies
+        already on the wire still arrive — the receiver-side guards
+        must tolerate them).  Sends *to* the address are handled by the
+        normal detached-destination abandon path as their timers fire.
+        """
+        self.detach(address)
+        dead = [key for key in self._pending if key[0] == address]
+        for key in dead:
+            entry = self._pending.pop(key)
+            entry.handle.cancel()
+            self.stats.retries_abandoned += 1
 
     def entity_at(self, address: int) -> Optional["Entity"]:
         """The entity registered at ``address``, or None if detached."""

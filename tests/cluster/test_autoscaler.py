@@ -155,3 +155,46 @@ def test_zero_cooldown_allows_back_to_back_actions():
     assert a.desired(current_agents=1, now=0.0) == 2
     a.observe(30.0, 1.0)
     assert a.desired(current_agents=2, now=1.0) is not None
+
+
+# ---------------------------------------------------------------------------
+# Load-snapshot hygiene under failures
+# ---------------------------------------------------------------------------
+
+
+def test_load_snapshot_excludes_crashed_and_suspected_agents():
+    """The autoscaler's input — ``cluster.collect_metrics()`` — must not
+    size the cluster off ghosts.  A crashed agent's last METRIC_REPORT
+    lingers in its (non-lead) directory's store; a suspected agent may
+    be seconds from eviction.  Both are dropped from the snapshot."""
+    import numpy as np
+
+    from repro.core import ElGA
+
+    elga = ElGA(nodes=2, agents_per_node=2, seed=3)
+    rng = np.random.default_rng(1)
+    us = rng.integers(0, 30, size=120)
+    vs = rng.integers(0, 30, size=120)
+    keep = us != vs
+    elga.ingest_edges(us[keep], vs[keep])
+    cluster = elga.cluster
+
+    snaps = cluster.collect_metrics()
+    assert set(snaps) == set(cluster.agents)
+
+    victim = sorted(cluster.agents)[0]
+    cluster.crash_agent(victim)
+    snaps = cluster.collect_metrics()
+    assert victim not in snaps
+    # The stale report is still physically present in some directory's
+    # store — the filter, not garbage collection, keeps it out.
+    assert any(victim in d.metric_store for d in cluster.directories)
+
+    suspect = sorted(cluster.agents)[0]
+    cluster.lead._suspected.add(suspect)
+    try:
+        snaps = cluster.collect_metrics()
+        assert suspect not in snaps
+        assert set(snaps) == set(cluster.agents) - {suspect}
+    finally:
+        cluster.lead._suspected.discard(suspect)

@@ -1,0 +1,286 @@
+"""Durability primitives: CheckpointStore, EdgeWAL, RecoveryStore.
+
+Unit coverage for :mod:`repro.cluster.recovery` plus the in-cluster
+logging discipline: after any amount of streaming ingest (migrations,
+forwards, splits included), ``latest checkpoint + WAL replay`` must
+reconstruct an agent's edge stores exactly.
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.cluster.metrics import AgentMetrics, combine_metrics
+from repro.cluster.recovery import (
+    Checkpoint,
+    CheckpointStore,
+    EdgeWAL,
+    RecoveryStore,
+    copy_active,
+    copy_store,
+    copy_values,
+)
+from repro.sketch.countmin import CountMinSketch
+
+
+# ---------------------------------------------------------------------------
+# EdgeWAL
+# ---------------------------------------------------------------------------
+
+
+def test_wal_append_replay_roundtrip():
+    wal = EdgeWAL()
+    wal.append("out", [(1, 2, 1), (1, 3, 1), (4, 5, 1)], sketched=True)
+    wal.append("in", [(2, 1, 1), (3, 1, 1)], sketched=True)
+    wal.append("out", [(1, 3, -1)], sketched=True)
+    out, inn = {}, {}
+    replayed = wal.replay(out, inn)
+    assert replayed == 6
+    assert out == {1: {2}, 4: {5}}
+    assert inn == {2: {1}, 3: {1}}
+
+
+def test_wal_remove_drops_empty_buckets():
+    wal = EdgeWAL()
+    wal.append("out", [(7, 8, 1)], sketched=False)
+    wal.append("out", [(7, 8, -1)], sketched=False)
+    out, inn = {}, {}
+    wal.replay(out, inn)
+    assert out == {} and inn == {}
+
+
+def test_wal_empty_append_is_noop():
+    wal = EdgeWAL()
+    wal.append("out", [], sketched=True)
+    assert len(wal) == 0
+    assert wal.records_logged == 0
+
+
+def test_wal_truncate_drops_everything():
+    wal = EdgeWAL()
+    wal.append("out", [(1, 2, 1)], sketched=True)
+    assert len(wal) == 1
+    wal.truncate()
+    assert len(wal) == 0
+    out, inn = {}, {}
+    assert wal.replay(out, inn) == 0
+    # records_logged is a lifetime counter; truncation keeps it.
+    assert wal.records_logged == 1
+
+
+def test_wal_replays_migrated_values_and_activation():
+    wal = EdgeWAL()
+    wal.append(
+        "out",
+        [(9, 10, 1)],
+        sketched=False,
+        values={"pagerank": {9: 0.25}},
+        active={"pagerank": {9}},
+    )
+    out, inn = {}, {}
+    persistent = {"pagerank": {1: 0.5}}
+    persistent_active = {}
+    wal.replay(out, inn, persistent=persistent, persistent_active=persistent_active)
+    assert persistent == {"pagerank": {1: 0.5, 9: 0.25}}
+    assert persistent_active == {"pagerank": {9}}
+
+
+def test_wal_value_only_record_survives_without_rows():
+    wal = EdgeWAL()
+    wal.append("out", [], sketched=False, values={"wcc": {3: 3.0}})
+    persistent = {}
+    wal.replay({}, {}, persistent=persistent)
+    assert persistent == {"wcc": {3: 3.0}}
+
+
+def test_wal_recounts_sketched_rows_into_delta():
+    wal = EdgeWAL()
+    wal.append("out", [(5, 6, 1), (5, 7, 1)], sketched=True)
+    wal.append("out", [(5, 7, -1)], sketched=True)
+    wal.append("out", [(5, 8, 1)], sketched=False)  # migration: not sketched
+    delta = CountMinSketch(64, 3, seed=1)
+    wal.replay({}, {}, sketch_delta=delta)
+    assert delta.query(np.array([5]))[0] == 1  # +2 inserts, -1 remove
+
+
+# ---------------------------------------------------------------------------
+# CheckpointStore
+# ---------------------------------------------------------------------------
+
+
+def _checkpoint(run_id=None, step=0, edges=((1, 2),)):
+    out = {}
+    for u, v in edges:
+        out.setdefault(u, set()).add(v)
+    return Checkpoint(
+        out_store=out,
+        in_store={},
+        persistent={},
+        persistent_active={},
+        sketch_delta=None,
+        run_id=run_id,
+        step=step,
+    )
+
+
+def test_checkpoint_store_tracks_latest_and_steps():
+    store = CheckpointStore()
+    assert store.latest is None
+    store.save(_checkpoint())
+    store.save(_checkpoint(run_id=1, step=2))
+    store.save(_checkpoint(run_id=1, step=4))
+    assert store.latest.step == 4
+    assert store.steps_for(1) == [2, 4]
+    assert store.checkpoint_for(1, 2) is not None
+    assert store.checkpoint_for(1, 3) is None
+    assert store.checkpoints_taken == 3
+
+
+def test_checkpoint_store_stashes_pre_run_base():
+    """The snapshot from before a run's first mid-run checkpoint is the
+    restore base for restart-mode recovery (mid-run checkpoints hold
+    partially-converged values)."""
+    store = CheckpointStore()
+    base = _checkpoint(edges=((10, 11),))
+    store.save(base)
+    store.save(_checkpoint(run_id=7, step=2))
+    assert store.pre_run is base
+    # Later checkpoints of the same run leave the stash alone.
+    store.save(_checkpoint(run_id=7, step=4))
+    assert store.pre_run is base
+
+
+def test_prune_run_keeps_latest():
+    store = CheckpointStore()
+    store.save(_checkpoint(run_id=3, step=2))
+    store.prune_run(3)
+    assert store.steps_for(3) == []
+    assert store.latest is not None  # the restore base survives
+
+
+# ---------------------------------------------------------------------------
+# RecoveryStore
+# ---------------------------------------------------------------------------
+
+
+def _fake_agent(agent_id=0):
+    return SimpleNamespace(
+        agent_id=agent_id,
+        out_store={1: {2, 3}},
+        in_store={2: {1}},
+        persistent={"pagerank": {1: 0.9}},
+        persistent_active={"pagerank": {1}},
+        sketch_delta=CountMinSketch(64, 3, seed=0),
+    )
+
+
+def test_recovery_store_slots_are_stable_and_forgettable():
+    store = RecoveryStore()
+    slot = store.slot(4)
+    assert store.slot(4) is slot
+    store.forget(4)
+    assert store.slot(4) is not slot
+
+
+def test_snapshot_agent_copies_state_and_truncates_wal():
+    store = RecoveryStore()
+    agent = _fake_agent(agent_id=2)
+    store.slot(2).wal.append("out", [(1, 2, 1)], sketched=True)
+    checkpoint = store.snapshot_agent(agent)
+    assert len(store.slot(2).wal) == 0
+    assert checkpoint.n_edges == 3
+    # Deep copies: mutating the agent must not leak into the snapshot.
+    agent.out_store[1].add(99)
+    agent.persistent["pagerank"][1] = 0.0
+    assert checkpoint.out_store == {1: {2, 3}}
+    assert checkpoint.persistent == {"pagerank": {1: 0.9}}
+
+
+def test_recovery_store_prune_run_spans_all_slots():
+    store = RecoveryStore()
+    store.slot(0).checkpoints.save(_checkpoint(run_id=5, step=2))
+    store.slot(1).checkpoints.save(_checkpoint(run_id=5, step=2))
+    store.prune_run(5)
+    assert store.slot(0).checkpoints.steps_for(5) == []
+    assert store.slot(1).checkpoints.steps_for(5) == []
+
+
+def test_copy_helpers_deep_copy():
+    out = {1: {2}}
+    vals = {"p": {1: 0.5}}
+    act = {"p": {1}}
+    c_out, c_vals, c_act = copy_store(out), copy_values(vals), copy_active(act)
+    out[1].add(3)
+    vals["p"][2] = 1.0
+    act["p"].add(2)
+    assert c_out == {1: {2}}
+    assert c_vals == {"p": {1: 0.5}}
+    assert c_act == {"p": {1}}
+
+
+# ---------------------------------------------------------------------------
+# In-cluster logging discipline
+# ---------------------------------------------------------------------------
+
+
+def test_checkpoint_plus_wal_rebuilds_every_agent_store():
+    """After arbitrary streaming ingest (placement forwards, migrations,
+    sketch flushes), each agent's durable slot must reconstruct its edge
+    stores exactly: restore = latest checkpoint + WAL suffix replay."""
+    from repro.core import ElGA
+
+    elga = ElGA(nodes=2, agents_per_node=2, seed=13)
+    rng = np.random.default_rng(8)
+    us = rng.integers(0, 50, size=200)
+    vs = rng.integers(0, 50, size=200)
+    keep = us != vs
+    elga.ingest_edges(us[keep], vs[keep])
+    for agent_id, agent in elga.cluster.agents.items():
+        slot = elga.cluster.recovery.slot(agent_id)
+        base = slot.checkpoints.latest
+        out = copy_store(base.out_store) if base else {}
+        inn = copy_store(base.in_store) if base else {}
+        slot.wal.replay(out, inn)
+        assert out == agent.out_store, f"agent {agent_id} out-store diverged"
+        assert inn == agent.in_store, f"agent {agent_id} in-store diverged"
+
+
+# ---------------------------------------------------------------------------
+# Observability counters
+# ---------------------------------------------------------------------------
+
+
+def test_recovery_counters_survive_snapshot_and_combine():
+    a = AgentMetrics()
+    a.heartbeats_sent = 3
+    a.checkpoints_taken = 2
+    a.checkpoints_restored = 1
+    a.wal_records_logged = 40
+    a.wal_records_replayed = 7
+    a.recoveries_participated = 1
+    b = AgentMetrics()
+    b.heartbeats_sent = 5
+    snap = a.snapshot()
+    for key in (
+        "heartbeats_sent",
+        "checkpoints_taken",
+        "checkpoints_restored",
+        "wal_records_logged",
+        "wal_records_replayed",
+        "recoveries_participated",
+    ):
+        assert key in snap
+    total = combine_metrics([a.snapshot(), b.snapshot()])
+    assert total["heartbeats_sent"] == 8
+    assert total["wal_records_logged"] == 40
+
+
+def test_network_stats_track_failure_detection():
+    from repro.net.network import NetworkStats
+
+    stats = NetworkStats()
+    stats.heartbeats_missed += 2
+    stats.lease_expirations += 1
+    snap = stats.snapshot()
+    assert snap.heartbeats_missed == 2
+    assert snap.lease_expirations == 1
