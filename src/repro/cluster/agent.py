@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.cluster.config import ClusterConfig
+from repro.cluster.dataplane import RoundBuffers, combine_pairs
 from repro.cluster.directory import DirectoryState
 from repro.cluster.metrics import AgentMetrics
 from repro.cluster.recovery import (
@@ -119,22 +120,35 @@ class _RunState:
         self.phase = "init"
         self.outstanding_acks = 0
         self.expected_syncs: Dict[int, int] = {}
-        self.sync_partials: Dict[int, List[Tuple[float, bool, float]]] = {}
+        # Replica-sync partials, buffered as parallel arrays per batch
+        # (verts, partials, got, outdeg); ``_maybe_apply_split`` folds
+        # a vertex's rows in canonical sorted order once all of them
+        # are in, so arrival order never shapes the reduction.
+        self.sync_buf: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
         self.expected_values: Set[int] = set()
         self.initial_work_done = False
         self.ready_sent = False
         self.round_stats: Dict[str, float] = {}
-        # Split-vertex stat contributions, keyed by vertex so they can
-        # be folded in canonical (vertex-id) order at READY time —
-        # partial-arrival order must not leak into float sums.
-        self.split_stats: Dict[int, Dict[str, float]] = {}
+        # Split-vertex (old, new, active) per applied vertex; step
+        # stats for them are computed once at READY time over the
+        # vertex-sorted arrays — partial-arrival order must not leak
+        # into float sums.
+        self.split_applied: Dict[int, Tuple[float, float, bool]] = {}
         self.future_buffer: Dict[int, List[dict]] = {}  # step -> payloads
         # This round's incoming (dst, val) message batches.  They are
         # buffered, not applied on arrival: at the next ADVANCE the
         # batches are concatenated, sorted canonically, and folded into
         # the accumulators — so the aggregate is a pure function of the
-        # message *multiset*, independent of delivery order.
+        # message *multiset*, independent of delivery order.  With
+        # coalescing on, each batch is eagerly pre-reduced to one
+        # partial per destination vertex (level 1 of the canonical
+        # reduction), so peak buffer memory is O(unique dst) rather
+        # than O(pairs).
         self.pending_msgs: List[Tuple[np.ndarray, np.ndarray]] = []
+        # Outgoing data-plane emissions of the current round, merged
+        # into one struct-of-arrays packet per (destination, type) at
+        # flush time (see Agent._flush_data_buffers).
+        self.buffers = RoundBuffers()
 
 
 class Agent(Entity):
@@ -213,6 +227,10 @@ class Agent(Entity):
         # the previous incarnation are silently dropped.
         self._recovery_store = recovery if recovery is not None else RecoveryStore()
         self._recovery = self._recovery_store.slot(self.agent_id)
+        # Batched-ack credits: (sender address, incarnation) -> packets
+        # received since the last cumulative VERTEX_MSG_ACK flush.
+        self._ack_credits: Dict[Tuple[int, int], int] = {}
+        self._ack_flush_scheduled = False
         self.crashed = False
         self._heartbeat_pending = False
         self._recover_epoch = incarnation
@@ -339,19 +357,24 @@ class Agent(Entity):
         self._check_split_threshold(hosted)
 
     def _store_arrays(self, store: Dict[int, Set[int]]) -> Tuple[np.ndarray, np.ndarray]:
-        total = sum(len(s) for s in store.values())
-        keys = np.empty(total, dtype=np.int64)
-        vals = np.empty(total, dtype=np.int64)
-        pos = 0
-        for key in sorted(store):
-            others = store[key]
-            if not others:
-                continue
-            n = len(others)
-            keys[pos : pos + n] = key
-            vals[pos : pos + n] = sorted(others)
-            pos += n
-        return keys[:pos], vals[:pos]
+        """Flatten an adjacency store to (keys, others) arrays, keys
+        ascending and values ascending within each key."""
+        if not store:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        keys = np.fromiter(store.keys(), dtype=np.int64, count=len(store))
+        keys.sort()
+        counts = np.fromiter(
+            (len(store[int(k)]) for k in keys), dtype=np.int64, count=len(keys)
+        )
+        total = int(counts.sum())
+        rep_keys = np.repeat(keys, counts)
+        vals = np.fromiter(
+            (v for k in keys for v in store[int(k)]), dtype=np.int64, count=total
+        )
+        # ``rep_keys`` is already key-sorted, so the stable (key, val)
+        # lexsort only orders the values within each key's segment.
+        order = np.lexsort((vals, rep_keys))
+        return rep_keys, vals[order]
 
     def _migrate_misplaced(self) -> None:
         """Re-evaluate every resident edge's owner; forward the rest.
@@ -462,6 +485,18 @@ class Agent(Entity):
     def _on_migrate_ack(self) -> None:
         self._migration_acks_pending -= 1
         self._maybe_finish_leaving()
+
+    def on_reliable_abandoned(self, message) -> None:
+        """The fabric gave up on a reliable send of ours: the
+        destination detached for good.  For an EDGE_MIGRATE that means
+        a departed peer never received the edges — re-process the
+        payload under the current directory (which excludes the
+        leaver), re-routing the rows and acking ourselves so the hop
+        ledger drains instead of deadlocking ``consistent()``."""
+        if self.crashed or message.ptype != PacketType.EDGE_MIGRATE:
+            return
+        self.perf.add("migrations_bounced")
+        self._on_edge_update(dict(message.payload), count_in_sketch=False)
 
     def _maybe_finish_leaving(self) -> None:
         if (
@@ -595,27 +630,9 @@ class Agent(Entity):
 
         # Apply local changes.
         store = self.out_store if role == "out" else self.in_store
-        applied_rows: List[Tuple[int, int, int]] = []
-        n_applied = 0
         rows = np.nonzero(mine)[0]
-        for i in rows:
-            key = int(own[i])
-            val = int(other[i])
-            bucket = store.get(key)
-            if actions[i] > 0:  # insert
-                if bucket is None:
-                    bucket = store[key] = set()
-                if val not in bucket:
-                    bucket.add(val)
-                    n_applied += 1
-                    applied_rows.append((key, val, 1))
-            else:  # remove
-                if bucket is not None and val in bucket:
-                    bucket.remove(val)
-                    n_applied += 1
-                    applied_rows.append((key, val, -1))
-                    if not bucket:
-                        del store[key]
+        applied_rows = self._apply_rows(store, own[rows], other[rows], actions[rows])
+        n_applied = len(applied_rows)
         inserts = [k for k, _, a in applied_rows if a > 0]
         removes = [k for k, _, a in applied_rows if a < 0]
         if role == "out":
@@ -641,7 +658,7 @@ class Agent(Entity):
         wal_values: Optional[Dict[str, Dict[int, float]]] = None
         wal_active: Optional[Dict[str, Set[int]]] = None
         if len(rows):
-            kept = {int(own[i]) for i in rows}
+            kept = set(map(int, np.unique(own[rows])))
             for prog, values in payload.get("values", {}).items():
                 incoming = {int(k): v for k, v in values.items() if int(k) in kept}
                 if incoming:
@@ -678,6 +695,97 @@ class Agent(Entity):
                     PacketType.EDGE_UPDATE_ACK,
                     {"token": payload.get("token"), "count": int(len(rows))},
                 )
+
+    def _apply_rows(
+        self,
+        store: Dict[int, Set[int]],
+        keys: np.ndarray,
+        vals: np.ndarray,
+        actions: np.ndarray,
+    ) -> List[Tuple[int, int, int]]:
+        """Apply one batch of locally-owned edge mutations to ``store``.
+
+        Bulk path: rows group by (action, key) and apply as per-key set
+        operations, returning the *effective* mutations (duplicates and
+        no-ops drop out, exactly as the row-by-row walk would).  The
+        applied rows come back in deterministic (inserts-then-removes,
+        key, value) order; WAL replay is order-insensitive within a
+        batch unless the same (key, value) pair is both inserted and
+        removed, which is the one case routed to the sequential path.
+        """
+        if len(keys) == 0:
+            return []
+        ins = actions > 0
+        if ins.any() and not ins.all():
+            inserted = set(zip(keys[ins].tolist(), vals[ins].tolist()))
+            removed = set(zip(keys[~ins].tolist(), vals[~ins].tolist()))
+            if inserted & removed:
+                return self._apply_rows_sequential(store, keys, vals, actions)
+        self.perf.add("ingest_rows_vectorized", len(keys))
+        applied = self._apply_row_group(store, keys[ins], vals[ins], insert=True)
+        applied += self._apply_row_group(store, keys[~ins], vals[~ins], insert=False)
+        return applied
+
+    def _apply_row_group(
+        self, store: Dict[int, Set[int]], keys: np.ndarray, vals: np.ndarray, insert: bool
+    ) -> List[Tuple[int, int, int]]:
+        applied: List[Tuple[int, int, int]] = []
+        if len(keys) == 0:
+            return applied
+        order = np.lexsort((vals, keys))
+        k = keys[order]
+        v = vals[order]
+        bounds = np.flatnonzero(np.diff(k)) + 1
+        starts = np.concatenate([[0], bounds])
+        ends = np.concatenate([bounds, [len(k)]])
+        for s, e in zip(starts, ends):
+            key = int(k[s])
+            group = set(map(int, v[s:e]))
+            bucket = store.get(key)
+            if insert:
+                if bucket is None:
+                    bucket = store[key] = set()
+                fresh = group - bucket
+                bucket |= fresh
+                applied.extend((key, val, 1) for val in sorted(fresh))
+            else:
+                if bucket is None:
+                    continue
+                gone = group & bucket
+                if gone:
+                    bucket -= gone
+                    if not bucket:
+                        del store[key]
+                    applied.extend((key, val, -1) for val in sorted(gone))
+        return applied
+
+    def _apply_rows_sequential(
+        self,
+        store: Dict[int, Set[int]],
+        keys: np.ndarray,
+        vals: np.ndarray,
+        actions: np.ndarray,
+    ) -> List[Tuple[int, int, int]]:
+        """Row-by-row fallback preserving strict batch order (needed
+        only when a batch inserts *and* removes the same pair)."""
+        applied: List[Tuple[int, int, int]] = []
+        for i in range(len(keys)):
+            key = int(keys[i])
+            val = int(vals[i])
+            bucket = store.get(key)
+            if actions[i] > 0:  # insert
+                if bucket is None:
+                    bucket = store[key] = set()
+                if val not in bucket:
+                    bucket.add(val)
+                    applied.append((key, val, 1))
+            else:  # remove
+                if bucket is not None and val in bucket:
+                    bucket.remove(val)
+                    applied.append((key, val, -1))
+                    if not bucket:
+                        del store[key]
+        return applied
 
     def _check_split_threshold(self, vertices: np.ndarray) -> None:
         """Report vertices whose estimated degree crossed the split
@@ -985,7 +1093,7 @@ class Agent(Entity):
         run.ready_sent = False
         run.initial_work_done = False
         run.round_stats = {}
-        run.split_stats = {}
+        run.split_applied = {}
         if phase == "resume":
             run.suspended = False
             self._start_heartbeats()
@@ -1050,37 +1158,46 @@ class Agent(Entity):
         if not run.my_split:
             return
         # Snapshot every split row's partial *now*, before this round's
-        # scatter starts refilling the accumulators.
-        by_primary: Dict[int, List[Tuple[int, float, bool, float]]] = {}
+        # scatter starts refilling the accumulators.  One batched pos()
+        # probe and array gather for the whole split set.
+        verts = np.fromiter(sorted(run.my_split), dtype=np.int64, count=len(run.my_split))
+        pos = table.pos(verts)
+        partials = table.accum[pos].copy()
+        got = table.got[pos].copy()
+        outdeg = table.out_deg_local[pos].copy()
+        table.accum[pos] = run.program.identity
+        table.got[pos] = False
+        self.perf.add("split_round_rows_vectorized", len(verts))
+        primaries = np.fromiter(
+            (run.my_split[int(v)][0] for v in verts), dtype=np.int64, count=len(verts)
+        )
         run.expected_syncs = {}
-        for v in sorted(run.my_split):
-            replicas = run.my_split[v]
-            p = int(table.pos(np.array([v]))[0])
-            snapshot = (
-                v,
-                float(table.accum[p]),
-                bool(table.got[p]),
-                float(table.out_deg_local[p]),
-            )
-            table.accum[p] = run.program.identity
-            table.got[p] = False
-            if replicas[0] == self.agent_id:
-                run.expected_syncs[v] = len(replicas) - 1
-                run.sync_partials.setdefault(v, []).append(snapshot[1:])
-            else:
-                by_primary.setdefault(replicas[0], []).append(snapshot)
-                run.expected_values.add(v)
-        for primary, rows in sorted(by_primary.items()):
-            payload = {
-                "step": run.step,
-                "round": run.round,
-                "verts": np.array([r[0] for r in rows], dtype=np.int64),
-                "partials": np.array([r[1] for r in rows]),
-                "got": np.array([r[2] for r in rows], dtype=bool),
-                "outdeg": np.array([r[3] for r in rows]),
-            }
-            self._send_data(primary, PacketType.REPLICA_SYNC, payload)
-            self.metrics.replica_syncs += 1
+        mine = primaries == self.agent_id
+        if mine.any():
+            for v in verts[mine]:
+                run.expected_syncs[int(v)] = len(run.my_split[int(v)]) - 1
+            run.sync_buf.append((verts[mine], partials[mine], got[mine], outdeg[mine]))
+        rest = np.flatnonzero(~mine)
+        if len(rest):
+            # One REPLICA_SYNC emission per primary, rows vert-sorted.
+            order = rest[np.argsort(primaries[rest], kind="stable")]
+            p_sorted = primaries[order]
+            bounds = np.flatnonzero(np.diff(p_sorted)) + 1
+            for s, e in zip(
+                np.concatenate([[0], bounds]), np.concatenate([bounds, [len(order)]])
+            ):
+                idx = order[s:e]
+                payload = {
+                    "step": run.step,
+                    "round": run.round,
+                    "verts": verts[idx],
+                    "partials": partials[idx],
+                    "got": got[idx],
+                    "outdeg": outdeg[idx],
+                }
+                self._emit_data(int(p_sorted[s]), PacketType.REPLICA_SYNC, payload)
+                self.metrics.replica_syncs += 1
+            run.expected_values.update(int(v) for v in verts[rest])
         # A primary with zero remote partials outstanding can apply now.
         self._maybe_apply_split()
 
@@ -1104,12 +1221,19 @@ class Agent(Entity):
 
     def _ingest_replica_sync(self, payload: dict) -> None:
         run = self.run
-        for v, partial, got, outdeg in zip(
-            payload["verts"], payload["partials"], payload["got"], payload["outdeg"]
-        ):
+        verts = np.asarray(payload["verts"], dtype=np.int64)
+        run.sync_buf.append(
+            (
+                verts,
+                np.asarray(payload["partials"], dtype=np.float64),
+                np.asarray(payload["got"], dtype=bool),
+                np.asarray(payload["outdeg"], dtype=np.float64),
+            )
+        )
+        unique, counts = np.unique(verts, return_counts=True)
+        for v, c in zip(unique, counts):
             v = int(v)
-            run.sync_partials.setdefault(v, []).append((float(partial), bool(got), float(outdeg)))
-            run.expected_syncs[v] = run.expected_syncs.get(v, 0) - 1
+            run.expected_syncs[v] = run.expected_syncs.get(v, 0) - int(c)
         self._maybe_apply_split()
 
     def _maybe_apply_split(self) -> None:
@@ -1117,65 +1241,83 @@ class Agent(Entity):
         then push the new value (and degree total) to the replicas."""
         run = self.run
         table = run.table
-        ready = [v for v, remaining in run.expected_syncs.items() if remaining <= 0]
+        ready = sorted(v for v, remaining in run.expected_syncs.items() if remaining <= 0)
         if not ready:
             return
         program = run.program
-        by_replica: Dict[int, List[Tuple[int, float, bool, float]]] = {}
-        newly_scatterable: List[int] = []
-        for v in sorted(ready):
+        for v in ready:
             del run.expected_syncs[v]
-            partials = run.sync_partials.pop(v, [])
-            p = int(table.pos(np.array([v]))[0])
-            # Combine purely from the snapshots (the primary's own was
-            # added at round begin); this round's incoming messages sit
-            # in the pending buffer and must not leak in.  Partials fold
-            # in sorted order — replica-arrival order is fabric timing
-            # and must not shape the float reduction.
-            agg = program.identity
-            got = False
-            outdeg = 0.0
-            for partial, pgot, poutdeg in sorted(partials):
-                agg = program.ufunc(agg, partial)
-                got = got or pgot
-                outdeg += poutdeg
-            table.out_deg_total[p] = outdeg
-            if run.phase == "init" or run.phase == "resume":
-                # Initial rounds only establish degree totals; values and
-                # activation were set at table build.
-                new_value = float(table.values[p])
-                active = bool(table.active[p])
-            else:
-                old = table.values[p : p + 1]
-                run.ctx["_vertex_ids"] = table.ids[p : p + 1]
-                new, act = program.apply(
-                    old, np.array([agg]), np.array([got]), run.ctx
-                )
-                # Stash per-vertex; _check_ready folds these into the
-                # round stats in vertex order, not completion order.
-                run.split_stats[v] = program.step_stats(old, new, act)
-                new_value = float(new[0])
-                active = bool(act[0])
-                table.values[p] = new_value
-                table.active[p] = active
-            # Do NOT reset accum/got here: they already hold this
-            # round's incoming messages (the snapshot was taken at
-            # round begin).
-            newly_scatterable.append(p)
+        rverts = np.asarray(ready, dtype=np.int64)
+        # Pull the ready vertices' rows out of the sync buffers; rows
+        # for still-pending vertices stay buffered.
+        if run.sync_buf:
+            allv = np.concatenate([b[0] for b in run.sync_buf])
+            allp = np.concatenate([b[1] for b in run.sync_buf])
+            allg = np.concatenate([b[2] for b in run.sync_buf])
+            allo = np.concatenate([b[3] for b in run.sync_buf])
+        else:  # pragma: no cover - a ready vertex always has its own row
+            allv = np.empty(0, dtype=np.int64)
+            allp = np.empty(0)
+            allg = np.empty(0, dtype=bool)
+            allo = np.empty(0)
+        take = np.isin(allv, rverts)
+        keep = ~take
+        run.sync_buf = (
+            [(allv[keep], allp[keep], allg[keep], allo[keep])] if keep.any() else []
+        )
+        sv, sp, sg, so = allv[take], allp[take], allg[take], allo[take]
+        # Combine purely from the snapshots (the primary's own was
+        # added at round begin); this round's incoming messages sit in
+        # the pending buffer and must not leak in.  Partials fold in
+        # (vertex, partial, got, outdeg)-sorted order — replica-arrival
+        # order is fabric timing and must not shape the float reduction.
+        order = np.lexsort((so, sg, sp, sv))
+        sv, sp, sg, so = sv[order], sp[order], sg[order], so[order]
+        group = np.searchsorted(rverts, sv)
+        agg = np.full(len(rverts), program.identity, dtype=np.float64)
+        program.ufunc.at(agg, group, sp)
+        got = np.zeros(len(rverts), dtype=bool)
+        np.logical_or.at(got, group, sg)
+        outdeg = np.zeros(len(rverts))
+        np.add.at(outdeg, group, so)
+        self.perf.add("split_apply_rows_vectorized", len(rverts))
+        tpos = table.pos(rverts)
+        table.out_deg_total[tpos] = outdeg
+        if run.phase == "init" or run.phase == "resume":
+            # Initial rounds only establish degree totals; values and
+            # activation were set at table build.
+            new_vals = table.values[tpos].copy()
+            act = table.active[tpos].copy()
+        else:
+            old = table.values[tpos].copy()
+            run.ctx["_vertex_ids"] = rverts
+            new_vals, act = program.apply(old, agg, got, run.ctx)
+            table.values[tpos] = new_vals
+            table.active[tpos] = act
+            # Stash (old, new, active) per vertex; _check_ready computes
+            # the split step stats once over the vertex-sorted arrays,
+            # not in completion order.
+            for i, v in enumerate(ready):
+                run.split_applied[v] = (float(old[i]), float(new_vals[i]), bool(act[i]))
+        # Do NOT reset accum/got here: they already hold this round's
+        # incoming messages (the snapshot was taken at round begin).
+        by_replica: Dict[int, List[int]] = {}
+        for i, v in enumerate(ready):
             for replica in run.my_split[v][1:]:
-                by_replica.setdefault(replica, []).append((v, new_value, active, table.out_deg_total[p]))
-        for replica, rows in sorted(by_replica.items()):
+                by_replica.setdefault(replica, []).append(i)
+        for replica in sorted(by_replica):
+            idx = np.asarray(by_replica[replica], dtype=np.int64)
             payload = {
                 "step": run.step,
                 "round": run.round,
-                "verts": np.array([r[0] for r in rows], dtype=np.int64),
-                "values": np.array([r[1] for r in rows]),
-                "active": np.array([r[2] for r in rows], dtype=bool),
-                "outdeg": np.array([r[3] for r in rows]),
+                "verts": rverts[idx],
+                "values": np.asarray(new_vals)[idx],
+                "active": np.asarray(act, dtype=bool)[idx],
+                "outdeg": outdeg[idx],
             }
-            self._send_data(replica, PacketType.REPLICA_VALUE, payload)
-        if run.phase != "apply_only" and newly_scatterable:
-            self._scatter_positions(np.asarray(newly_scatterable, dtype=np.int64))
+            self._emit_data(replica, PacketType.REPLICA_VALUE, payload)
+        if run.phase != "apply_only":
+            self._scatter_positions(tpos)
 
     def _on_replica_value(self, payload: dict, src: int) -> None:
         if self._stale_data(payload):
@@ -1202,8 +1344,7 @@ class Agent(Entity):
         table.values[pos] = payload["values"]
         table.active[pos] = payload["active"]
         table.out_deg_total[pos] = payload["outdeg"]
-        for v in payload["verts"]:
-            run.expected_values.discard(int(v))
+        run.expected_values.difference_update(int(v) for v in payload["verts"])
         if run.phase != "apply_only":
             self._scatter_positions(pos)
 
@@ -1273,16 +1414,14 @@ class Agent(Entity):
             # Per-edge work: hash-map access + lookup + buffer write.
             self.charge(count * (costs.elga_edge_op + lookup))
             self.metrics.edges_processed += count
+            self.perf.add("dataplane_pairs_emitted", count)
             payload = {
                 "step": run.step,
                 "round": run.round,
                 "dst": dst_raw[start:end][mask],
                 "val": values[seg_src[mask]],
             }
-            if agent_id == self.agent_id:
-                self._aggregate_local(payload)
-            else:
-                self._send_data(agent_id, PacketType.VERTEX_MSG, payload)
+            self._emit_data(agent_id, PacketType.VERTEX_MSG, payload)
 
     # ------------------------------------------------------------------
     # message aggregation
@@ -1323,21 +1462,35 @@ class Agent(Entity):
     def _aggregate(self, payload: dict) -> None:
         """Buffer one message batch for this round.
 
-        Nothing is folded on arrival: :meth:`_flush_pending_msgs` sorts
-        the round's full (dst, val) multiset canonically before reducing
-        it, so accumulator floats are identical whether the fabric
-        delivered in order, out of order, or via chaos-delayed retries.
+        Without coalescing, the raw batch is kept and
+        :meth:`_flush_pending_msgs` sorts the round's full (dst, val)
+        multiset canonically before reducing it — the seed behaviour.
+
+        With coalescing, a batch is exactly one sender's full round
+        emission, and level 1 of the canonical reduction runs *now*:
+        the batch folds to one partial per destination vertex (in
+        (dst, val)-sorted order, via ``combine_pairs``), so peak
+        buffer memory is O(unique dst) instead of O(pairs).  Combined
+        packets (combining on, cluster-wide config) already carry
+        exactly that reduction, computed sender-side on identical
+        contents in identical order — bit-identical by construction.
+        Either way the accumulator floats are the same whether the
+        fabric delivered in order, out of order, or via chaos-delayed
+        retries.
         """
         run = self.run
         dst = np.asarray(payload["dst"], dtype=np.int64)
         val = np.asarray(payload["val"], dtype=np.float64)
-        run.pending_msgs.append((dst, val))
         self.charge(self.config.costs.elga_vertex_op * len(dst))
+        if self.config.coalescing and not self.config.combining and len(dst):
+            dst, val = combine_pairs(dst, val, run.program.ufunc, run.program.identity)
+        run.pending_msgs.append((dst, val))
 
     def _flush_pending_msgs(self) -> None:
-        """Fold the buffered round's messages into the accumulators in
+        """Fold the buffered round's batches into the accumulators in
         canonical (dst, value) order — a deterministic reduction of the
-        message multiset."""
+        buffered multiset (raw pairs in the legacy path, per-sender
+        partials under coalescing)."""
         run = self.run
         if not run.pending_msgs:
             return
@@ -1365,6 +1518,68 @@ class Agent(Entity):
     # barrier (Figure 2)
     # ------------------------------------------------------------------
 
+    def _emit_data(self, agent_id: int, ptype: PacketType, payload: dict) -> None:
+        """Route one data-plane emission: held in the round buffers
+        while coalescing (one struct-of-arrays packet per destination
+        and type ships at flush time), or sent immediately in the
+        legacy packet-per-emission mode."""
+        if self.config.coalescing:
+            self.run.buffers.add(agent_id, ptype, payload)
+        elif ptype == PacketType.VERTEX_MSG and agent_id == self.agent_id:
+            self._aggregate_local(payload)
+        else:
+            self._send_data(agent_id, ptype, payload)
+
+    def _flush_data_buffers(self) -> None:
+        """Ship this round's coalesced packets, gated on choreography.
+
+        REPLICA_SYNC flushes unconditionally (it *unblocks* primaries).
+        REPLICA_VALUE waits until this primary has applied every split
+        vertex (``expected_syncs`` empty) so one packet per replica
+        carries the whole round.  VERTEX_MSG additionally waits for
+        ``expected_values``: only then can no further scatter happen
+        this round, making each packet's contents exactly "everything
+        this sender produced for that destination this round" — the
+        canonical batch boundary the two-level reduction relies on.
+        The gates introduce no deadlock: sync/value choreography never
+        depends on VERTEX_MSG delivery within a round.
+        """
+        run = self.run
+        if run is None or not self.config.coalescing or run.buffers.empty:
+            return
+        buffers = run.buffers
+        for agent_id, n_emits, payload in buffers.drain_replica(
+            PacketType.REPLICA_SYNC, run.step, run.round
+        ):
+            self.metrics.packets_coalesced += n_emits - 1
+            self._send_data(agent_id, PacketType.REPLICA_SYNC, payload)
+        if run.expected_syncs:
+            return
+        for agent_id, n_emits, payload in buffers.drain_replica(
+            PacketType.REPLICA_VALUE, run.step, run.round
+        ):
+            self.metrics.packets_coalesced += n_emits - 1
+            self._send_data(agent_id, PacketType.REPLICA_VALUE, payload)
+        if run.expected_values or not buffers.pending(PacketType.VERTEX_MSG):
+            return
+        costs = self.config.costs
+        program = run.program
+        for agent_id, n_emits, payload in buffers.drain_vertex_msgs(run.step, run.round):
+            self.metrics.packets_coalesced += n_emits - 1
+            if self.config.combining:
+                pairs_in = len(payload["dst"])
+                payload["dst"], payload["val"] = combine_pairs(
+                    payload["dst"], payload["val"], program.ufunc, program.identity
+                )
+                self.charge(costs.combine_cost(pairs_in))
+                self.perf.add("combine_pairs_in", pairs_in)
+                self.perf.add("combine_pairs_out", len(payload["dst"]))
+                self.metrics.pairs_combined += pairs_in - len(payload["dst"])
+            if agent_id == self.agent_id:
+                self._aggregate_local(payload)
+            else:
+                self._send_data(agent_id, PacketType.VERTEX_MSG, payload)
+
     def _send_data(self, agent_id: int, ptype: PacketType, payload: dict) -> None:
         payload["inc"] = self._data_inc
         self.run.outstanding_acks += 1
@@ -1378,8 +1593,32 @@ class Agent(Entity):
         return int(payload.get("inc", 0)) < self._data_inc
 
     def _ack_data(self, src: int, payload: Optional[dict] = None) -> None:
+        """Acknowledge one data-plane packet: immediately, or — with an
+        ack-batch window — as a credit that a single cumulative
+        VERTEX_MSG_ACK per (sender, incarnation) covers shortly."""
         inc = int(payload.get("inc", 0)) if payload else self._data_inc
-        self.push.push(src, PacketType.VERTEX_MSG_ACK, {"inc": inc})
+        window = self.config.ack_batch_window
+        if window <= 0:
+            self.push.push(src, PacketType.VERTEX_MSG_ACK, {"inc": inc, "count": 1})
+            return
+        key = (src, inc)
+        self._ack_credits[key] = self._ack_credits.get(key, 0) + 1
+        if not self._ack_flush_scheduled:
+            self._ack_flush_scheduled = True
+            self.kernel.schedule(window, self._flush_acks)
+
+    def _flush_acks(self) -> None:
+        self._ack_flush_scheduled = False
+        if self.crashed or not self._ack_credits:
+            return
+        credits, self._ack_credits = self._ack_credits, {}
+        for key in sorted(credits):
+            src, inc = key
+            count = credits[key]
+            if count > 1:
+                self.metrics.acks_batched += count - 1
+                self.perf.add("acks_batched", count - 1)
+            self.push.push(src, PacketType.VERTEX_MSG_ACK, {"inc": inc, "count": count})
 
     def _on_data_ack(self, payload) -> None:
         run = self.run
@@ -1387,7 +1626,8 @@ class Agent(Entity):
             return
         if isinstance(payload, dict) and int(payload.get("inc", 0)) != self._data_inc:
             return  # ack for a send the rollback already wrote off
-        run.outstanding_acks -= 1
+        count = int(payload.get("count", 1)) if isinstance(payload, dict) else 1
+        run.outstanding_acks -= count
         self._check_ready()
 
     def _check_ready(self) -> None:
@@ -1396,13 +1636,18 @@ class Agent(Entity):
             return
         if run.spec.mode == "async":
             return
+        self._flush_data_buffers()
         if run.outstanding_acks > 0 or run.expected_syncs or run.expected_values:
             return
         run.ready_sent = True
         self.metrics.supersteps += 1
         stats = dict(run.round_stats)
-        for v in sorted(run.split_stats):
-            for key, value in run.split_stats[v].items():
+        if run.split_applied:
+            sverts = sorted(run.split_applied)
+            old = np.array([run.split_applied[v][0] for v in sverts])
+            new = np.array([run.split_applied[v][1] for v in sverts])
+            act = np.array([run.split_applied[v][2] for v in sverts], dtype=bool)
+            for key, value in run.program.step_stats(old, new, act).items():
                 stats[key] = stats.get(key, 0.0) + value
         self.push.push(
             self.directory_address,
@@ -1655,12 +1900,13 @@ class Agent(Entity):
         run.initial_work_done = False
         run.outstanding_acks = 0
         run.expected_syncs = {}
-        run.sync_partials = {}
+        run.sync_buf = []
         run.expected_values = set()
         run.pending_msgs = []
+        run.buffers.clear()
         run.future_buffer = {}
         run.round_stats = {}
-        run.split_stats = {}
+        run.split_applied = {}
         run.step = step
         if self._pending_state is not None:
             self._adopt_state(self._pending_state)

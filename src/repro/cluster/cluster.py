@@ -109,6 +109,7 @@ class ElGACluster:
         weight: float = 1.0,
         recover_from: Optional[int] = None,
         restore_checkpoint: Optional[tuple] = None,
+        agent_id: Optional[int] = None,
     ) -> Agent:
         """Bring up one new Agent (elastic scale-up).
 
@@ -118,10 +119,18 @@ class ElGACluster:
         ``recover_from`` makes the new agent a *replacement*: it
         restores the named crashed agent's durable checkpoint (rolled
         back to ``restore_checkpoint`` when given) and replays its WAL
-        suffix before joining.
+        suffix before joining.  ``agent_id`` pins the identity instead
+        of allocating a fresh one — a replacement reuses its victim's
+        id so it inherits the same ring positions (fabric addresses are
+        never reused; the id is a placement identity, not an endpoint).
         """
-        agent_id = self._next_agent_id
-        self._next_agent_id += 1
+        if agent_id is None:
+            agent_id = self._next_agent_id
+            self._next_agent_id += 1
+        elif agent_id in self.agents:
+            raise ValueError(f"agent id {agent_id} is already a live member")
+        else:
+            self._next_agent_id = max(self._next_agent_id, agent_id + 1)
         if node is None:
             node = agent_id // self.config.agents_per_node
         directory = self.directory_for(agent_id)
@@ -191,9 +200,16 @@ class ElGACluster:
 
         The replacement restores the victim's durable state (latest
         checkpoint + WAL replay; rolled back to the ``(run_id, step)``
-        value checkpoint when given) and joins the directory normally —
-        the membership broadcast then routes it the edges it now owns
-        and migrates away the restored edges the ring re-homed.
+        value checkpoint when given) and rejoins the directory under
+        the *victim's own agent id* (with a fresh fabric address).
+        Reusing the id keeps the consistent-hash ring — and therefore
+        the edge partition — bit-identical to the pre-crash placement:
+        the restored edges are exactly the edges it owns, no
+        re-homing migration runs, and the data plane's canonical
+        reductions regroup identically to a never-crashed cluster.
+        The durable slot carries over with the id (the replacement
+        re-snapshots into it after the restore), so it is *not*
+        forgotten here.
         """
         crashed = self._crashed.pop(crashed_id, None)
         node = crashed.node if crashed is not None else None
@@ -205,8 +221,8 @@ class ElGACluster:
             weight=weight,
             recover_from=crashed_id,
             restore_checkpoint=restore,
+            agent_id=crashed_id,
         )
-        self.recovery.forget(crashed_id)
         self.recovery_log.append(
             {
                 "event": "replace",

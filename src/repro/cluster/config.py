@@ -75,6 +75,34 @@ class ClusterConfig:
         synchronous run.  ``0`` disables checkpointing; a crash then
         degrades to WAL-only recovery (the run restarts from persisted
         pre-run state instead of rolling back to a mid-run barrier).
+    coalescing:
+        Data-plane packet coalescing: buffer every VERTEX_MSG /
+        REPLICA_SYNC / REPLICA_VALUE emission of a round per
+        destination agent and ship one struct-of-arrays packet per
+        (destination, packet type) once the replica choreography for
+        the round has resolved.  Coalescing also switches incoming
+        message folding to the two-level canonical reduction (each
+        round-packet reduces to one partial per destination vertex;
+        partials then fold in (dst, value)-sorted order), which keeps
+        results bit-identical regardless of fabric delivery order.
+        Off = the seed's packet-per-emission behaviour.
+    combining:
+        Sender-side message combining (§3.4: aggregators are
+        commutative/associative precisely so replicas can
+        pre-aggregate): perform the first level of the canonical
+        reduction on the *sender* before the packet ships, so one
+        value per destination vertex crosses the fabric.  The receiver
+        would have folded the identical packet contents in the
+        identical order, so results are bit-identical with combining
+        on or off.  Requires ``coalescing`` (combining an arbitrary
+        per-emission packet would make the reduction tree depend on
+        emission timing).
+    ack_batch_window:
+        Simulated seconds a receiver accrues VERTEX_MSG_ACK credits
+        before flushing one cumulative ack (``count`` = packets
+        covered) per (sender, incarnation).  ``0`` acks every packet
+        individually (the seed behaviour).  Only applies while
+        ``coalescing`` is on.
     """
 
     nodes: int = 4
@@ -96,6 +124,9 @@ class ClusterConfig:
     heartbeat_interval: float = 0.0
     lease_timeout: float = 0.025
     checkpoint_every: int = 0
+    coalescing: bool = True
+    combining: bool = True
+    ack_batch_window: float = 2e-5
     transport: TransportModel = field(default_factory=TransportModel.zeromq)
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
 
@@ -122,6 +153,13 @@ class ClusterConfig:
             raise ValueError("lease_timeout must exceed heartbeat_interval")
         if self.checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
+        if self.ack_batch_window < 0:
+            raise ValueError("ack_batch_window must be >= 0")
+        if self.combining and not self.coalescing:
+            raise ValueError(
+                "combining requires coalescing: without round-buffered "
+                "packets the reduction tree would depend on emission timing"
+            )
 
     @property
     def hash_fn(self) -> Callable:

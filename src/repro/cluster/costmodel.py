@@ -49,6 +49,12 @@ class CostModel:
     elga_lookup_cached: float = 8e-9
     # Applying one vertex update / aggregating one received value.
     elga_vertex_op: float = 25e-9
+    # Sender-side combining: folding one (dst, val) pair into the
+    # per-destination partial before the packet ships.  A streaming
+    # ufunc reduction over a sorted buffer — cheaper than the
+    # receive-side ``elga_vertex_op`` it replaces (no hash-map probe),
+    # and the per-packet ``elga_msg_op`` savings ride on coalescing.
+    elga_combine_op: float = 6e-9
     # Ingesting one edge change (hash-map insert + sketch update).
     elga_ingest_op: float = 180e-9
     # Packing/unpacking one aggregated message buffer (per message, the
@@ -136,6 +142,18 @@ class CostModel:
             return self.elga_lookup_cached
         search = 2 * max(1.0, math.log2(max(ring_positions, 2))) * 1.6e-9
         return self.sketch_query_cost(width, depth) + search
+
+    def combine_cost(self, pairs_in: int) -> float:
+        """Sender-side combining charge for pre-reducing ``pairs_in``
+        raw (dst, val) pairs into per-destination partials.
+
+        The savings are accounted where they occur: the receiver
+        charges ``elga_msg_op`` per *packet* and ``elga_vertex_op``
+        per *delivered pair*, both of which shrink when combining and
+        coalescing reduce the traffic — so total simulated time
+        reflects the smaller wire volume without any special-casing.
+        """
+        return self.elga_combine_op * pairs_in
 
 
 DEFAULT_COSTS = CostModel()

@@ -25,6 +25,13 @@ class AgentMetrics:
     edges_migrated: int = 0        # edges sent away on rebalance
     supersteps: int = 0
     replica_syncs: int = 0
+    # Data-plane fast path: raw (dst, val) pairs the sender-side
+    # combiner removed from the wire, emissions merged away by round
+    # coalescing (emissions - packets), and VERTEX_MSG_ACK packets
+    # saved by cumulative ack batching (credits - ack packets).
+    pairs_combined: int = 0
+    packets_coalesced: int = 0
+    acks_batched: int = 0
     # Placement fast path (synced from the agent's PerfCounters when a
     # METRIC_REPORT is produced).
     placement_cache_hits: int = 0
@@ -54,6 +61,9 @@ class AgentMetrics:
             "edges_migrated": self.edges_migrated,
             "supersteps": self.supersteps,
             "replica_syncs": self.replica_syncs,
+            "pairs_combined": self.pairs_combined,
+            "packets_coalesced": self.packets_coalesced,
+            "acks_batched": self.acks_batched,
             "placement_cache_hits": self.placement_cache_hits,
             "placement_cache_misses": self.placement_cache_misses,
             "placement_epoch_invalidations": self.placement_epoch_invalidations,

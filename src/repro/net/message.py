@@ -87,7 +87,11 @@ def payload_nbytes(payload: Any) -> int:
     if isinstance(payload, str):
         return len(payload.encode("utf-8"))
     if isinstance(payload, dict):
-        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in payload.items())
+        # Field names ("step", "dst", …) are struct layout, not wire
+        # data: a packed struct ships only its values.  Charging keys
+        # would also make the struct-of-arrays data-plane packets pay
+        # O(fields) string costs per packet instead of O(arrays).
+        return sum(payload_nbytes(v) for v in payload.values())
     if isinstance(payload, (list, tuple, set, frozenset)):
         return sum(payload_nbytes(v) for v in payload)
     if hasattr(payload, "nbytes"):

@@ -78,12 +78,22 @@ class NetworkStats:
     # the way to a confirmed eviction.
     heartbeats_missed: int = 0
     lease_expirations: int = 0
+    # Data-plane fast path observability: total packets a cumulative
+    # VERTEX_MSG_ACK acknowledged (its ``count`` field), and how many
+    # of those acks covered more than one packet.
+    data_ack_credits: int = 0
+    data_acks_batched: int = 0
 
     def record(self, message: Message) -> None:
         self.messages_sent += 1
         self.bytes_sent += message.size_bytes
         self.by_type_count[message.ptype] += 1
         self.by_type_bytes[message.ptype] += message.size_bytes
+        if message.ptype == PacketType.VERTEX_MSG_ACK and isinstance(message.payload, dict):
+            count = int(message.payload.get("count", 1))
+            self.data_ack_credits += count
+            if count > 1:
+                self.data_acks_batched += 1
 
     def record_drop(self, message: Message, cause: str) -> None:
         """Count one dropped delivery under its cause and packet type."""
@@ -114,6 +124,8 @@ class NetworkStats:
             acks_sent=self.acks_sent,
             heartbeats_missed=self.heartbeats_missed,
             lease_expirations=self.lease_expirations,
+            data_ack_credits=self.data_ack_credits,
+            data_acks_batched=self.data_acks_batched,
         )
         copy.by_type_count = defaultdict(int, self.by_type_count)
         copy.by_type_bytes = defaultdict(int, self.by_type_bytes)
@@ -388,9 +400,17 @@ class Network:
         if not self.is_attached(message.dst):
             # The destination left for good (addresses are never
             # reused); the message died with it.  The delivery attempts
-            # themselves already counted as detached drops.
+            # themselves already counted as detached drops.  A sender
+            # that still cares gets the payload bounced back (e.g. an
+            # EDGE_MIGRATE hop re-routes the edges to the new owner —
+            # otherwise its ack ledger deadlocks and the edges are
+            # lost with the leaver).
             del self._pending[key]
             self.stats.retries_abandoned += 1
+            sender = self._entities.get(message.src)
+            handler = getattr(sender, "on_reliable_abandoned", None)
+            if handler is not None:
+                self.kernel.schedule(0.0, lambda: handler(message))
             return
         if entry.attempt >= self.max_retries:
             from repro.sim.kernel import SimulationError

@@ -1,0 +1,40 @@
+"""Regression: EDGE_MIGRATE abandoned against a departed peer.
+
+Found by the chaos property suite while shaking down the data-plane
+fast path: a mid-run graceful leave can detach while a chaos-dropped
+EDGE_MIGRATE to it is still in reliable-retry backoff.  The fabric
+abandons the retry — correctly — but before the bounce fix the sending
+hop's ``_migration_acks_pending`` never drained, ``consistent()``
+stayed false, and the post-scale resume poll spun the kernel dry
+(event-budget exhaustion), with the migrating edges lost to boot.
+
+The fix: the fabric hands the abandoned message back to its sender
+(``Agent.on_reliable_abandoned``), which re-acks itself and re-routes
+the rows under the current directory.  This test replays the exact
+falsifying fault stream (full-precision probabilities matter: the
+plan's RNG is consumed per delivery, so rounding changes the run).
+"""
+
+import pytest
+
+from repro.net import CrashEvent, FaultPlan
+
+from .harness import assert_chaos_survives, chaos_graph
+
+pytestmark = pytest.mark.chaos
+
+
+def test_abandoned_migrate_bounces_to_new_owner():
+    us, vs = chaos_graph(n=87, m=121, seed=38)
+    plan = FaultPlan.data_plane_chaos(
+        seed=11416,
+        drop_p=0.14026086356816522,
+        dup_p=0.12237803311822981,
+        reorder_p=0.0008215500510444284,
+        delay_p=0.08574042765875695,
+        crashes=[CrashEvent(after_step=3)],
+    )
+    report = assert_chaos_survives(plan, us, vs)
+    # The scenario only regresses this bug if the leave actually
+    # happened (edge conservation is asserted inside the harness).
+    assert report.scale_plan, "plan compiled no mid-run leave"

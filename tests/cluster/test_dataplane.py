@@ -1,0 +1,352 @@
+"""Data-plane fast path: canonical combining, coalescing, ack batching.
+
+The fast path's contract is *bit-equality*: sender-side combining and
+packet coalescing may change what crosses the wire, but never the
+floats that come out.  These tests pin the algebra at the unit level
+(``combine_pairs``) and the contract at the engine level (combining on
+vs off, ack batching on vs off).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.counters import PerfCounters
+from repro.cluster.agent import Agent
+from repro.cluster.dataplane import RoundBuffers, combine_pairs
+from repro.core import ElGA, PageRank
+from repro.core.algorithms import WCC
+from repro.gen import powerlaw_graph
+from repro.net.message import PacketType
+
+pytestmark = pytest.mark.dataplane
+
+
+# ----------------------------------------------------------------------
+# combine_pairs: the canonical per-batch reduction
+# ----------------------------------------------------------------------
+
+
+def _flush(batches, ids, ufunc, identity):
+    """Reference re-implementation of Agent._flush_pending_msgs."""
+    accum = np.full(len(ids), identity)
+    got = np.zeros(len(ids), dtype=bool)
+    if batches:
+        dst = np.concatenate([b[0] for b in batches])
+        val = np.concatenate([b[1] for b in batches])
+        order = np.lexsort((val, dst))
+        pos = np.searchsorted(ids, dst[order])
+        ufunc.at(accum, pos, val[order])
+        got[pos] = True
+    return accum, got
+
+
+def _random_batch(rng, ids, n):
+    dst = rng.choice(ids, size=n)
+    # Adversarial magnitudes: pair-order sensitivity shows up instantly
+    # if the fold order is not canonical.
+    val = rng.choice([1e-17, 0.1, 1.0, 1e16, 3.7e-5], size=n) * rng.random(n)
+    return dst, val
+
+
+def test_combine_pairs_sorts_and_folds():
+    dst = np.array([5, 3, 5, 3, 9], dtype=np.int64)
+    val = np.array([2.0, 1.0, 0.5, 4.0, 7.0])
+    udst, uval = combine_pairs(dst, val, np.add, 0.0)
+    assert udst.tolist() == [3, 5, 9]
+    assert uval.tolist() == [0.0 + 1.0 + 4.0, 0.0 + 0.5 + 2.0, 7.0]
+
+
+def test_combine_pairs_empty():
+    dst = np.empty(0, dtype=np.int64)
+    val = np.empty(0)
+    udst, uval = combine_pairs(dst, val, np.add, 0.0)
+    assert len(udst) == 0 and len(uval) == 0
+
+
+def test_combine_pairs_is_permutation_invariant():
+    rng = np.random.default_rng(7)
+    ids = np.arange(0, 40, dtype=np.int64)
+    dst, val = _random_batch(rng, ids, 300)
+    base = combine_pairs(dst, val, np.add, 0.0)
+    for _ in range(5):
+        perm = rng.permutation(len(dst))
+        shuffled = combine_pairs(dst[perm], val[perm], np.add, 0.0)
+        assert np.array_equal(base[0], shuffled[0])
+        assert np.array_equal(base[1], shuffled[1])  # bitwise
+
+
+@pytest.mark.parametrize(
+    "ufunc,identity", [(np.add, 0.0), (np.minimum, np.inf), (np.maximum, -np.inf)]
+)
+def test_sender_combine_bit_equals_receiver_fold(ufunc, identity):
+    """Level 1 at the sender == level 1 at the receiver, bit for bit:
+    flushing the combined batch must equal flushing the raw batch."""
+    rng = np.random.default_rng(11)
+    ids = np.arange(0, 64, dtype=np.int64)
+    dst, val = _random_batch(rng, ids, 500)
+    raw_acc, raw_got = _flush([(dst, val)], ids, ufunc, identity)
+    combined_acc, combined_got = _flush(
+        [combine_pairs(dst, val, ufunc, identity)], ids, ufunc, identity
+    )
+    assert np.array_equal(raw_acc, combined_acc)  # bitwise, incl. sums
+    assert np.array_equal(raw_got, combined_got)
+
+
+def test_incremental_partials_match_whole_round_reduction():
+    """Eagerly pre-reducing each batch on arrival (O(unique dst) peak
+    memory) is bit-identical to holding every batch and reducing the
+    whole round at flush time."""
+    rng = np.random.default_rng(23)
+    ids = np.arange(0, 50, dtype=np.int64)
+    batches = [_random_batch(rng, ids, n) for n in (120, 1, 75, 300)]
+    # Incremental: level 1 per batch on arrival, level 2 at flush.
+    eager = [combine_pairs(d, v, np.add, 0.0) for d, v in batches]
+    eager_acc, eager_got = _flush(eager, ids, np.add, 0.0)
+    # Whole-round: batches held raw, identical two-level reduction at
+    # flush time.
+    late = _flush(
+        [combine_pairs(d, v, np.add, 0.0) for d, v in batches], ids, np.add, 0.0
+    )
+    assert np.array_equal(eager_acc, late[0])
+    assert np.array_equal(eager_got, late[1])
+    # Batch arrival order must not matter either (level 2 is canonical).
+    reordered_acc, _ = _flush(eager[::-1], ids, np.add, 0.0)
+    assert np.array_equal(eager_acc, reordered_acc)
+
+
+def test_two_level_vs_legacy_single_level():
+    """The coalesced two-level reduction is exactly the legacy fold for
+    monotone aggregators, and equivalent to rounding for sums."""
+    rng = np.random.default_rng(29)
+    ids = np.arange(0, 50, dtype=np.int64)
+    batches = [_random_batch(rng, ids, n) for n in (200, 80, 33)]
+    for ufunc, identity in ((np.minimum, np.inf), (np.maximum, -np.inf)):
+        legacy, _ = _flush(batches, ids, ufunc, identity)
+        two_level, _ = _flush(
+            [combine_pairs(d, v, ufunc, identity) for d, v in batches],
+            ids,
+            ufunc,
+            identity,
+        )
+        assert np.array_equal(legacy, two_level)  # min/max: bitwise
+    legacy, _ = _flush(batches, ids, np.add, 0.0)
+    two_level, _ = _flush(
+        [combine_pairs(d, v, np.add, 0.0) for d, v in batches], ids, np.add, 0.0
+    )
+    np.testing.assert_allclose(legacy, two_level, rtol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# RoundBuffers: struct-of-arrays packet merging
+# ----------------------------------------------------------------------
+
+
+def test_round_buffers_merge_vertex_msgs():
+    buffers = RoundBuffers()
+    buffers.add(2, PacketType.VERTEX_MSG, {"dst": np.array([4, 1]), "val": np.array([0.5, 0.25])})
+    buffers.add(2, PacketType.VERTEX_MSG, {"dst": np.array([9]), "val": np.array([1.5])})
+    buffers.add(7, PacketType.VERTEX_MSG, {"dst": np.array([3]), "val": np.array([2.0])})
+    assert buffers.emissions == 3
+    packets = list(buffers.drain_vertex_msgs(step=4, round_=5))
+    assert [(a, n) for a, n, _ in packets] == [(2, 2), (7, 1)]
+    merged = packets[0][2]
+    assert merged["step"] == 4 and merged["round"] == 5
+    assert merged["dst"].tolist() == [4, 1, 9]
+    assert merged["val"].tolist() == [0.5, 0.25, 1.5]
+    assert buffers.empty
+
+
+def test_round_buffers_merge_replica_rows_in_vertex_order():
+    buffers = RoundBuffers()
+    buffers.add(
+        3,
+        PacketType.REPLICA_SYNC,
+        {
+            "verts": np.array([9, 2]),
+            "partials": np.array([0.9, 0.2]),
+            "got": np.array([True, False]),
+            "outdeg": np.array([3.0, 1.0]),
+        },
+    )
+    buffers.add(
+        3,
+        PacketType.REPLICA_SYNC,
+        {
+            "verts": np.array([5]),
+            "partials": np.array([0.5]),
+            "got": np.array([True]),
+            "outdeg": np.array([2.0]),
+        },
+    )
+    ((agent_id, n, payload),) = buffers.drain_replica(PacketType.REPLICA_SYNC, 0, 0)
+    assert agent_id == 3 and n == 2
+    assert payload["verts"].tolist() == [2, 5, 9]
+    assert payload["partials"].tolist() == [0.2, 0.5, 0.9]
+    assert payload["got"].tolist() == [False, True, True]
+    assert payload["outdeg"].tolist() == [1.0, 2.0, 3.0]
+
+
+# ----------------------------------------------------------------------
+# vectorized edge ingest (_apply_rows) and _store_arrays
+# ----------------------------------------------------------------------
+
+
+def _bare_agent() -> Agent:
+    agent = object.__new__(Agent)
+    agent.perf = PerfCounters()
+    return agent
+
+
+def _sequential_reference(store, keys, vals, actions):
+    return Agent._apply_rows_sequential(_bare_agent(), store, keys, vals, actions)
+
+
+def _copy_store(store):
+    return {k: set(s) for k, s in store.items()}
+
+
+def test_apply_rows_matches_sequential_semantics():
+    rng = np.random.default_rng(17)
+    for trial in range(20):
+        n = int(rng.integers(1, 60))
+        keys = rng.integers(0, 8, size=n).astype(np.int64)
+        vals = rng.integers(0, 12, size=n).astype(np.int64)
+        actions = rng.choice([1, -1], size=n).astype(np.int8)
+        store = {
+            int(k): {int(v) for v in rng.integers(0, 12, size=4)}
+            for k in rng.integers(0, 8, size=3)
+        }
+        expected_store = _copy_store(store)
+        expected = _sequential_reference(expected_store, keys, vals, actions)
+        got_store = _copy_store(store)
+        got = _bare_agent()._apply_rows(got_store, keys, vals, actions)
+        assert got_store == expected_store, f"trial {trial}: stores diverged"
+        # The applied multiset matches even when the bulk path reorders
+        # rows (order only matters for insert+remove of the same pair,
+        # which routes to the sequential path).
+        assert sorted(got) == sorted(expected), f"trial {trial}"
+
+
+def test_apply_rows_conflicting_pair_keeps_batch_order():
+    store = {1: {5}}
+    keys = np.array([1, 1], dtype=np.int64)
+    vals = np.array([5, 5], dtype=np.int64)
+    # remove (1,5) then re-insert it: strict order matters.
+    actions = np.array([-1, 1], dtype=np.int8)
+    applied = _bare_agent()._apply_rows(store, keys, vals, actions)
+    assert applied == [(1, 5, -1), (1, 5, 1)]
+    assert store == {1: {5}}
+
+
+def test_apply_rows_dedups_repeated_inserts():
+    store = {}
+    keys = np.array([4, 4, 4], dtype=np.int64)
+    vals = np.array([7, 7, 8], dtype=np.int64)
+    actions = np.array([1, 1, 1], dtype=np.int8)
+    applied = _bare_agent()._apply_rows(store, keys, vals, actions)
+    assert applied == [(4, 7, 1), (4, 8, 1)]
+    assert store == {4: {7, 8}}
+
+
+def test_store_arrays_skips_empty_buckets():
+    arrays = Agent._store_arrays(_bare_agent(), {3: {2, 0}, 1: set(), 2: {9}})
+    keys, vals = arrays
+    assert keys.tolist() == [2, 3, 3]
+    assert vals.tolist() == [9, 0, 2]
+
+
+# ----------------------------------------------------------------------
+# engine-level bit-equality and counters
+# ----------------------------------------------------------------------
+
+
+def _engine(seed=9, **overrides):
+    overrides.setdefault("replication_threshold", 40)
+    return ElGA(nodes=2, agents_per_node=2, seed=seed, **overrides)
+
+
+def _graph():
+    us, vs, _ = powerlaw_graph(70, 260, alpha=2.1, seed=5)
+    return us, vs
+
+
+@pytest.mark.parametrize("program_cls", [PageRank, WCC])
+def test_combining_on_off_bit_equal(program_cls):
+    """Sender-side combining must not change a single output bit, for
+    the sum (PageRank) and min (WCC) aggregators, splits included."""
+    us, vs = _graph()
+    fast = _engine(combining=True, coalescing=True)
+    plain = _engine(combining=False, coalescing=True)
+    fast.ingest_edges(us, vs)
+    plain.ingest_edges(us, vs)
+    program = program_cls() if program_cls is WCC else program_cls(max_iters=12)
+    r_fast = fast.run(program)
+    reference = plain.run(program_cls() if program_cls is WCC else program_cls(max_iters=12))
+    assert r_fast.values == reference.values  # bitwise on floats
+    combined = sum(a.metrics.pairs_combined for a in fast.cluster.agents.values())
+    assert combined > 0, "combining never fired — the test exercised nothing"
+    assert sum(a.metrics.pairs_combined for a in plain.cluster.agents.values()) == 0
+    assert sum(a.metrics.replica_syncs for a in fast.cluster.agents.values()) > 0, (
+        "no split vertices — lower replication_threshold"
+    )
+
+
+def test_coalescing_reduces_wire_packets():
+    us, vs = _graph()
+    fast = _engine()
+    legacy = _engine(combining=False, coalescing=False, ack_batch_window=0.0)
+    fast.ingest_edges(us, vs)
+    legacy.ingest_edges(us, vs)
+    r_fast = fast.run(PageRank(max_iters=10))
+    r_legacy = legacy.run(PageRank(max_iters=10))
+    np.testing.assert_allclose(
+        np.array([r_fast.values[k] for k in sorted(r_fast.values)]),
+        np.array([r_legacy.values[k] for k in sorted(r_legacy.values)]),
+        rtol=1e-12,
+    )
+    fast_pkts = fast.cluster.network.stats.by_type_count[PacketType.VERTEX_MSG]
+    legacy_pkts = legacy.cluster.network.stats.by_type_count[PacketType.VERTEX_MSG]
+    # The >= 2x bar lives in benchmarks/bench_dataplane.py on a
+    # hub-heavy mix; this small graph just has to show the mechanism.
+    assert fast_pkts < legacy_pkts * 0.75
+    assert sum(a.metrics.packets_coalesced for a in fast.cluster.agents.values()) > 0
+
+
+def test_ack_batching_counters_and_accounting():
+    us, vs = _graph()
+    fast = _engine()  # default ack_batch_window > 0
+    fast.ingest_edges(us, vs)
+    fast.run(PageRank(max_iters=8))
+    stats = fast.cluster.network.stats
+    acks = stats.by_type_count[PacketType.VERTEX_MSG_ACK]
+    # Every data packet is credited exactly once, in fewer ack packets.
+    assert stats.data_ack_credits == (
+        stats.by_type_count[PacketType.VERTEX_MSG]
+        + stats.by_type_count[PacketType.REPLICA_SYNC]
+        + stats.by_type_count[PacketType.REPLICA_VALUE]
+    )
+    assert acks < stats.data_ack_credits
+    assert stats.data_acks_batched > 0
+    assert sum(a.metrics.acks_batched for a in fast.cluster.agents.values()) > 0
+
+
+def test_legacy_mode_disables_fast_path_counters():
+    engine = ElGA(
+        nodes=2,
+        agents_per_node=2,
+        seed=9,
+        combining=False,
+        coalescing=False,
+        ack_batch_window=0.0,
+    )
+    gus, gvs = _graph()
+    engine.ingest_edges(gus, gvs)
+    engine.run(PageRank(max_iters=6))
+    assert sum(a.metrics.pairs_combined for a in engine.cluster.agents.values()) == 0
+    assert sum(a.metrics.packets_coalesced for a in engine.cluster.agents.values()) == 0
+    assert engine.cluster.network.stats.data_acks_batched == 0
+
+
+def test_combining_requires_coalescing():
+    with pytest.raises(ValueError):
+        ElGA(nodes=1, agents_per_node=2, combining=True, coalescing=False)

@@ -28,11 +28,25 @@ def test_payload_nbytes_arrays():
 
 
 def test_payload_nbytes_containers():
+    # Dict field names are struct layout, not wire data: only values
+    # count (32 bytes of array + 8 bytes of int here).
     payload = {"dst": np.zeros(4, dtype=np.int64), "step": 3}
-    # 3 bytes of keys + 32 bytes array + 8 bytes int + 4 bytes key
-    assert payload_nbytes(payload) == len("dst") + 32 + len("step") + 8
+    assert payload_nbytes(payload) == 32 + 8
     assert payload_nbytes([1, 2, 3]) == 24
     assert payload_nbytes(b"abcd") == 4
+
+
+def test_payload_nbytes_soa_packet_is_o_arrays():
+    """A struct-of-arrays data packet charges its arrays + scalar
+    header fields; the field-name strings are free regardless of how
+    many header fields the packet grows."""
+    arrays = 10 * 8 + 10 * 8
+    small = {"step": 1, "round": 2, "inc": 0,
+             "dst": np.zeros(10, dtype=np.int64), "val": np.zeros(10)}
+    renamed = {"a_very_long_header_field_name": 1, "another_one": 2, "x": 0,
+               "dst": np.zeros(10, dtype=np.int64), "val": np.zeros(10)}
+    assert payload_nbytes(small) == arrays + 3 * 8
+    assert payload_nbytes(renamed) == payload_nbytes(small)
 
 
 def test_payload_nbytes_object_with_nbytes():
