@@ -65,6 +65,10 @@ class ChaosReport:
     crash_plan: Dict[int, int] = field(default_factory=dict)
     recovery_log: List[dict] = field(default_factory=list)
     directory_versions: List[int] = field(default_factory=list)
+    # Populated when the scenario ran with ``tracing=True``: immutable
+    # Trace snapshots keyed "reference" / "chaos", ready for
+    # :func:`repro.obs.diff.diff_traces`.
+    traces: Dict[str, object] = field(default_factory=dict)
 
     @property
     def recoveries(self) -> int:
@@ -158,6 +162,21 @@ def check_cluster_invariants(engine, versions_seen: Optional[List[int]] = None) 
             f"{cluster.network.pending_reliable} reliable sends still pending "
             "after settle"
         )
+    # Determinism guard: the bit-equality claim only holds if nothing in
+    # the run depends on host wall time.  An entity whose PerfCounters
+    # accumulated phase timers without an injected sim clock has been
+    # timing with time.perf_counter(), which is exactly the kind of
+    # nondeterminism this harness exists to exclude.
+    for participant in list(cluster.agents.values()) + list(cluster.streamers):
+        perf = getattr(participant, "perf", None)
+        if perf is None:
+            continue
+        if perf.timers and not perf.deterministic:
+            raise InvariantViolation(
+                f"{participant.name} accumulated wall-clock phase timers "
+                f"{sorted(perf.timers)} inside a determinism-checked run; "
+                "inject PerfCounters(clock=kernel.clock) or stop timing"
+            )
 
 
 def _watch_directory_versions(network) -> List[int]:
@@ -236,6 +255,12 @@ def run_chaos_scenario(
     )
     report.directory_versions = list(versions)
     report.recovery_log = list(chaos.cluster.recovery_log)
+    # With tracing=True in config_overrides both engines carry a Tracer;
+    # snapshot them so callers can diff faulted vs. fault-free.
+    if reference.tracer is not None:
+        report.traces["reference"] = reference.tracer.trace()
+    if chaos.tracer is not None:
+        report.traces["chaos"] = chaos.tracer.trace()
     return report
 
 

@@ -9,17 +9,33 @@ measured win instead of an asserted one.
 Counters are plain monotone integers plus float timers.  They are cheap
 enough to leave enabled everywhere: one dict update per *batch* of
 lookups, never per edge.
+
+Timers default to **wall time** (``time.perf_counter``) and therefore do
+not belong inside determinism-checked simulation paths: two runs of the
+same simulation will record different wall times, so anything comparing
+runs bit-for-bit (the chaos harness) must not see them.  Pass a
+``clock`` callable (e.g. :meth:`repro.sim.kernel.SimKernel.clock`) to
+time phases on the simulated clock instead; such a counter set is
+*deterministic* and safe anywhere.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterable
+from typing import Callable, Dict, Iterable, Optional
 
 
 class PerfCounters:
-    """Named monotone counters and wall-time phase timers.
+    """Named monotone counters and phase timers.
+
+    Parameters
+    ----------
+    clock:
+        Time source for :meth:`phase`.  ``None`` (the default) means
+        wall time via ``time.perf_counter`` — fine for benchmarks,
+        non-deterministic by nature.  Supply the simulation kernel's
+        clock to make timers reproducible.
 
     Examples
     --------
@@ -34,11 +50,17 @@ class PerfCounters:
     True
     """
 
-    __slots__ = ("counts", "timers")
+    __slots__ = ("counts", "timers", "_clock")
 
-    def __init__(self):
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
         self.counts: Dict[str, int] = {}
         self.timers: Dict[str, float] = {}
+        self._clock = clock
+
+    @property
+    def deterministic(self) -> bool:
+        """Whether phase timers use a reproducible (simulated) clock."""
+        return self._clock is not None
 
     def add(self, name: str, n: int = 1) -> None:
         """Increment counter ``name`` by ``n``."""
@@ -46,14 +68,14 @@ class PerfCounters:
 
     @contextmanager
     def phase(self, name: str):
-        """Accumulate real wall time spent inside the block."""
-        start = time.perf_counter()
+        """Accumulate time spent inside the block (wall time unless a
+        ``clock`` was supplied at construction)."""
+        clock = self._clock if self._clock is not None else time.perf_counter
+        start = clock()
         try:
             yield
         finally:
-            self.timers[name] = self.timers.get(name, 0.0) + (
-                time.perf_counter() - start
-            )
+            self.timers[name] = self.timers.get(name, 0.0) + (clock() - start)
 
     def merge(self, other: "PerfCounters") -> None:
         """Add another counter set into this one (for aggregation)."""
@@ -63,10 +85,21 @@ class PerfCounters:
             self.timers[name] = self.timers.get(name, 0.0) + value
 
     def snapshot(self) -> Dict[str, float]:
-        """A flat dict of all counters and timers (timers suffixed ``_s``)."""
+        """A flat dict of all counters and timers (timers suffixed ``_s``).
+
+        A counter literally named ``foo_s`` would silently collide with
+        the export key of a timer named ``foo``; that is a naming bug at
+        the call sites, so it raises instead of dropping data.
+        """
         out: Dict[str, float] = dict(self.counts)
         for name, value in self.timers.items():
-            out[f"{name}_s"] = value
+            key = f"{name}_s"
+            if key in out:
+                raise ValueError(
+                    f"timer {name!r} collides with counter {key!r} in snapshot(); "
+                    "rename one of them"
+                )
+            out[key] = value
         return out
 
     def clear(self) -> None:

@@ -12,6 +12,13 @@ Commands
     result summary (per-superstep simulated times, top vertices).
 ``query``
     Run an algorithm, then answer point queries through a ClientProxy.
+``trace``
+    Run an algorithm with tracing on, print the per-superstep timeline,
+    and export the trace as Chrome ``trace_event`` JSON (open it in
+    Perfetto / ``chrome://tracing``) and optionally JSONL.
+``metrics``
+    Run an algorithm and print the cluster's Prometheus text
+    exposition (agent metrics, fabric stats, cost-model charges).
 """
 
 from __future__ import annotations
@@ -19,8 +26,6 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
-
-import numpy as np
 
 from repro.bench.runner import Table
 from repro.core import ElGA, PageRank, PersonalizedPageRank, SSSP, WCC
@@ -43,13 +48,14 @@ def _build_algorithm(name: str, source: Optional[int], max_iters: int):
     raise SystemExit(f"unknown algorithm {name!r}")
 
 
-def _build_engine(args) -> ElGA:
+def _build_engine(args, tracing: bool = False) -> ElGA:
     data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     elga = ElGA(
         nodes=args.nodes,
         agents_per_node=args.agents_per_node,
         seed=args.seed,
         keep_reference=False,
+        tracing=tracing,
     )
     report = elga.ingest_edges(data.us, data.vs, n_streamers=min(4, args.nodes * 2))
     print(
@@ -96,6 +102,34 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from repro.obs import TraceSummary, write_chrome_trace, write_jsonl
+
+    program, default_mode = _build_algorithm(args.algorithm, args.source, args.max_iters)
+    elga = _build_engine(args, tracing=True)
+    result = elga.run(program, mode=args.mode or default_mode)
+    trace = elga.trace()
+    print(
+        f"{args.algorithm}: {result.steps} superstep(s), "
+        f"{len(trace.spans)} spans, {len(trace.events)} events"
+    )
+    print(TraceSummary.from_trace(trace).format())
+    write_chrome_trace(trace, args.out)
+    print(f"wrote Chrome trace to {args.out} (open in ui.perfetto.dev)")
+    if args.jsonl:
+        n = write_jsonl(trace, args.jsonl)
+        print(f"wrote {n} JSONL records to {args.jsonl}")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    program, default_mode = _build_algorithm(args.algorithm, args.source, args.max_iters)
+    elga = _build_engine(args)
+    elga.run(program, mode=args.mode or default_mode)
+    sys.stdout.write(elga.prometheus_text())
+    return 0
+
+
 def cmd_query(args) -> int:
     program, default_mode = _build_algorithm(args.algorithm, args.source, args.max_iters)
     elga = _build_engine(args)
@@ -135,12 +169,28 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(query_p)
     query_p.add_argument("vertices", type=int, nargs="+", help="vertex ids to query")
 
+    trace_p = sub.add_parser("trace", help="run traced, export a Chrome trace")
+    add_common(trace_p)
+    trace_p.add_argument(
+        "--out", default="trace.json", help="Chrome trace_event output path"
+    )
+    trace_p.add_argument("--jsonl", default=None, help="also dump raw JSONL records")
+
+    metrics_p = sub.add_parser("metrics", help="run, print Prometheus exposition")
+    add_common(metrics_p)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"datasets": cmd_datasets, "run": cmd_run, "query": cmd_query}
+    handlers = {
+        "datasets": cmd_datasets,
+        "run": cmd_run,
+        "query": cmd_query,
+        "trace": cmd_trace,
+        "metrics": cmd_metrics,
+    }
     return handlers[args.command](args)
 
 

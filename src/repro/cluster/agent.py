@@ -235,6 +235,9 @@ class Agent(Entity):
         self._heartbeat_pending = False
         self._recover_epoch = incarnation
         self._data_inc = incarnation
+        # Tracing: when this agent last went quiet waiting on a barrier
+        # (READY sent); the next ADVANCE closes the wait span.
+        self._trace_wait_from: Optional[float] = None
         self.restored_from: Optional[dict] = None
         if recover_from is not None:
             self._restore_from_crash(recover_from, restore_checkpoint)
@@ -1038,6 +1041,8 @@ class Agent(Entity):
             return  # duplicated RUN_START broadcast; the run is live
         run = _RunState(spec)
         self.run = run
+        tracer = self.network.tracer
+        trace_from = self.available_at() if tracer is not None else 0.0
         self._build_table(run, resume=False)
         run.round = 0
         run.step = 0
@@ -1053,6 +1058,15 @@ class Agent(Entity):
         # the broadcast first and scattered already); pick it up now.
         self._drain_pre_run_data(run)
         self._replay_future(run.step)
+        if tracer is not None:
+            tracer.complete(
+                self.name,
+                "superstep:init",
+                "compute",
+                trace_from,
+                self.available_at(),
+                {"round": 0, "step": 0, "phase": "init", "run_id": spec.run_id},
+            )
         self._check_ready()
 
     def _drain_pre_run_data(self, run: _RunState) -> None:
@@ -1075,6 +1089,23 @@ class Agent(Entity):
             run.suspended = True
         if run is None or payload.get("run_id") != run.spec.run_id:
             return
+        tracer = self.network.tracer
+        if tracer is not None and self._trace_wait_from is not None:
+            # The barrier released: close the wait span opened when this
+            # agent reported READY (tagged with the round now starting).
+            tracer.complete(
+                self.name,
+                "barrier_wait",
+                "barrier",
+                self._trace_wait_from,
+                self.now,
+                {
+                    "round": int(payload.get("round", -1)),
+                    "step": int(payload.get("step", -1)),
+                    "phase": payload.get("phase"),
+                },
+            )
+            self._trace_wait_from = None
         self._drain_pre_run_data(run)
         phase = payload["phase"]
         if phase == "halt":
@@ -1094,6 +1125,7 @@ class Agent(Entity):
         run.initial_work_done = False
         run.round_stats = {}
         run.split_applied = {}
+        trace_from = self.available_at() if tracer is not None else 0.0
         if phase == "resume":
             run.suspended = False
             self._start_heartbeats()
@@ -1117,6 +1149,20 @@ class Agent(Entity):
             raise ValueError(f"unknown advance phase {phase!r}")
         run.initial_work_done = True
         self._replay_future(run.step)
+        if tracer is not None:
+            tracer.complete(
+                self.name,
+                f"superstep:{phase}",
+                "compute",
+                trace_from,
+                self.available_at(),
+                {
+                    "round": run.round,
+                    "step": run.step,
+                    "phase": phase,
+                    "run_id": run.spec.run_id,
+                },
+            )
         self._check_ready()
 
     def _apply_phase(self) -> None:
@@ -1547,6 +1593,25 @@ class Agent(Entity):
         run = self.run
         if run is None or not self.config.coalescing or run.buffers.empty:
             return
+        tracer = self.network.tracer
+        if tracer is None:
+            self._flush_data_buffers_inner(run)
+            return
+        trace_from = self.available_at()
+        sent_before = self.metrics.messages_sent
+        self._flush_data_buffers_inner(run)
+        shipped = self.metrics.messages_sent - sent_before
+        if shipped:
+            tracer.complete(
+                self.name,
+                "flush",
+                "comms",
+                trace_from,
+                self.available_at(),
+                {"round": run.round, "step": run.step, "packets": shipped},
+            )
+
+    def _flush_data_buffers_inner(self, run) -> None:
         buffers = run.buffers
         for agent_id, n_emits, payload in buffers.drain_replica(
             PacketType.REPLICA_SYNC, run.step, run.round
@@ -1659,6 +1724,10 @@ class Agent(Entity):
                 "stats": stats,
             },
         )
+        if self.network.tracer is not None:
+            # Quiet from the moment the READY can depart until the next
+            # ADVANCE arrives: that interval is the barrier-wait span.
+            self._trace_wait_from = self.available_at()
         if (
             run.phase == "step"
             and self.config.checkpoint_every > 0
@@ -1763,6 +1832,8 @@ class Agent(Entity):
         The WAL truncates: the checkpoint now covers everything before
         it.
         """
+        tracer = self.network.tracer
+        trace_from = self.available_at() if tracer is not None else 0.0
         table = run.table
         persistent = copy_values(self.persistent)
         active = copy_active(self.persistent_active)
@@ -1787,6 +1858,15 @@ class Agent(Entity):
         self._recovery.checkpoints.save(checkpoint)
         self._recovery.wal.truncate()
         self.metrics.checkpoints_taken += 1
+        if tracer is not None:
+            tracer.complete(
+                self.name,
+                "checkpoint",
+                "durability",
+                trace_from,
+                self.available_at(),
+                {"run_id": run.spec.run_id, "step": run.step, "round": run.round},
+            )
 
     def _restore_from_crash(
         self, crashed_id: int, restore_checkpoint: Optional[Tuple[int, int]]
@@ -1849,6 +1929,9 @@ class Agent(Entity):
             "wal_rows_replayed": replayed,
             "edges_restored": self.n_out_edges + self.n_in_edges,
         }
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.instant(self.name, "restore", "recovery", dict(self.restored_from))
         # Seed this agent's own slot so it is itself recoverable from
         # the moment it joins (its WAL starts empty, so the snapshot is
         # the covering base).
@@ -1877,6 +1960,18 @@ class Agent(Entity):
         if run is None or run.spec.run_id != payload.get("run_id"):
             return
         self.metrics.recoveries_participated += 1
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.instant(
+                self.name,
+                "recover",
+                "recovery",
+                {
+                    "mode": payload["mode"],
+                    "step": payload.get("step"),
+                    "incarnation": incarnation,
+                },
+            )
         if payload["mode"] == "restart":
             self.run = None
             if self._pending_state is not None:

@@ -14,8 +14,9 @@ policy interface is a single ``observe → desired`` pair.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Deque, Optional, Tuple
 
 
 @dataclass
@@ -36,6 +37,10 @@ class ReactiveAutoscaler:
         "to allow the EMA to stabilize").
     min_agents, max_agents:
         Clamp on the target.
+    history_limit:
+        Maximum decision points retained in :attr:`history`.  A serving
+        loop polls ``desired()`` indefinitely, so the record must be a
+        ring buffer, not an unbounded log.
     """
 
     scaling_factor: float
@@ -43,16 +48,20 @@ class ReactiveAutoscaler:
     cooldown: float = 60.0
     min_agents: int = 1
     max_agents: int = 4096
+    history_limit: int = 4096
     _ema: Optional[float] = field(default=None, repr=False)
     _last_obs_time: Optional[float] = field(default=None, repr=False)
     _last_scale_time: float = field(default=-math.inf, repr=False)
-    history: List[Tuple[float, float, int]] = field(default_factory=list, repr=False)
+    history: Deque[Tuple[float, float, int]] = field(default_factory=deque, repr=False)
 
     def __post_init__(self) -> None:
         if self.scaling_factor <= 0:
             raise ValueError(f"scaling_factor must be positive, got {self.scaling_factor}")
         if self.ema_window <= 0 or self.cooldown < 0:
             raise ValueError("ema_window must be positive and cooldown non-negative")
+        if self.history_limit < 1:
+            raise ValueError("history_limit must be >= 1")
+        self.history = deque(self.history, maxlen=self.history_limit)
 
     @property
     def ema(self) -> float:
@@ -60,14 +69,22 @@ class ReactiveAutoscaler:
         return 0.0 if self._ema is None else self._ema
 
     def observe(self, value: float, now: float) -> None:
-        """Feed one metric sample taken at simulated time ``now``."""
+        """Feed one metric sample taken at simulated time ``now``.
+
+        Samples may arrive out of order (metric reports cross the
+        fabric).  A stale sample (``now`` earlier than the newest one
+        seen) gets zero weight — and must *not* rewind the observation
+        clock, or the next in-order sample would see an inflated ``dt``
+        and be over-weighted.
+        """
         if self._ema is None or self._last_obs_time is None:
             self._ema = float(value)
-        else:
-            dt = max(now - self._last_obs_time, 0.0)
-            alpha = 1.0 - math.exp(-dt / self.ema_window)
-            self._ema += alpha * (float(value) - self._ema)
-        self._last_obs_time = now
+            self._last_obs_time = now
+            return
+        dt = max(now - self._last_obs_time, 0.0)
+        alpha = 1.0 - math.exp(-dt / self.ema_window)
+        self._ema += alpha * (float(value) - self._ema)
+        self._last_obs_time = max(self._last_obs_time, now)
 
     def target(self) -> int:
         """Agent count the current EMA calls for (ignoring cooldown)."""

@@ -55,6 +55,10 @@ class ElGACluster:
             retry_timeout_cap=config.retry_timeout_cap,
             max_retries=config.max_retries,
         )
+        if config.tracing:
+            from repro.obs.trace import Tracer
+
+            self.network.tracer = Tracer(self.kernel)
         self.master = DirectoryMaster(self.network, seed=config.seed)
         self.directories: List[Directory] = []
         for i in range(config.n_directories):
@@ -311,6 +315,16 @@ class ElGACluster:
                 f"ingest incomplete: {len(done_at)}/{n_streamers} streamers finished"
             )
         elapsed = max(done_at) - start if done_at else 0.0
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.complete(
+                "cluster",
+                "ingest",
+                "run",
+                start,
+                self.kernel.now,
+                {"edges": len(batch), "streamers": n_streamers},
+            )
         return {
             "edges": float(len(batch)),
             "sim_seconds": elapsed,

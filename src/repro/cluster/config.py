@@ -103,6 +103,12 @@ class ClusterConfig:
         covered) per (sender, incarnation).  ``0`` acks every packet
         individually (the seed behaviour).  Only applies while
         ``coalescing`` is on.
+    tracing:
+        Attach a :class:`~repro.obs.trace.Tracer` to the fabric:
+        every entity records spans (superstep compute, flush, barrier
+        wait, checkpoint, recovery) and message-causality events on the
+        simulated clock.  Off by default — the instrument sites then
+        cost one attribute check each, keeping benchmark throughput.
     """
 
     nodes: int = 4
@@ -127,6 +133,7 @@ class ClusterConfig:
     coalescing: bool = True
     combining: bool = True
     ack_batch_window: float = 2e-5
+    tracing: bool = False
     transport: TransportModel = field(default_factory=TransportModel.zeromq)
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
 

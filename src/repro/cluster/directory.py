@@ -392,6 +392,18 @@ class Directory(Entity):
     def _broadcast_now(self) -> None:
         """Sync peers and publish the new state to local subscribers."""
         snapshot = self._snapshot_state()
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.instant(
+                self.name,
+                "directory_broadcast",
+                "control",
+                {
+                    "version": snapshot.version,
+                    "agents": len(snapshot.agents),
+                    "batch_id": snapshot.batch_id,
+                },
+            )
         for peer in self.peers:
             msg = Message(ptype=PacketType.DIRECTORY_SYNC, payload=snapshot)
             msg.src = self.address
@@ -443,6 +455,14 @@ class Directory(Entity):
             stats = _merge_stats(bucket[k] for k in sorted(bucket))
             del self._ready[round_id]
             self._ready_done = round_id
+            tracer = self.network.tracer
+            if tracer is not None:
+                tracer.instant(
+                    self.name,
+                    "barrier_complete",
+                    "barrier",
+                    {"round": round_id, "step": step, "agents": len(self.state.agents)},
+                )
             if self.run_controller is None:
                 return
             advance = self.run_controller(round_id, step, stats)
@@ -513,6 +533,14 @@ class Directory(Entity):
         if self.master_address is None:
             return  # nobody to arbitrate; keep waiting
         self._suspected.add(agent_id)
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.instant(
+                self.name,
+                "suspect",
+                "failure",
+                {"agent_id": agent_id, "overdue": overdue},
+            )
         self.network.stats.lease_expirations += 1
         interval = self.config.heartbeat_interval
         self.network.stats.heartbeats_missed += (
@@ -540,6 +568,9 @@ class Directory(Entity):
             return
         if agent_id not in self.state.agents:
             return  # duplicate confirmation; already evicted
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.instant(self.name, "evict", "failure", {"agent_id": agent_id})
         agents = dict(self.state.agents)
         agents.pop(agent_id)
         self._weights.pop(agent_id, None)
@@ -558,6 +589,18 @@ class Directory(Entity):
 
     def broadcast_recover(self, payload: dict) -> None:
         """Broadcast a RECOVER directive to every agent (lead only)."""
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.instant(
+                self.name,
+                "recover_broadcast",
+                "recovery",
+                {
+                    "mode": payload.get("mode"),
+                    "step": payload.get("step"),
+                    "incarnation": payload.get("incarnation"),
+                },
+            )
         self._control_broadcast(PacketType.RECOVER, payload)
 
     def _control_broadcast(self, ptype: PacketType, payload: dict) -> None:

@@ -9,7 +9,7 @@ moving average consumes them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
 from typing import Dict
 
 
@@ -51,31 +51,12 @@ class AgentMetrics:
     recoveries_participated: int = 0
 
     def snapshot(self) -> Dict[str, int]:
-        """A plain-dict copy (what a METRIC_REPORT would carry)."""
-        return {
-            "edges_processed": self.edges_processed,
-            "messages_sent": self.messages_sent,
-            "updates_applied": self.updates_applied,
-            "updates_forwarded": self.updates_forwarded,
-            "queries_served": self.queries_served,
-            "edges_migrated": self.edges_migrated,
-            "supersteps": self.supersteps,
-            "replica_syncs": self.replica_syncs,
-            "pairs_combined": self.pairs_combined,
-            "packets_coalesced": self.packets_coalesced,
-            "acks_batched": self.acks_batched,
-            "placement_cache_hits": self.placement_cache_hits,
-            "placement_cache_misses": self.placement_cache_misses,
-            "placement_epoch_invalidations": self.placement_epoch_invalidations,
-            "transport_retries": self.transport_retries,
-            "transport_dups_suppressed": self.transport_dups_suppressed,
-            "heartbeats_sent": self.heartbeats_sent,
-            "checkpoints_taken": self.checkpoints_taken,
-            "checkpoints_restored": self.checkpoints_restored,
-            "wal_records_logged": self.wal_records_logged,
-            "wal_records_replayed": self.wal_records_replayed,
-            "recoveries_participated": self.recoveries_participated,
-        }
+        """A plain-dict copy (what a METRIC_REPORT would carry).
+
+        Derived from the dataclass fields so a newly added counter can
+        never silently miss the export (field drift).
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 def combine_metrics(snapshots) -> Dict[str, int]:

@@ -217,6 +217,7 @@ class ElGA:
             on_suspended=self._on_run_suspended,
             crash_plan=crash_plan,
             on_crash=self._on_crash_due,
+            tracer=self.tracer,
         )
         self._active_controller = controller
         self._run_members = set(self.cluster.agents)
@@ -235,6 +236,20 @@ class ElGA:
         if not controller.done:
             raise RuntimeError(
                 "run ended without halting — barrier deadlock or lost messages"
+            )
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.complete(
+                "engine",
+                f"run:{spec.program.name}",
+                "run",
+                start,
+                kernel.now,
+                {
+                    "run_id": controller.spec.run_id,
+                    "mode": "sync",
+                    "steps": controller.final_step,
+                },
             )
         return RunResult(
             program_name=spec.program.name,
@@ -390,6 +405,16 @@ class ElGA:
         self.cluster.settle()  # quiescence = termination for monotone programs
         for agent in sorted_agents(self.cluster.agents):
             agent.finalize_run(persist=True)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.complete(
+                "engine",
+                f"run:{spec.program.name}",
+                "run",
+                start,
+                kernel.now,
+                {"run_id": spec.run_id, "mode": "async"},
+            )
         return RunResult(
             program_name=spec.program.name,
             run_id=spec.run_id,
@@ -441,6 +466,41 @@ class ElGA:
     @property
     def n_agents(self) -> int:
         return len(self.cluster.agents)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    @property
+    def tracer(self):
+        """The fabric's :class:`~repro.obs.trace.Tracer` (None unless
+        the engine was built with ``tracing=True``)."""
+        return self.cluster.network.tracer
+
+    def trace(self):
+        """Immutable snapshot of everything traced so far.
+
+        Raises if tracing is off — a silently empty trace would read as
+        "nothing happened".
+        """
+        tracer = self.tracer
+        if tracer is None:
+            raise RuntimeError("tracing is disabled; build the engine with tracing=True")
+        return tracer.trace()
+
+    def trace_summary(self):
+        """Per-superstep compute/wait/comms timeline of the trace."""
+        from repro.obs.summary import TraceSummary
+
+        return TraceSummary.from_trace(self.trace())
+
+    def prometheus_text(self) -> str:
+        """Prometheus text exposition of cluster metrics, fabric stats
+        and cost-model charges.  Works with tracing on or off (the
+        metric sources are always live)."""
+        from repro.obs.prom import render_engine_metrics
+
+        return render_engine_metrics(self)
 
     def placement_counters(self):
         """Cluster-wide placement fast-path counters.

@@ -121,6 +121,7 @@ class SyncRunController:
         on_suspended: Optional[Callable[[int, int, int], None]] = None,
         crash_plan: Optional[Dict[int, int]] = None,
         on_crash: Optional[Callable[[int], None]] = None,
+        tracer=None,
     ):
         self.spec = spec
         self.kernel = kernel
@@ -128,6 +129,7 @@ class SyncRunController:
         self.on_suspended = on_suspended
         self.crash_plan = dict(crash_plan or {})
         self.on_crash = on_crash
+        self.tracer = tracer
         self.phase = "init"
         self.round_started_at = kernel.now
         self.round_durations: List[Tuple[str, int, float]] = []
@@ -161,6 +163,15 @@ class SyncRunController:
         duration = self.kernel.now - self.round_started_at
         self.round_durations.append((self.phase, step, duration))
         self.stats_history.append(dict(stats))
+        if self.tracer is not None:
+            self.tracer.complete(
+                "controller",
+                f"round:{self.phase}",
+                "round",
+                self.round_started_at,
+                self.kernel.now,
+                {"round": round_id, "step": step, "phase": self.phase},
+            )
         program = self.spec.program
 
         if self.phase == "apply_only":

@@ -216,6 +216,13 @@ class Network:
         self._entities: Dict[int, "Entity"] = {}
         self._next_address = 0
         self._taps: List[Callable[[Message], None]] = []
+        # Observability plane: when a Tracer is attached every send /
+        # delivery / drop / retransmit becomes a causality event.  None
+        # (the default) keeps the hot paths at a single attribute check.
+        self.tracer = None
+        # Address -> entity name, kept past detach so trace events for
+        # messages racing a departure still resolve to a name.
+        self._names: Dict[int, str] = {}
         # Reliable-mode state: per-link sequence counters, in-flight
         # sends keyed by (src, dst, seq) — seqs are only unique per
         # link, so the key must carry both endpoints — and per-link
@@ -231,7 +238,12 @@ class Network:
         address = self._next_address
         self._next_address += 1
         self._entities[address] = entity
+        self._names[address] = getattr(entity, "name", f"addr-{address}")
         return address
+
+    def name_of(self, address: int) -> str:
+        """The entity name once attached at ``address`` (survives detach)."""
+        return self._names.get(address, f"addr-{address}")
 
     def detach(self, address: int) -> None:
         """Remove an entity; later messages to it are counted as dropped."""
@@ -301,6 +313,15 @@ class Network:
         self.stats.record(message)
         for tap in self._taps:
             tap(message)
+        tracer = self.tracer
+        if tracer is not None and message.ptype != PacketType.DELIVERY_ACK:
+            tracer.message_event(
+                "send",
+                message,
+                self.name_of(message.src),
+                self.name_of(message.src),
+                self.name_of(message.dst),
+            )
         if (
             self.reliable
             and message.ptype != PacketType.DELIVERY_ACK
@@ -323,6 +344,16 @@ class Network:
             if not extra_delays:
                 cause = "partition" if self._partitioned(message) else "chaos"
                 self.stats.record_drop(message, cause)
+                tracer = self.tracer
+                if tracer is not None:
+                    tracer.message_event(
+                        "drop",
+                        message,
+                        self.name_of(message.dst),
+                        self.name_of(message.src),
+                        self.name_of(message.dst),
+                        cause=cause,
+                    )
                 return
             if len(extra_delays) > 1:
                 self.stats.messages_duplicated += len(extra_delays) - 1
@@ -355,8 +386,18 @@ class Network:
             self._on_delivery_ack(message)
             return
         entity = self._entities.get(message.dst)
+        tracer = self.tracer
         if entity is None:
             self.stats.record_drop(message, "detached")
+            if tracer is not None:
+                tracer.message_event(
+                    "drop",
+                    message,
+                    self.name_of(message.dst),
+                    self.name_of(message.src),
+                    self.name_of(message.dst),
+                    cause="detached",
+                )
             return
         if message.seq is not None:
             # Idempotent ack: every arrival is (re-)acknowledged — the
@@ -370,7 +411,19 @@ class Network:
                 perf = getattr(entity, "perf", None)
                 if perf is not None:
                     perf.add("transport_dups_suppressed")
+                if tracer is not None:
+                    tracer.message_event(
+                        "dup_suppressed",
+                        message,
+                        entity.name,
+                        self.name_of(message.src),
+                        entity.name,
+                    )
                 return
+        if tracer is not None:
+            tracer.message_event(
+                "deliver", message, entity.name, self.name_of(message.src), entity.name
+            )
         entity.handle_message(message)
 
     # -- reliable-delivery plumbing -----------------------------------------
@@ -423,6 +476,15 @@ class Network:
         entry.attempt += 1
         self.stats.messages_retried += 1
         self.stats.retries_by_type[message.ptype] += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.message_event(
+                "retransmit",
+                message,
+                self.name_of(message.src),
+                self.name_of(message.src),
+                self.name_of(message.dst),
+            )
         sender = self._entities.get(message.src)
         perf = getattr(sender, "perf", None)
         if perf is not None:

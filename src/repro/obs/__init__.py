@@ -1,0 +1,63 @@
+"""Observability: structured tracing, timelines, exposition, trace diff.
+
+Four pieces (DESIGN.md §6f):
+
+* :mod:`repro.obs.trace` — the :class:`~repro.obs.trace.Tracer`:
+  zero-cost-when-disabled span/event recording on the simulated clock;
+* :mod:`repro.obs.export` — JSONL dump and Chrome ``trace_event``
+  export (Perfetto-viewable), with schema validation;
+* :mod:`repro.obs.summary` — :class:`~repro.obs.summary.TraceSummary`
+  per-superstep compute/wait/comms timelines;
+* :mod:`repro.obs.prom` — Prometheus text exposition of cluster
+  metrics, fabric stats, and cost-model charges;
+* :mod:`repro.obs.diff` — first-divergent-message alignment of two
+  traces (faulted vs. fault-free chaos runs).
+"""
+
+from repro.obs.diff import Divergence, diff_traces
+from repro.obs.export import (
+    read_jsonl,
+    to_chrome_trace,
+    to_jsonl_records,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.prom import (
+    MetricFamily,
+    engine_families,
+    render,
+    render_engine_metrics,
+)
+from repro.obs.summary import StepRow, TraceSummary
+from repro.obs.trace import (
+    DATA_PACKET_TYPES,
+    Event,
+    Span,
+    Trace,
+    Tracer,
+    payload_digest,
+)
+
+__all__ = [
+    "DATA_PACKET_TYPES",
+    "Divergence",
+    "Event",
+    "MetricFamily",
+    "Span",
+    "StepRow",
+    "Trace",
+    "TraceSummary",
+    "Tracer",
+    "diff_traces",
+    "engine_families",
+    "payload_digest",
+    "read_jsonl",
+    "render",
+    "render_engine_metrics",
+    "to_chrome_trace",
+    "to_jsonl_records",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,176 @@
+"""Trace diffing: find the first divergent message between two runs.
+
+The chaos harness's correctness claim is bit-equality of final values;
+when that fails, this module turns "the dicts differ" into "diverged at
+superstep 7: agent-3 received a different REPLICA_VALUE from agent-1".
+
+Alignment works on **logical** data-plane messages: the ``send`` events
+of :data:`~repro.obs.trace.DATA_PACKET_TYPES` packets, keyed by
+``(round, step, src, dst, type, digest)``.  Transport artifacts —
+retransmits, duplicate copies, drops, transport acks — never produce
+``send`` events, and the payload digest canonicalizes away delivery
+bookkeeping (the incarnation fence), so a faulted run that recovered
+perfectly aligns with a fault-free one even though the wire saw very
+different traffic.
+
+If every data-plane message matches, the control-plane barrier sequence
+(``barrier_complete`` events) is compared next, and ``None`` means the
+traces agree at both levels.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.obs.trace import Trace, Tracer
+
+#: Logical-message identity within one round group.
+_MsgKey = Tuple[str, str, str, str]  # (src, dst, type, digest)
+#: Round group identity (ingest-phase traffic has no round/step).
+_GroupKey = Tuple[int, int]
+
+
+@dataclass
+class Divergence:
+    """The first point where two traces disagree."""
+
+    kind: str                     # "message" | "payload" | "barrier" | "structure"
+    step: Optional[int]
+    round: Optional[int]
+    detail: str
+    left: Optional[dict] = field(default=None)
+    right: Optional[dict] = field(default=None)
+
+    def describe(self) -> str:
+        where = []
+        if self.step is not None and self.step >= 0:
+            where.append(f"superstep {self.step}")
+        if self.round is not None and self.round >= 0:
+            where.append(f"round {self.round}")
+        prefix = f"diverged at {', '.join(where)}: " if where else "diverged: "
+        return prefix + self.detail
+
+
+def _as_trace(trace: Union[Trace, Tracer]) -> Trace:
+    return trace.trace() if isinstance(trace, Tracer) else trace
+
+
+def _logical_messages(trace: Trace) -> Dict[_GroupKey, Counter]:
+    """Data-plane sends grouped by (round, step) as key multisets."""
+    groups: Dict[_GroupKey, Counter] = {}
+    for event in trace.events:
+        if event.cat != "message" or event.name != "send":
+            continue
+        args = event.args
+        if "digest" not in args:
+            continue  # not a data-plane send
+        group = (int(args.get("round", -1)), int(args.get("step", -1)))
+        key: _MsgKey = (
+            str(args.get("src")),
+            str(args.get("dst")),
+            str(args.get("type")),
+            str(args.get("digest")),
+        )
+        groups.setdefault(group, Counter())[key] += 1
+    return groups
+
+
+def _barrier_sequence(trace: Trace) -> List[Tuple[int, int]]:
+    return [
+        (int(e.args.get("round", -1)), int(e.args.get("step", -1)))
+        for e in trace.events
+        if e.name == "barrier_complete"
+    ]
+
+
+def _first_message_divergence(
+    group: _GroupKey, left: Counter, right: Counter
+) -> Divergence:
+    round_id, step = group
+    # Pair up (src, dst, type) message slots: a digest mismatch on the
+    # same slot is a payload divergence (more precise than "missing +
+    # extra"); an unpaired slot is a missing/extra message.
+    left_only = left - right
+    right_only = right - left
+
+    def by_slot(counter: Counter) -> Dict[Tuple[str, str, str], List[str]]:
+        slots: Dict[Tuple[str, str, str], List[str]] = {}
+        for (src, dst, ptype, digest), n in sorted(counter.items()):
+            slots.setdefault((src, dst, ptype), []).extend([digest] * n)
+        return slots
+
+    l_slots, r_slots = by_slot(left_only), by_slot(right_only)
+    for slot in sorted(set(l_slots) & set(r_slots)):
+        src, dst, ptype = slot
+        return Divergence(
+            kind="payload",
+            step=step,
+            round=round_id,
+            detail=(
+                f"{dst} received a different {ptype} from {src} "
+                f"(digest {l_slots[slot][0]} vs {r_slots[slot][0]})"
+            ),
+            left={"src": src, "dst": dst, "type": ptype, "digest": l_slots[slot][0]},
+            right={"src": src, "dst": dst, "type": ptype, "digest": r_slots[slot][0]},
+        )
+    for side, slots, other in (("left", l_slots, "right"), ("right", r_slots, "left")):
+        for slot in sorted(slots):
+            src, dst, ptype = slot
+            return Divergence(
+                kind="message",
+                step=step,
+                round=round_id,
+                detail=(
+                    f"{ptype} from {src} to {dst} present only in the "
+                    f"{side} trace ({len(slots[slot])}x)"
+                ),
+                left={"src": src, "dst": dst, "type": ptype} if side == "left" else None,
+                right={"src": src, "dst": dst, "type": ptype} if side == "right" else None,
+            )
+    raise AssertionError("groups differ but no divergent slot found")  # pragma: no cover
+
+
+def diff_traces(
+    left: Union[Trace, Tracer], right: Union[Trace, Tracer]
+) -> Optional[Divergence]:
+    """The first divergent logical message (or barrier) between traces.
+
+    Returns ``None`` when the traces agree: identical data-plane message
+    multisets per round and identical barrier sequences.  Groups are
+    compared in (round, step) order so the report names the *earliest*
+    divergence, which is where the causality chain starts.
+    """
+    left, right = _as_trace(left), _as_trace(right)
+    l_groups, r_groups = _logical_messages(left), _logical_messages(right)
+    for group in sorted(set(l_groups) | set(r_groups)):
+        l_msgs = l_groups.get(group, Counter())
+        r_msgs = r_groups.get(group, Counter())
+        if l_msgs != r_msgs:
+            return _first_message_divergence(group, l_msgs, r_msgs)
+    l_barriers, r_barriers = _barrier_sequence(left), _barrier_sequence(right)
+    for i, (lb, rb) in enumerate(zip(l_barriers, r_barriers)):
+        if lb != rb:
+            return Divergence(
+                kind="barrier",
+                step=lb[1],
+                round=lb[0],
+                detail=(
+                    f"barrier sequence diverged at position {i}: "
+                    f"left completed round {lb[0]} step {lb[1]}, "
+                    f"right completed round {rb[0]} step {rb[1]}"
+                ),
+            )
+    if len(l_barriers) != len(r_barriers):
+        longer = "left" if len(l_barriers) > len(r_barriers) else "right"
+        return Divergence(
+            kind="structure",
+            step=None,
+            round=None,
+            detail=(
+                f"{longer} trace completed more barriers "
+                f"({len(l_barriers)} vs {len(r_barriers)})"
+            ),
+        )
+    return None

@@ -1,0 +1,229 @@
+"""Trace exporters: JSONL dump and Chrome ``trace_event`` format.
+
+The Chrome format (one ``pid`` per entity, complete ``"X"`` events for
+spans, instant ``"i"`` events, ``process_name`` metadata) opens directly
+in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+Simulated seconds map to trace microseconds, so a 3 ms superstep reads
+as 3 ms on the timeline.
+
+JSONL is the round-trippable archival format: one record per line,
+``{"kind": "span"|"event", ...}``; :func:`read_jsonl` reconstructs a
+:class:`~repro.obs.trace.Trace` for offline summarizing or diffing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Union
+
+import numpy as np
+
+from repro.obs.trace import Event, Span, Trace, Tracer
+
+_TraceLike = Union[Trace, Tracer]
+
+
+def _as_trace(trace: _TraceLike) -> Trace:
+    return trace.trace() if isinstance(trace, Tracer) else trace
+
+
+def _jsonify(value: Any) -> Any:
+    """Coerce numpy scalars/arrays and sets into JSON-safe values."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonify(v) for v in value)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def to_jsonl_records(trace: _TraceLike) -> List[Dict[str, Any]]:
+    """The trace as a list of plain-dict records (one per line)."""
+    trace = _as_trace(trace)
+    records: List[Dict[str, Any]] = []
+    for s in trace.spans:
+        records.append(
+            {
+                "kind": "span",
+                "entity": s.entity,
+                "name": s.name,
+                "cat": s.cat,
+                "start": s.start,
+                "end": s.end,
+                "args": _jsonify(s.args),
+            }
+        )
+    for e in trace.events:
+        records.append(
+            {
+                "kind": "event",
+                "entity": e.entity,
+                "name": e.name,
+                "cat": e.cat,
+                "time": e.time,
+                "args": _jsonify(e.args),
+            }
+        )
+    return records
+
+
+def write_jsonl(trace: _TraceLike, path: str) -> int:
+    """Dump the trace as JSON Lines; returns the record count."""
+    records = to_jsonl_records(trace)
+    with open(path, "w") as f:
+        for record in records:
+            f.write(json.dumps(record))
+            f.write("\n")
+    return len(records)
+
+
+def read_jsonl(path: str) -> Trace:
+    """Reconstruct a :class:`Trace` from a JSONL dump."""
+    trace = Trace()
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind") == "span":
+                trace.spans.append(
+                    Span(
+                        entity=record["entity"],
+                        name=record["name"],
+                        cat=record["cat"],
+                        start=float(record["start"]),
+                        end=float(record["end"]),
+                        args=record.get("args", {}),
+                    )
+                )
+            elif record.get("kind") == "event":
+                trace.events.append(
+                    Event(
+                        entity=record["entity"],
+                        name=record["name"],
+                        cat=record["cat"],
+                        time=float(record["time"]),
+                        args=record.get("args", {}),
+                    )
+                )
+            else:
+                raise ValueError(f"unknown trace record kind: {record.get('kind')!r}")
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event
+# ---------------------------------------------------------------------------
+
+_SECONDS_TO_US = 1e6
+
+
+def to_chrome_trace(trace: _TraceLike) -> Dict[str, Any]:
+    """The trace in Chrome ``trace_event`` JSON object format.
+
+    One ``pid`` per entity (named via ``process_name`` metadata), spans
+    as complete ``"X"`` events, instants as ``"i"`` with process scope.
+    """
+    trace = _as_trace(trace)
+    pids = {name: i + 1 for i, name in enumerate(trace.entities())}
+    events: List[Dict[str, Any]] = []
+    for name, pid in sorted(pids.items(), key=lambda kv: kv[1]):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+    for s in trace.spans:
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.cat,
+                "ph": "X",
+                "pid": pids[s.entity],
+                "tid": 0,
+                "ts": s.start * _SECONDS_TO_US,
+                "dur": max(0.0, s.duration) * _SECONDS_TO_US,
+                "args": _jsonify(s.args),
+            }
+        )
+    for e in trace.events:
+        events.append(
+            {
+                "name": e.name,
+                "cat": e.cat,
+                "ph": "i",
+                "pid": pids[e.entity],
+                "tid": 0,
+                "ts": e.time * _SECONDS_TO_US,
+                "s": "p",
+                "args": _jsonify(e.args),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace: _TraceLike, path: str) -> Dict[str, Any]:
+    """Write the Chrome-format trace to ``path``; returns the object."""
+    obj = to_chrome_trace(trace)
+    validate_chrome_trace(obj)
+    with open(path, "w") as f:
+        json.dump(obj, f)
+    return obj
+
+
+def validate_chrome_trace(obj: Any) -> None:
+    """Check ``obj`` against the trace_event JSON schema; raise ValueError.
+
+    Validates the subset of the spec the exporter emits — the structure
+    Perfetto actually requires to load the file: a ``traceEvents`` list
+    whose entries carry ``name``/``ph``/``pid``, numeric non-negative
+    timestamps on timed phases, a duration on complete events, and
+    JSON-serializable args throughout.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError(f"trace must be a JSON object, got {type(obj).__name__}")
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace object must carry a 'traceEvents' list")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            raise ValueError(f"{where} is not an object")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            raise ValueError(f"{where} needs a non-empty string 'name'")
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "I", "M", "B", "E", "C"):
+            raise ValueError(f"{where} has unknown phase {ph!r}")
+        if not isinstance(ev.get("pid"), int):
+            raise ValueError(f"{where} needs an integer 'pid'")
+        if ph in ("X", "i", "I", "B", "E", "C"):
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ValueError(f"{where} needs a non-negative numeric 'ts'")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"{where} complete event needs non-negative 'dur'")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            raise ValueError(f"{where} 'args' must be an object")
+    try:
+        json.dumps(obj)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"trace is not JSON-serializable: {exc}") from exc

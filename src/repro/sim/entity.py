@@ -41,6 +41,9 @@ class Entity:
         self.rng: np.random.Generator = entity_rng(seed, name)
         self.address: int = network.attach(self)
         self._busy_until = 0.0
+        # Lifetime simulated seconds billed through charge(); the
+        # cost-model counter the Prometheus exposition reports.
+        self.charged_seconds = 0.0
 
     # -- messaging -------------------------------------------------------
 
@@ -73,6 +76,7 @@ class Entity:
         """
         if seconds < 0:
             raise ValueError(f"cannot charge negative time: {seconds}")
+        self.charged_seconds += seconds
         start = max(self._busy_until, self.now)
         self._busy_until = start + seconds
 

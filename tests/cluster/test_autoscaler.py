@@ -198,3 +198,47 @@ def test_load_snapshot_excludes_crashed_and_suspected_agents():
         assert set(snaps) == set(cluster.agents) - {suspect}
     finally:
         cluster.lead._suspected.discard(suspect)
+
+
+# ---------------------------------------------------------------------------
+# Out-of-order samples and history bounds
+# ---------------------------------------------------------------------------
+
+
+def test_stale_sample_gets_zero_weight():
+    a = ReactiveAutoscaler(scaling_factor=1.0, ema_window=30.0)
+    a.observe(100.0, 10.0)
+    before = a.ema
+    a.observe(1e6, 4.0)  # late-arriving report from the past
+    assert a.ema == before
+
+
+def test_stale_sample_does_not_rewind_observation_clock():
+    """A stale sample must not rewind ``_last_obs_time``: the next
+    in-order sample would then see an inflated ``dt`` and be
+    over-weighted relative to a run that never saw the straggler."""
+    clean = ReactiveAutoscaler(scaling_factor=1.0, ema_window=30.0)
+    dirty = ReactiveAutoscaler(scaling_factor=1.0, ema_window=30.0)
+    for a in (clean, dirty):
+        a.observe(100.0, 0.0)
+        a.observe(100.0, 10.0)
+    dirty.observe(100.0, 2.0)  # stale: zero weight, no clock movement
+    clean.observe(50.0, 11.0)
+    dirty.observe(50.0, 11.0)
+    assert dirty.ema == clean.ema
+    assert dirty._last_obs_time == 11.0
+
+
+def test_history_is_bounded():
+    a = ReactiveAutoscaler(scaling_factor=1.0, cooldown=0.0, history_limit=16)
+    a.observe(10.0, 0.0)
+    for t in range(200):
+        a.desired(current_agents=10, now=float(t))
+    assert len(a.history) == 16
+    # Ring buffer: oldest decisions evicted, newest retained.
+    assert a.history[0][0] == 184.0 and a.history[-1][0] == 199.0
+
+
+def test_history_limit_validated():
+    with pytest.raises(ValueError):
+        ReactiveAutoscaler(scaling_factor=1.0, history_limit=0)

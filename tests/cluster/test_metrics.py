@@ -57,3 +57,30 @@ def test_metric_reports_refresh():
     assert sum(s["supersteps"] for s in second.values()) > sum(
         s["supersteps"] for s in first.values()
     )
+
+
+def test_snapshot_covers_every_dataclass_field():
+    """Field-drift guard: a counter added to AgentMetrics must appear in
+    snapshot() (and hence in METRIC_REPORTs and combine_metrics) without
+    anyone remembering to update an export list."""
+    from dataclasses import fields
+
+    m = AgentMetrics()
+    field_names = {f.name for f in fields(AgentMetrics)}
+    assert set(m.snapshot()) == field_names
+    # Every exported value tracks its attribute, not a stale copy.
+    for name in field_names:
+        setattr(m, name, 41)
+    assert all(v == 41 for v in m.snapshot().values())
+
+
+def test_combine_covers_every_dataclass_field():
+    from dataclasses import fields
+
+    a, b = AgentMetrics(), AgentMetrics()
+    for f in fields(AgentMetrics):
+        setattr(a, f.name, 1)
+        setattr(b, f.name, 2)
+    total = combine_metrics([a.snapshot(), b.snapshot()])
+    assert set(total) == {f.name for f in fields(AgentMetrics)}
+    assert all(v == 3 for v in total.values())

@@ -1,0 +1,19 @@
+"""Shared fixtures for the observability suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ElGA, PageRank
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """One small traced PageRank run: (engine, result, trace)."""
+    elga = ElGA(nodes=2, agents_per_node=2, seed=7, tracing=True)
+    us = np.array([0, 1, 2, 3, 4, 0, 2], dtype=np.int64)
+    vs = np.array([1, 2, 3, 4, 0, 2, 0], dtype=np.int64)
+    elga.ingest_edges(us, vs)
+    result = elga.run(PageRank(max_iters=5, tol=1e-15))
+    return elga, result, elga.trace()

@@ -1,0 +1,35 @@
+"""CLI trace/metrics subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import validate_chrome_trace
+
+pytestmark = pytest.mark.obs
+
+COMMON = ["--dataset", "livejournal", "--scale", "0.05", "--max-iters", "3"]
+
+
+def test_trace_subcommand_exports_valid_chrome_trace(capsys, tmp_path):
+    out = tmp_path / "trace.json"
+    jsonl = tmp_path / "trace.jsonl"
+    code = main(
+        ["trace", *COMMON, "--algorithm", "pagerank", "--out", str(out), "--jsonl", str(jsonl)]
+    )
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "spans" in text and "straggler" in text and "perfetto" in text
+    with open(out) as fh:
+        validate_chrome_trace(json.load(fh))
+    assert sum(1 for _ in open(jsonl)) > 0
+
+
+def test_metrics_subcommand_prints_exposition(capsys):
+    code = main(["metrics", *COMMON, "--algorithm", "pagerank"])
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "# TYPE elga_agents gauge" in text
+    assert "elga_net_messages_total" in text
+    assert "elga_charged_seconds_total" in text

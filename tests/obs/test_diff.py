@@ -1,0 +1,72 @@
+"""Trace diff: aligning runs and pinpointing the first divergence."""
+
+import numpy as np
+import pytest
+
+from repro.core import ElGA, PageRank
+from repro.obs import Trace, diff_traces
+from repro.obs.trace import Event
+
+pytestmark = pytest.mark.obs
+
+
+def _traced(seed=3, iters=3, shift=0):
+    elga = ElGA(nodes=1, agents_per_node=2, seed=seed, tracing=True)
+    us = np.arange(12)
+    vs = (np.arange(12) + 1 + shift) % 12
+    elga.ingest_edges(us, vs)
+    elga.run(PageRank(max_iters=iters, tol=1e-15))
+    return elga.trace()
+
+
+def test_identical_runs_do_not_diverge():
+    assert diff_traces(_traced(), _traced()) is None
+
+
+def test_different_graphs_pinpoint_first_message():
+    div = diff_traces(_traced(shift=0), _traced(shift=1))
+    assert div is not None
+    assert div.kind in ("payload", "message")
+    assert "diverged at" in div.describe()
+
+
+def test_payload_tamper_reported_as_payload_divergence():
+    left, right = _traced(), _traced()
+    tampered = False
+    for event in right.events:
+        if event.name == "send" and "digest" in event.args and event.args["step"] == 1:
+            event.args["digest"] = "deadbeefdeadbeef"
+            tampered = True
+            break
+    assert tampered
+    div = diff_traces(left, right)
+    assert div is not None and div.kind == "payload"
+    assert div.step == 1
+    assert "received a different" in div.detail
+    assert "deadbeefdeadbeef" in div.detail
+
+
+def test_missing_message_reported_with_side():
+    left, right = _traced(), _traced()
+    for i, event in enumerate(right.events):
+        if event.name == "send" and "digest" in event.args and event.args["step"] == 0:
+            del right.events[i]
+            break
+    div = diff_traces(left, right)
+    assert div is not None and div.kind == "message"
+    assert div.step == 0 and "only in the left trace" in div.detail
+
+
+def test_barrier_divergence_when_messages_agree():
+    def mk(rounds):
+        return Trace(
+            events=[
+                Event("lead", "barrier_complete", "barrier", 0.1 * i, {"round": r, "step": r})
+                for i, r in enumerate(rounds)
+            ]
+        )
+    div = diff_traces(mk([0, 1, 2]), mk([0, 1, 3]))
+    assert div is not None and div.kind == "barrier"
+    shorter = diff_traces(mk([0, 1, 2]), mk([0, 1]))
+    assert shorter is not None and shorter.kind == "structure"
+    assert diff_traces(mk([0, 1]), mk([0, 1])) is None

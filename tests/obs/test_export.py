@@ -1,0 +1,70 @@
+"""Exporters: JSONL round-trip and Chrome trace_event schema."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    read_jsonl,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def test_jsonl_round_trip(traced_run, tmp_path):
+    _, _, trace = traced_run
+    path = tmp_path / "trace.jsonl"
+    n = write_jsonl(trace, path)
+    assert n == len(trace.spans) + len(trace.events)
+    back = read_jsonl(path)
+    assert len(back.spans) == len(trace.spans)
+    assert len(back.events) == len(trace.events)
+    assert [s.name for s in back.spans] == [s.name for s in trace.spans]
+    assert back.entities() == trace.entities()
+
+
+def test_chrome_trace_structure(traced_run):
+    _, _, trace = traced_run
+    chrome = to_chrome_trace(trace)
+    validate_chrome_trace(chrome)  # must not raise
+    assert chrome["displayTimeUnit"] == "ms"
+    events = chrome["traceEvents"]
+    # One process_name metadata record per entity, stable pid mapping.
+    meta = [e for e in events if e["ph"] == "M"]
+    assert {e["args"]["name"] for e in meta} == set(trace.entities())
+    assert len({e["pid"] for e in meta}) == len(meta)
+    xs = [e for e in events if e["ph"] == "X"]
+    assert len(xs) == len(trace.spans)
+    assert all(e["dur"] >= 0 and e["ts"] >= 0 for e in xs)
+    instants = [e for e in events if e["ph"] == "i"]
+    assert len(instants) == len(trace.events)
+    assert all(e["s"] == "p" for e in instants)
+
+
+def test_chrome_trace_file_is_valid_json(traced_run, tmp_path):
+    _, _, trace = traced_run
+    path = tmp_path / "trace.json"
+    write_chrome_trace(trace, path)
+    with open(path) as fh:
+        obj = json.load(fh)
+    validate_chrome_trace(obj)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {"traceEvents": [{"ph": "X", "pid": 1, "ts": 0.0, "dur": 1.0}]},  # no name
+        {"traceEvents": [{"name": "x", "ph": "Q", "pid": 1, "ts": 0.0}]},  # bad phase
+        {"traceEvents": [{"name": "x", "ph": "X", "pid": 1, "ts": -1.0, "dur": 0}]},
+        {"traceEvents": [{"name": "x", "ph": "X", "pid": 1, "ts": 0.0, "dur": -2.0}]},
+        {"traceEvents": "nope"},
+        [],
+    ],
+)
+def test_chrome_validation_rejects_malformed(bad):
+    with pytest.raises(ValueError):
+        validate_chrome_trace(bad)

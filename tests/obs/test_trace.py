@@ -1,0 +1,81 @@
+"""Tracer recording: spans, message causality, digests, zero-cost off."""
+
+import numpy as np
+import pytest
+
+from repro.core import ElGA, PageRank
+from repro.obs import DATA_PACKET_TYPES, Tracer, payload_digest
+from repro.sim.kernel import SimKernel
+
+pytestmark = pytest.mark.obs
+
+
+def test_tracer_disabled_by_default():
+    elga = ElGA(nodes=1, agents_per_node=2, seed=1)
+    assert elga.tracer is None
+    assert elga.cluster.network.tracer is None
+    with pytest.raises(RuntimeError, match="tracing is disabled"):
+        elga.trace()
+
+
+def test_tracer_records_on_sim_clock():
+    kernel = SimKernel()
+    tracer = Tracer(kernel)
+    kernel.schedule(0.5, lambda: tracer.instant("x", "tick", "test"))
+    kernel.run()
+    assert len(tracer.events) == 1
+    assert tracer.events[0].time == pytest.approx(0.5)
+
+
+def test_traced_run_covers_span_taxonomy(traced_run):
+    _, result, trace = traced_run
+    cats = {s.cat for s in trace.spans}
+    assert {"compute", "barrier", "comms", "round", "run"} <= cats
+    # One compute span per agent per superstep (init + steps).
+    compute = [s for s in trace.spans if s.cat == "compute"]
+    assert len(compute) == 4 * (result.steps + 1)
+    assert all(s.duration >= 0 for s in trace.spans)
+
+
+def test_send_and_deliver_events_pair_up(traced_run):
+    _, _, trace = traced_run
+    sends = [e for e in trace.events if e.name == "send"]
+    delivers = [e for e in trace.events if e.name == "deliver"]
+    # Perfect fabric, no drops: every send arrives.
+    assert len(sends) == len(delivers) > 0
+    assert all(e.args["bytes"] > 0 for e in sends)
+    data_types = {t.name for t in DATA_PACKET_TYPES}
+    data_sends = [e for e in sends if e.args["type"] in data_types]
+    assert data_sends and all("digest" in e.args for e in data_sends)
+    assert all("round" in e.args for e in data_sends)
+
+
+def test_barrier_complete_events_from_lead(traced_run):
+    _, result, trace = traced_run
+    barriers = [e for e in trace.events if e.name == "barrier_complete"]
+    rounds = [e.args["round"] for e in barriers]
+    assert rounds == sorted(rounds) and len(barriers) == result.steps + 1
+
+
+def test_payload_digest_ignores_incarnation_fence():
+    a = {"dst": np.array([1, 2]), "values": np.array([0.5, 0.25]), "inc": 0}
+    b = {"dst": np.array([1, 2]), "values": np.array([0.5, 0.25]), "inc": 7}
+    assert payload_digest(a) == payload_digest(b)
+    c = {"dst": np.array([1, 2]), "values": np.array([0.5, 0.3]), "inc": 0}
+    assert payload_digest(a) != payload_digest(c)
+
+
+def test_payload_digest_canonicalizes_dict_order():
+    assert payload_digest({"a": 1, "b": 2}) == payload_digest({"b": 2, "a": 1})
+
+
+def test_identical_seeds_produce_identical_traces():
+    def run():
+        elga = ElGA(nodes=1, agents_per_node=2, seed=3, tracing=True)
+        elga.ingest_edges(np.arange(10), (np.arange(10) + 1) % 10)
+        elga.run(PageRank(max_iters=3, tol=1e-15))
+        return elga.trace()
+
+    t1, t2 = run(), run()
+    assert t1.spans == t2.spans
+    assert t1.events == t2.events
