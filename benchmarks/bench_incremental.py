@@ -1,0 +1,296 @@
+"""Incremental delta engine benchmark — sustained updates/s vs full recompute.
+
+Drives two identical engines through the same 10%-churn RMAT update
+stream in 0.1% batches.  After every batch, engine A re-converges
+**incrementally** (strategy ``"delta"``: warm start from the previous
+fixpoint, frontier seeded from the dirty edge mutations, residual
+propagation, frontier-quiescence termination) while engine B re-runs
+the program **from scratch**.  The sustained update rate is
+
+    edges changed / sum of per-batch analysis sim-seconds
+
+so the headline ratio is exactly "how many more graph updates per
+second can the cluster absorb when analysis converges from the previous
+fixpoint instead of restarting".
+
+Two programs, two stream shapes:
+
+* **PageRank** — vertex-preserving churn (deletes only edges whose
+  endpoints keep degree >= 2, inserts only between existing vertices,
+  so ``requires_stable_n`` holds and the delta strategy engages).
+  Correctness bar: the incremental result matches the from-scratch
+  result within ``tol`` after every batch.
+* **WCC** — insert-only batches (min-label WCC cannot undo a label, so
+  ``deletions_invalidate`` forces scratch on deletes).  Correctness
+  bar: bit-identical labels after every batch.
+
+Results land in ``BENCH_incremental.json``.  ``--smoke`` runs a small
+scale with a short stream and asserts the >= 2x sustained speedup the
+PR gates CI on; the full run asserts the >= 5x headline claim.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import Table, print_experiment_header
+from repro.core import ElGA, PageRank, WCC
+from repro.gen.rmat import rmat_graph
+from repro.graph.stream import EdgeBatch
+
+SCALE = 14
+EDGE_FACTOR = 8
+GRAPH_SEED = 3
+TOL = 1e-5          # comparison bar + scratch engine's convergence tolerance
+# The incremental chain carries its halting slack forward: each delta
+# run starts from the previous (approximate) fixpoint, so halting at
+# TOL would let ~TOL-sized errors random-walk across the 100-batch
+# stream (measured drift: 1.3e-5 by batch 100).  Converging the
+# incremental runs 5x tighter arrests the drift (standing error vs a
+# 1e-13 reference stays in 2-6e-6 with no growth) at negligible cost —
+# the extra rounds ride a tiny frontier.  The scratch engine recomputes
+# fresh each batch and needs no such guard.
+INC_TOL = 2e-6      # incremental runs' halting tolerance
+DELTA_TOL = 1e-8    # per-vertex activation threshold for delta runs
+BATCH_FRAC = 0.001  # edges changed per batch, as a fraction of |E|
+N_BATCHES = 100     # 0.1% x 100 = the 10%-churn stream
+
+SMOKE_SCALE = 12
+SMOKE_BATCHES = 5
+
+# Hub splitting is elasticity machinery, orthogonal to what this bench
+# measures; a split hub would force the safe "dense" fallback and turn
+# the cells into a warm-start-only comparison.
+ENGINE = dict(nodes=2, agents_per_node=2, seed=7, replication_threshold=10**9)
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_incremental.json"
+
+
+def _engines(us, vs):
+    a = ElGA(**ENGINE)
+    a.ingest_edges(us, vs)
+    b = ElGA(**ENGINE)
+    b.ingest_edges(us, vs)
+    return a, b
+
+
+def churn_batch(ref, rng, frac: float) -> EdgeBatch:
+    """A vertex-preserving churn batch: k deletes + k inserts.
+
+    Deletes only edges whose endpoints keep total degree >= 2 afterwards
+    and inserts only between already-present vertices, so no vertex
+    appears or disappears and PageRank's ``requires_stable_n`` holds.
+    """
+    edges = [(u, v) for u in ref.vertices() for v in ref.out_neighbors(u)]
+    deg: dict = {}
+    for u, v in edges:
+        deg[u] = deg.get(u, 0) + 1
+        deg[v] = deg.get(v, 0) + 1
+    k = max(1, int(len(edges) * frac))
+    dels = []
+    for i in rng.permutation(len(edges)):
+        u, v = edges[i]
+        if deg[u] >= 2 and deg[v] >= 2:
+            dels.append((u, v))
+            deg[u] -= 1
+            deg[v] -= 1
+            if len(dels) == k:
+                break
+    verts = np.fromiter(deg, dtype=np.int64)
+    have = set(edges)
+    ins = []
+    while len(ins) < len(dels):
+        u, v = int(rng.choice(verts)), int(rng.choice(verts))
+        if u != v and (u, v) not in have:
+            ins.append((u, v))
+            have.add((u, v))
+    actions = np.concatenate(
+        [np.full(len(dels), -1), np.ones(len(ins))]
+    ).astype(np.int8)
+    eu = np.array([e[0] for e in dels] + [e[0] for e in ins], dtype=np.int64)
+    ev = np.array([e[1] for e in dels] + [e[1] for e in ins], dtype=np.int64)
+    return EdgeBatch(actions, eu, ev)
+
+
+def insert_batch(verts: np.ndarray, rng, k: int) -> EdgeBatch:
+    """k random inserts between existing vertices (self-loops dropped)."""
+    eu = rng.choice(verts, k)
+    ev = rng.choice(verts, k)
+    keep = eu != ev
+    eu, ev = eu[keep], ev[keep]
+    return EdgeBatch(np.ones(len(eu), dtype=np.int8), eu, ev)
+
+
+def _run_pagerank(scale: int, n_batches: int) -> dict:
+    us, vs, n = rmat_graph(scale=scale, edge_factor=EDGE_FACTOR, seed=GRAPH_SEED)
+    a, b = _engines(us, vs)
+    pr_inc = PageRank(max_iters=400, tol=INC_TOL, delta_tol=DELTA_TOL)
+    pr_full = PageRank(max_iters=200, tol=TOL)
+    a.run(pr_inc)  # establish the fixpoint both streams start from
+    rng = np.random.default_rng(0)
+    t_inc = t_full = 0.0
+    edges_changed = 0
+    errs = []
+    steps_inc = []
+    steps_full = []
+    for _ in range(n_batches):
+        batch = churn_batch(a.reference, rng, BATCH_FRAC)
+        a.apply_batch(batch)
+        b.apply_batch(batch)
+        # Drain post-ingest maintenance (sketch-flush migration checks)
+        # so the timed window holds only analysis work — for both sides.
+        a.quiesce()
+        b.quiesce()
+        r_inc = a.run(pr_inc, incremental=True)
+        r_full = b.run(pr_full)
+        assert r_inc.strategy == "delta", r_inc.strategy
+        t_inc += r_inc.sim_seconds
+        t_full += r_full.sim_seconds
+        edges_changed += len(batch.us)
+        steps_inc.append(r_inc.steps)
+        steps_full.append(r_full.steps)
+        errs.append(
+            float(
+                np.abs(
+                    r_inc.as_array(n, default=0.0) - r_full.as_array(n, default=0.0)
+                ).max()
+            )
+        )
+    assert max(errs) < TOL, f"incremental diverged: err {max(errs):.2e} >= tol {TOL:.0e}"
+    return {
+        "n_vertices": n,
+        "n_edges": len(us),
+        "batches": n_batches,
+        "edges_changed": edges_changed,
+        "sim_seconds_incremental": t_inc,
+        "sim_seconds_scratch": t_full,
+        "updates_per_sec_incremental": edges_changed / t_inc,
+        "updates_per_sec_scratch": edges_changed / t_full,
+        "speedup": t_full / t_inc,
+        "err_max": max(errs),
+        "tol": TOL,
+        "mean_steps_incremental": float(np.mean(steps_inc)),
+        "mean_steps_scratch": float(np.mean(steps_full)),
+    }
+
+
+def _run_wcc(scale: int, n_batches: int) -> dict:
+    us, vs, n = rmat_graph(scale=scale, edge_factor=EDGE_FACTOR, seed=GRAPH_SEED)
+    a, b = _engines(us, vs)
+    wcc = WCC()
+    a.run(wcc)
+    rng = np.random.default_rng(1)
+    verts = np.fromiter(a.reference.vertices(), dtype=np.int64)
+    k = max(1, int(len(us) * BATCH_FRAC))
+    t_inc = t_full = 0.0
+    edges_changed = 0
+    steps_inc = []
+    steps_full = []
+    for _ in range(n_batches):
+        batch = insert_batch(verts, rng, k)
+        a.apply_batch(batch)
+        b.apply_batch(batch)
+        a.quiesce()
+        b.quiesce()
+        r_inc = a.run(wcc, incremental=True)
+        r_full = b.run(WCC())
+        assert r_inc.strategy == "delta", r_inc.strategy
+        assert r_inc.values == r_full.values, "incremental WCC labels diverged"
+        t_inc += r_inc.sim_seconds
+        t_full += r_full.sim_seconds
+        edges_changed += len(batch.us)
+        steps_inc.append(r_inc.steps)
+        steps_full.append(r_full.steps)
+    return {
+        "n_vertices": n,
+        "n_edges": len(us),
+        "batches": n_batches,
+        "edges_changed": edges_changed,
+        "sim_seconds_incremental": t_inc,
+        "sim_seconds_scratch": t_full,
+        "updates_per_sec_incremental": edges_changed / t_inc,
+        "updates_per_sec_scratch": edges_changed / t_full,
+        "speedup": t_full / t_inc,
+        "exact_match": True,
+        "mean_steps_incremental": float(np.mean(steps_inc)),
+        "mean_steps_scratch": float(np.mean(steps_full)),
+    }
+
+
+def run_experiment(smoke: bool = False) -> dict:
+    scale = SMOKE_SCALE if smoke else SCALE
+    batches = SMOKE_BATCHES if smoke else N_BATCHES
+    start = time.perf_counter()
+    payload = {
+        "scale": scale,
+        "edge_factor": EDGE_FACTOR,
+        "batch_frac": BATCH_FRAC,
+        "batches": batches,
+        "tol": TOL,
+        "inc_tol": INC_TOL,
+        "delta_tol": DELTA_TOL,
+        "engine": {k: v for k, v in ENGINE.items()},
+        "programs": {
+            "pagerank": _run_pagerank(scale, batches),
+            "wcc": _run_wcc(scale, batches),
+        },
+    }
+    payload["wall_seconds"] = time.perf_counter() - start
+    if not smoke:
+        RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def show(payload: dict) -> None:
+    print_experiment_header(
+        "Incremental delta engine",
+        "converge from the previous fixpoint vs full recompute",
+    )
+    table = Table(
+        ["program", "upd/s incr", "upd/s scratch", "speedup",
+         "steps incr", "steps scratch", "err max"]
+    )
+    for name, cell in payload["programs"].items():
+        table.add_row(
+            name,
+            cell["updates_per_sec_incremental"],
+            cell["updates_per_sec_scratch"],
+            cell["speedup"],
+            cell["mean_steps_incremental"],
+            cell["mean_steps_scratch"],
+            cell.get("err_max", 0.0),
+        )
+    table.show()
+    if RESULT_PATH.exists():
+        print(f"[written] {RESULT_PATH}")
+
+
+def _assert_smoke_bar(payload: dict) -> None:
+    # CI gate: the delta strategy must at least double the sustained
+    # update rate on both programs, even at smoke scale.
+    for name, cell in payload["programs"].items():
+        assert cell["speedup"] >= 2.0, (name, cell)
+
+
+def test_incremental_sustained_rate():
+    payload = run_experiment(smoke=True)
+    show(payload)
+    _assert_smoke_bar(payload)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv[1:]
+    payload = run_experiment(smoke=smoke)
+    show(payload)
+    if smoke:
+        _assert_smoke_bar(payload)
+        print("[smoke] ok: >=2x sustained updates/s on both programs")
+    else:
+        for name, cell in payload["programs"].items():
+            assert cell["speedup"] >= 5.0, (name, cell)
+        print("[full] ok: >=5x sustained updates/s on both programs")

@@ -10,6 +10,11 @@ Commands
 ``run``
     Build a cluster, ingest a dataset, run an algorithm, and print a
     result summary (per-superstep simulated times, top vertices).
+    With ``--churn-batches`` the run continues as an update stream:
+    each batch inserts random edges between existing vertices and the
+    algorithm re-converges incrementally (delta strategy) from the
+    previous fixpoint, printing per-batch strategy/steps/time and the
+    sustained updates/s.
 ``query``
     Run an algorithm, then answer point queries through a ClientProxy.
 ``trace``
@@ -27,9 +32,12 @@ import argparse
 import sys
 from typing import List, Optional
 
+import numpy as np
+
 from repro.bench.runner import Table
 from repro.core import ElGA, PageRank, PersonalizedPageRank, SSSP, WCC
 from repro.gen import DATASETS, load_dataset
+from repro.graph.stream import EdgeBatch
 
 
 def _build_algorithm(name: str, source: Optional[int], max_iters: int):
@@ -48,13 +56,13 @@ def _build_algorithm(name: str, source: Optional[int], max_iters: int):
     raise SystemExit(f"unknown algorithm {name!r}")
 
 
-def _build_engine(args, tracing: bool = False) -> ElGA:
+def _build_engine(args, tracing: bool = False, keep_reference: bool = False) -> ElGA:
     data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     elga = ElGA(
         nodes=args.nodes,
         agents_per_node=args.agents_per_node,
         seed=args.seed,
-        keep_reference=False,
+        keep_reference=keep_reference,
         tracing=tracing,
     )
     report = elga.ingest_edges(data.us, data.vs, n_streamers=min(4, args.nodes * 2))
@@ -85,7 +93,7 @@ def cmd_datasets(args) -> int:
 def cmd_run(args) -> int:
     program, default_mode = _build_algorithm(args.algorithm, args.source, args.max_iters)
     mode = args.mode or default_mode
-    elga = _build_engine(args)
+    elga = _build_engine(args, keep_reference=args.churn_batches > 0)
     result = elga.run(program, mode=mode)
     steps = result.steps if result.steps is not None else "async"
     print(
@@ -95,11 +103,45 @@ def cmd_run(args) -> int:
     if result.steps is not None:
         per_step = ", ".join(f"{d * 1e3:.3f}" for d in result.per_step_seconds())
         print(f"per-superstep ms: {per_step}")
+    if args.churn_batches > 0:
+        _run_churn_stream(elga, program, mode, args)
     table = Table(["vertex", "value"])
     for vertex, value in result.top_k(args.top):
         table.add_row(vertex, value)
     table.show()
     return 0
+
+
+def _run_churn_stream(elga: ElGA, program, mode: str, args) -> None:
+    """Replay an insert-only update stream, re-converging incrementally.
+
+    Inserts land between already-present vertices so |V| stays fixed
+    and stable-n programs (PageRank) keep their delta strategy.
+    """
+    rng = np.random.default_rng(args.seed)
+    verts = np.fromiter(elga.reference.vertices(), dtype=np.int64)
+    k = max(1, int(elga.global_m * args.churn_frac))
+    table = Table(["batch", "edges", "strategy", "steps", "sim_ms"])
+    total_sim = 0.0
+    total_edges = 0
+    for i in range(args.churn_batches):
+        eu = rng.choice(verts, k)
+        ev = rng.choice(verts, k)
+        keep = eu != ev
+        eu, ev = eu[keep], ev[keep]
+        elga.apply_batch(EdgeBatch(np.ones(len(eu), dtype=np.int8), eu, ev))
+        elga.quiesce()
+        result = elga.run(program, mode=mode, incremental=True)
+        total_sim += result.sim_seconds
+        total_edges += len(eu)
+        table.add_row(
+            i, len(eu), result.strategy, result.steps, result.sim_seconds * 1e3
+        )
+    table.show()
+    print(
+        f"sustained: {total_edges / total_sim:,.0f} updates/s "
+        f"({total_edges} edges over {total_sim * 1e3:.3f} ms analysis)"
+    )
 
 
 def cmd_trace(args) -> int:
@@ -164,6 +206,19 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run an algorithm on a registry dataset")
     add_common(run_p)
     run_p.add_argument("--top", type=int, default=10, help="result rows to print")
+    run_p.add_argument(
+        "--churn-batches",
+        type=int,
+        default=0,
+        help="after the first run, replay this many insert batches and "
+        "re-converge incrementally after each",
+    )
+    run_p.add_argument(
+        "--churn-frac",
+        type=float,
+        default=0.001,
+        help="edges inserted per churn batch, as a fraction of |E|",
+    )
 
     query_p = sub.add_parser("query", help="run, then answer point queries")
     add_common(query_p)

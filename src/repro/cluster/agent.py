@@ -79,6 +79,10 @@ class _VertexTable:
         self.out_deg_total = np.zeros(n)
         self.split_k = np.ones(n, dtype=np.int64)
         self.is_primary = np.ones(n, dtype=bool)
+        # Delta-message runs only: the per-edge value each vertex last
+        # scattered (NaN until established — split rows learn their
+        # global degree, and hence their baseline, in the init round).
+        self.last_sent: Optional[np.ndarray] = None
 
     def pos(self, vertex_ids: np.ndarray) -> np.ndarray:
         """Positions of (present) vertex ids in the table."""
@@ -105,6 +109,25 @@ class _RunState:
         self.ctx = {"global_n": spec.global_n}
         self.table: Optional[_VertexTable] = None
         self.suspended = False
+        # Delta runs: only the frontier applies/scatters, and (for
+        # delta-message programs) scatter carries residuals.
+        self.is_delta = getattr(spec, "strategy", "scratch") == "delta"
+        self.delta_msgs = self.is_delta and getattr(spec.program, "delta_messages", False)
+        # Pending dirty rows by store role, stashed at table build for
+        # round-0 seed emission and baseline reconstruction.
+        self.delta_pending: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        # Lazy routing (delta runs): per-table-row count of local edges
+        # whose placement resolution has not been charged yet; paid the
+        # first time the row scatters.  None for from-scratch runs.
+        self.routing_uncharged: Optional[np.ndarray] = None
+        # Residual baselines as they stood when this round began, i.e.
+        # before this round's scatter advanced them.  A mid-run
+        # checkpoint must capture *these*: a rollback loses the round's
+        # in-flight messages, and the resume re-scatter can only
+        # regenerate them if the restored baseline still precedes them
+        # (absolute-message runs resend values and don't care).  Only
+        # maintained while checkpointing is on.
+        self.prescatter_last_sent: Optional[np.ndarray] = None
         # Edge routing caches (built with the table).
         self.out_src_pos = np.empty(0, np.int64)
         self.out_dst_raw = np.empty(0, np.int64)
@@ -117,7 +140,7 @@ class _RunState:
         # Per-round state.
         self.round = -1
         self.step = 0
-        self.phase = "init"
+        self.phase = "delta_init" if self.is_delta else "init"
         self.outstanding_acks = 0
         self.expected_syncs: Dict[int, int] = {}
         # Replica-sync partials, buffered as parallel arrays per batch
@@ -195,6 +218,17 @@ class Agent(Entity):
         # model): program name -> vertex -> (value, active).
         self.persistent: Dict[str, Dict[int, float]] = {}
         self.persistent_active: Dict[str, Set[int]] = {}
+        # Delta-message programs additionally persist each vertex's
+        # last-sent scatter value: a suspended delta run must resume
+        # with the exact baseline, or unsent residuals are lost.
+        self.persistent_scatter: Dict[str, Dict[int, float]] = {}
+        # Dirty mutation rows applied since each program last consumed
+        # them — the activation seed of a delta run.  Ordered
+        # (role, key, other, action) with per-program watermarks;
+        # ``finalize_run(persist=True)`` advances the finished program's
+        # watermark and trims the prefix every known program consumed.
+        self._dirty_log: List[Tuple[str, int, int, int]] = []
+        self._dirty_seen: Dict[str, int] = {}
 
         # Directory view.  ``placer`` is the persistent PlacementCache,
         # rebound to a fresh EdgePlacer on every adopted broadcast; its
@@ -448,6 +482,12 @@ class Agent(Entity):
                     prog: [int(v) for v in owned if int(v) in act]
                     for prog, act in self.persistent_active.items()
                 }
+                scatter = {
+                    prog: {
+                        int(v): vals[int(v)] for v in owned if int(v) in vals
+                    }
+                    for prog, vals in self.persistent_scatter.items()
+                }
                 payload = {
                     "role": role,
                     "actions": np.ones(e - s, dtype=np.int8),
@@ -457,6 +497,7 @@ class Agent(Entity):
                     "token": -1,
                     "values": values,
                     "active": active,
+                    "scatter": scatter,
                 }
                 self.push.push(
                     self._agent_address(target), PacketType.EDGE_MIGRATE, payload
@@ -478,6 +519,9 @@ class Agent(Entity):
                 del store[vertex]
         for act in self.persistent_active.values():
             act &= hosted
+        for store in self.persistent_scatter.values():
+            for vertex in [v for v in store if v not in hosted]:
+                del store[vertex]
 
     def _prune_stores(self) -> None:
         for store in (self.out_store, self.in_store):
@@ -539,6 +583,17 @@ class Agent(Entity):
             return self.dstate.agents[agent_id]
         except (KeyError, AttributeError):
             raise LookupError(f"agent {agent_id} not in directory state") from None
+
+    def _lookup_supplement(self) -> float:
+        """Full-minus-cached placement rate: what a delta run's lazily
+        routed edge still owes when its source first scatters (the
+        cached probe part is charged per send by _scatter_direction)."""
+        costs = self.config.costs
+        width, depth = self.config.sketch_width, self.config.sketch_depth
+        ring_positions = max(1, len(self.ring) * self.config.virtual_factor)
+        return costs.placement_lookup_cost(
+            width, depth, ring_positions
+        ) - costs.placement_lookup_cost(width, depth, ring_positions, cached=True)
 
     def _charge_placement_lookups(self) -> None:
         """Charge the last cached lookup batch honestly: misses at the
@@ -621,7 +676,7 @@ class Agent(Entity):
                     "reply_to": payload["reply_to"] if count_in_sketch else self.address,
                     "token": payload["token"],
                 }
-                for extra in ("values", "active"):
+                for extra in ("values", "active", "scatter"):
                     if extra in payload:
                         fwd[extra] = payload[extra]
                 if count_in_sketch:
@@ -646,6 +701,11 @@ class Agent(Entity):
         self.metrics.updates_applied += n_applied
 
         if count_in_sketch and n_applied:
+            # Streaming mutations dirty their locally-keyed endpoints:
+            # these rows seed the activation frontier of the next delta
+            # run (and survive crashes — they are re-derived from the
+            # WAL's sketched suffix at restore).
+            self._dirty_log.extend((role, k, o, a) for k, o, a in applied_rows)
             if inserts:
                 self.sketch_delta.add(np.asarray(inserts, dtype=np.int64))
             if removes:
@@ -660,6 +720,7 @@ class Agent(Entity):
         # for edges passing through would hoard stale state).
         wal_values: Optional[Dict[str, Dict[int, float]]] = None
         wal_active: Optional[Dict[str, Set[int]]] = None
+        wal_scatter: Optional[Dict[str, Dict[int, float]]] = None
         if len(rows):
             kept = set(map(int, np.unique(own[rows])))
             for prog, values in payload.get("values", {}).items():
@@ -674,6 +735,12 @@ class Agent(Entity):
                     self.persistent_active.setdefault(prog, set()).update(incoming_act)
                     wal_active = wal_active or {}
                     wal_active[prog] = incoming_act
+            for prog, svals in payload.get("scatter", {}).items():
+                incoming_s = {int(k): v for k, v in svals.items() if int(k) in kept}
+                if incoming_s:
+                    self.persistent_scatter.setdefault(prog, {}).update(incoming_s)
+                    wal_scatter = wal_scatter or {}
+                    wal_scatter[prog] = incoming_s
 
         # Durability: every applied mutation — and any migrated-in
         # vertex state — hits the write-ahead log before this handler
@@ -684,6 +751,7 @@ class Agent(Entity):
             sketched=count_in_sketch,
             values=wal_values,
             active=wal_active,
+            scatter=wal_scatter,
         )
 
         # Update acks go end-to-end to the original requester, counting
@@ -966,6 +1034,15 @@ class Agent(Entity):
             table.accum = np.full(len(ids), program.identity)
             table.got = np.zeros(len(ids), dtype=bool)
 
+        # Delta runs need their pending dirty rows and last-sent
+        # baselines *before* activation: the frontier is seeded both
+        # from the mutations and from any residual still owed against
+        # those baselines.
+        if run.is_delta and not resume:
+            run.delta_pending = self._dirty_arrays(self._pending_dirty(program.name))
+        if run.delta_msgs and len(ids):
+            self._init_last_sent(run, table, resume)
+
         # Activation.
         if len(ids):
             if resume:
@@ -978,17 +1055,29 @@ class Agent(Entity):
                     table.active = np.zeros(len(ids), dtype=bool)
             elif spec.incremental:
                 activate = getattr(spec, "activate", None)
-                table.active = np.zeros(len(ids), dtype=bool)
-                if activate is not None and len(activate):
-                    hits = np.isin(ids, activate)
-                    table.active[hits] = True
+                if run.is_delta:
+                    table.active = self._delta_activation(run, table, activate)
+                elif activate is not None and len(activate):
+                    table.active = np.isin(ids, np.asarray(activate, dtype=np.int64))
+                else:
+                    # Dense warm start: previous fixpoint, everyone
+                    # active (the safe fallback when frontier tracking
+                    # is invalid — reshape, |V| change, ...).
+                    table.active = np.ones(len(ids), dtype=bool)
             else:
                 table.active = program.initially_active(ids, table.values, run.ctx)
 
-        # Edge routing caches (destination agent per edge copy).
+        # Edge routing caches (destination agent per edge copy).  A
+        # from-scratch run resolves (and is charged for) every edge's
+        # owner up front; a delta run defers the charge per source
+        # vertex until it first scatters, so an update batch whose
+        # frontier never grows past a corner of the graph never pays
+        # O(m) placement work (the resolution itself is bookkeeping —
+        # cost accrues in _scatter_positions on first touch).
         if len(out_keys):
             dest = self.placer.owner_of_edges(out_others, out_keys)
-            self._charge_placement_lookups()
+            if not run.is_delta:
+                self._charge_placement_lookups()
             run.out_src_pos, run.out_dst_raw, run.out_segments = self._routing(
                 table, out_keys, out_others, dest
             )
@@ -1002,7 +1091,8 @@ class Agent(Entity):
                 # In-copy (u, v) is stored keyed by v; the reverse
                 # message (v -> u) goes to the holder of the out-copy.
                 dest = self.placer.owner_of_edges(in_others, in_keys)
-                self._charge_placement_lookups()
+                if not run.is_delta:
+                    self._charge_placement_lookups()
                 run.in_src_pos, run.in_dst_raw, run.in_segments = self._routing(
                     table, in_keys, in_others, dest
                 )
@@ -1010,6 +1100,11 @@ class Agent(Entity):
                 run.in_src_pos = np.empty(0, np.int64)
                 run.in_dst_raw = np.empty(0, np.int64)
                 run.in_segments = []
+        if run.is_delta and len(table):
+            counts = np.bincount(run.out_src_pos, minlength=len(table))
+            if program.needs_in_and_out and len(run.in_src_pos):
+                counts = counts + np.bincount(run.in_src_pos, minlength=len(table))
+            run.routing_uncharged = counts.astype(np.float64)
 
     def _routing(
         self,
@@ -1033,6 +1128,205 @@ class Agent(Entity):
         return src_pos, dst, segments
 
     # ------------------------------------------------------------------
+    # delta runs: frontier seeding, residual baselines, structural seeds
+    # ------------------------------------------------------------------
+
+    def _pending_dirty(self, name: str) -> List[Tuple[str, int, int, int]]:
+        """Dirty mutation rows applied since ``name`` last consumed them."""
+        return self._dirty_log[self._dirty_seen.get(name, 0):]
+
+    @staticmethod
+    def _dirty_arrays(rows) -> Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Split dirty rows by store role into (keys, others, actions)."""
+        out: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        for role in ("out", "in"):
+            sel = [(k, o, a) for r, k, o, a in rows if r == role]
+            if sel:
+                arr = np.asarray(sel, dtype=np.int64)
+                out[role] = (arr[:, 0], arr[:, 1], arr[:, 2])
+        return out
+
+    def _delta_activation(
+        self, run: _RunState, table: _VertexTable, activate
+    ) -> np.ndarray:
+        """Frontier seeding for a delta run.
+
+        The program decides which locally-keyed endpoints of the pending
+        dirty rows start active; any explicitly requested activation is
+        unioned in.  Vertices still holding unsent residual mass above
+        the program's threshold (sub-threshold deltas accumulated over
+        earlier delta runs) are flushed into the frontier too — that
+        caps the steady-state error of a long update stream instead of
+        letting held residuals pile up silently.
+        """
+        program = run.program
+        seeds = []
+        for role in ("out", "in"):
+            if role not in run.delta_pending:
+                continue
+            keys, others, actions = run.delta_pending[role]
+            aff = program.affected(role, keys, others, actions, run.ctx)
+            if aff is not None and len(aff):
+                seeds.append(np.asarray(aff, dtype=np.int64))
+        if activate is not None and len(activate):
+            seeds.append(np.asarray(activate, dtype=np.int64))
+        if seeds:
+            active = np.isin(table.ids, np.unique(np.concatenate(seeds)))
+        else:
+            active = np.zeros(len(table.ids), dtype=bool)
+        if run.delta_msgs and table.last_sent is not None:
+            flush = program.delta_flush_mask(
+                table.values, table.out_deg_total, table.last_sent, run.ctx
+            )
+            if flush is not None:
+                # NaN baselines (split rows awaiting replica init)
+                # compare False and stay out of the flush.
+                active |= flush & (table.split_k == 1)
+        return active
+
+    def _init_last_sent(self, run: _RunState, table: _VertexTable, resume: bool) -> None:
+        """Establish per-vertex last-sent baselines for residual scatter.
+
+        A clean vertex's baseline is the steady-state per-edge value of
+        its previous fixpoint; a dirty vertex's is what it actually sent
+        under its *old* out-degree (reconstructed by subtracting the
+        pending rows' net degree change).  Both reconstructions are
+        overridden by an exactly-persisted baseline from an earlier
+        delta run, when one exists: it records what the vertex truly
+        last sent, including any sub-threshold residual it was still
+        holding, so unsent mass stays owed across runs instead of being
+        silently forgiven.  Split rows stay NaN until the init replica
+        round establishes their global degree.  On resume the persisted
+        baselines are joined back in — a suspended run's unsent
+        residuals must survive the suspension exactly.
+        """
+        program = run.program
+        n = len(table.ids)
+        table.last_sent = np.full(n, np.nan)
+        normal = table.split_k == 1
+        if resume:
+            sstore = self.persistent_scatter.get(program.name, {})
+            if sstore:
+                skeys = np.fromiter(sstore.keys(), dtype=np.int64, count=len(sstore))
+                svals = np.fromiter(
+                    sstore.values(), dtype=np.float64, count=len(sstore)
+                )
+                order = np.argsort(skeys, kind="stable")
+                skeys, svals = skeys[order], svals[order]
+                spos = np.minimum(np.searchsorted(skeys, table.ids), len(skeys) - 1)
+                found = skeys[spos] == table.ids
+                table.last_sent = np.where(found, svals[spos], np.nan)
+            return
+        base = program.scatter_values(table.values, np.maximum(table.out_deg_total, 1.0))
+        table.last_sent[normal] = np.where(
+            table.out_deg_total[normal] > 0, base[normal], 0.0
+        )
+        pend = getattr(run, "delta_pending", {})
+        if "out" in pend:
+            keys, _, actions = pend["out"]
+            uniq, inv = np.unique(keys, return_inverse=True)
+            net = np.zeros(len(uniq))
+            np.add.at(net, inv, actions.astype(np.float64))
+            idx = np.searchsorted(table.ids, uniq)
+            hosted = (idx < n) & (table.ids[np.minimum(idx, n - 1)] == uniq)
+            pos = idx[hosted]
+            net = net[hosted]
+            keep = normal[pos]
+            pos, net = pos[keep], net[keep]
+            outdeg_old = table.out_deg_total[pos] - net
+            old_base = program.scatter_values(
+                table.values[pos], np.maximum(outdeg_old, 1.0)
+            )
+            table.last_sent[pos] = np.where(outdeg_old > 0, old_base, 0.0)
+        sstore = self.persistent_scatter.get(program.name, {})
+        if sstore:
+            skeys = np.fromiter(sstore.keys(), dtype=np.int64, count=len(sstore))
+            svals = np.fromiter(sstore.values(), dtype=np.float64, count=len(sstore))
+            order = np.argsort(skeys, kind="stable")
+            skeys, svals = skeys[order], svals[order]
+            spos = np.minimum(np.searchsorted(skeys, table.ids), len(skeys) - 1)
+            found = (skeys[spos] == table.ids) & normal
+            table.last_sent = np.where(found, svals[spos], table.last_sent)
+
+    def _emit_delta_seeds(self, run: _RunState) -> None:
+        """Round-0 structural correction messages of a delta run.
+
+        Each pending dirty out-row (u, v, ±1) contributes or withdraws
+        u's previously-scattered per-edge value along that edge, so
+        receivers start the incremental run holding exactly the residual
+        the mutation batch introduced.  Values come from the persisted
+        fixpoint under the *old* out-degree; a same-edge insert+delete
+        pair cancels exactly.
+        """
+        if not run.delta_msgs:
+            return
+        pend = getattr(run, "delta_pending", {})
+        if "out" not in pend:
+            return
+        keys, others, actions = pend["out"]
+        program = run.program
+        costs = self.config.costs
+        persisted = self.persistent.get(program.name, {})
+        uniq, inv = np.unique(keys, return_inverse=True)
+        vals_u = np.fromiter(
+            (persisted.get(int(u), 0.0) for u in uniq),
+            dtype=np.float64,
+            count=len(uniq),
+        )
+        outdeg_now = np.fromiter(
+            (len(self.out_store.get(int(u), ())) for u in uniq),
+            dtype=np.float64,
+            count=len(uniq),
+        )
+        net = np.zeros(len(uniq))
+        np.add.at(net, inv, actions.astype(np.float64))
+        outdeg_old = (outdeg_now - net)[inv]
+        seed = program.delta_seed_values(
+            "out", keys, others, actions.astype(np.float64), vals_u[inv], outdeg_old, run.ctx
+        )
+        if seed is None:
+            return
+        # The scatter discipline's contract is "receivers hold exactly
+        # what u last sent per edge"; where that baseline is persisted
+        # from an earlier delta run it overrides the program's
+        # old-degree reconstruction, exactly as _init_last_sent does —
+        # seed and baseline must agree or residual accounting drifts.
+        sstore = self.persistent_scatter.get(program.name, {})
+        if sstore:
+            base_u = np.fromiter(
+                (sstore.get(int(u), np.nan) for u in uniq),
+                dtype=np.float64,
+                count=len(uniq),
+            )[inv]
+            have = ~np.isnan(base_u)
+            seed = np.where(have, actions * base_u, seed)
+        live = seed != 0.0
+        if not live.any():
+            return
+        dst = others[live]
+        src = keys[live]
+        val = seed[live]
+        owners = self.placer.owner_of_edges(dst, src)
+        self._charge_placement_lookups()
+        order = np.argsort(owners, kind="stable")
+        owners, dst, val = owners[order], dst[order], val[order]
+        bounds = np.flatnonzero(np.diff(owners)) + 1
+        for s, e in zip(
+            np.concatenate([[0], bounds]), np.concatenate([bounds, [len(owners)]])
+        ):
+            count = int(e - s)
+            self.charge(count * costs.elga_edge_op)
+            self.metrics.edges_processed += count
+            self.perf.add("delta_seed_pairs", count)
+            payload = {
+                "step": run.step,
+                "round": run.round,
+                "dst": dst[s:e],
+                "val": val[s:e],
+            }
+            self._emit_data(int(owners[s]), PacketType.VERTEX_MSG, payload)
+
+    # ------------------------------------------------------------------
     # run lifecycle: rounds
     # ------------------------------------------------------------------
 
@@ -1046,13 +1340,14 @@ class Agent(Entity):
         self._build_table(run, resume=False)
         run.round = 0
         run.step = 0
-        run.phase = "init"
         if spec.mode == "async":
             self._async_initial_scatter()
             return
         self._start_heartbeats()
         self._split_round_begin()
+        self._snapshot_prescatter(run)
         self._start_scatter_wave()
+        self._emit_delta_seeds(run)
         run.initial_work_done = True
         # A delayed RUN_START can trail peers' round-0 data (they saw
         # the broadcast first and scattered already); pick it up now.
@@ -1061,11 +1356,17 @@ class Agent(Entity):
         if tracer is not None:
             tracer.complete(
                 self.name,
-                "superstep:init",
+                f"superstep:{run.phase}",
                 "compute",
                 trace_from,
                 self.available_at(),
-                {"round": 0, "step": 0, "phase": "init", "run_id": spec.run_id},
+                {
+                    "round": 0,
+                    "step": 0,
+                    "phase": run.phase,
+                    "run_id": spec.run_id,
+                    "frontier": int(run.table.active.sum()) if run.table is not None else 0,
+                },
             )
         self._check_ready()
 
@@ -1131,8 +1432,9 @@ class Agent(Entity):
             self._start_heartbeats()
             self._build_table(run, resume=True)
             self._split_round_begin()
+            self._snapshot_prescatter(run)
             self._start_scatter_wave()
-        elif phase == "step":
+        elif phase in ("step", "delta_step"):
             # Fold the previous round's buffered messages into the
             # accumulators (canonical order) before applying them.
             self._flush_pending_msgs()
@@ -1140,6 +1442,7 @@ class Agent(Entity):
             # Split partials must be snapshotted before scatter refills
             # the accumulators with this round's local messages.
             self._split_round_begin()
+            self._snapshot_prescatter(run)
             self._scatter_fresh_actives()
         elif phase == "apply_only":
             self._flush_pending_msgs()
@@ -1161,32 +1464,47 @@ class Agent(Entity):
                     "step": run.step,
                     "phase": phase,
                     "run_id": run.spec.run_id,
+                    "frontier": int(run.table.active.sum()) if run.table is not None else 0,
                 },
             )
         self._check_ready()
 
+    @staticmethod
+    def _fold_stat(stats: Dict[str, float], key: str, value: float) -> None:
+        """Fold one stat contribution: ``max_``-prefixed keys reduce by
+        max (mirroring the directory's cross-agent merge), others sum."""
+        if key.startswith("max_"):
+            stats[key] = max(stats.get(key, value), value)
+        else:
+            stats[key] = stats.get(key, 0.0) + value
+
     def _apply_phase(self) -> None:
-        """Apply the previous superstep's aggregates (non-split rows)."""
+        """Apply the previous superstep's aggregates (non-split rows).
+
+        Delta runs only touch the frontier — rows that received a
+        message or were active; everything else keeps its fixpoint value
+        and costs nothing, which is where the incremental speedup over a
+        full recompute comes from."""
         run = self.run
         table = run.table
         costs = self.config.costs
         if len(table) == 0:
             return
         normal = table.split_k == 1
-        if normal.any():
-            old = table.values[normal]
+        mask = normal & (table.got | table.active) if run.is_delta else normal
+        if mask.any():
+            old = table.values[mask]
             # Programs that need per-row identity (e.g. personalized
             # PageRank's teleport vector) read it from the context.
-            run.ctx["_vertex_ids"] = table.ids[normal]
-            new, active = run.program.apply(
-                old, table.accum[normal], table.got[normal], run.ctx
-            )
-            self.charge(costs.elga_vertex_op * int(normal.sum()))
-            table.values[normal] = new
-            table.active[normal] = active
-            stats = run.program.step_stats(old, new, active)
-            for key, value in stats.items():
-                run.round_stats[key] = run.round_stats.get(key, 0.0) + value
+            run.ctx["_vertex_ids"] = table.ids[mask]
+            applier = run.program.delta_apply if run.is_delta else run.program.apply
+            new, active = applier(old, table.accum[mask], table.got[mask], run.ctx)
+            self.charge(costs.elga_vertex_op * int(mask.sum()))
+            table.values[mask] = new
+            table.active[mask] = active
+            statser = run.program.delta_stats if run.is_delta else run.program.step_stats
+            for key, value in statser(old, new, active).items():
+                self._fold_stat(run.round_stats, key, value)
         table.accum[normal] = run.program.identity
         table.got[normal] = False
         # Split rows are applied by their primaries once partials arrive.
@@ -1329,7 +1647,17 @@ class Agent(Entity):
         self.perf.add("split_apply_rows_vectorized", len(rverts))
         tpos = table.pos(rverts)
         table.out_deg_total[tpos] = outdeg
-        if run.phase == "init" or run.phase == "resume":
+        if run.delta_msgs and table.last_sent is not None:
+            # A split row's residual baseline waits for its global
+            # degree; establish it now from the pre-apply value.
+            nan = np.isnan(table.last_sent[tpos])
+            if nan.any():
+                p = tpos[nan]
+                base = program.scatter_values(
+                    table.values[p], np.maximum(table.out_deg_total[p], 1.0)
+                )
+                table.last_sent[p] = np.where(table.out_deg_total[p] > 0, base, 0.0)
+        if run.phase in ("init", "delta_init", "resume"):
             # Initial rounds only establish degree totals; values and
             # activation were set at table build.
             new_vals = table.values[tpos].copy()
@@ -1337,7 +1665,8 @@ class Agent(Entity):
         else:
             old = table.values[tpos].copy()
             run.ctx["_vertex_ids"] = rverts
-            new_vals, act = program.apply(old, agg, got, run.ctx)
+            applier = program.delta_apply if run.is_delta else program.apply
+            new_vals, act = applier(old, agg, got, run.ctx)
             table.values[tpos] = new_vals
             table.active[tpos] = act
             # Stash (old, new, active) per vertex; _check_ready computes
@@ -1387,6 +1716,16 @@ class Agent(Entity):
         run = self.run
         table = run.table
         pos = table.pos(np.asarray(payload["verts"], dtype=np.int64))
+        if run.delta_msgs and table.last_sent is not None:
+            # Replica-side baseline: first push carries the vertex's
+            # pre-run value and global degree — the fixpoint baseline.
+            nan = np.isnan(table.last_sent[pos])
+            if nan.any():
+                od = np.asarray(payload["outdeg"], dtype=np.float64)[nan]
+                base = run.program.scatter_values(
+                    table.values[pos[nan]], np.maximum(od, 1.0)
+                )
+                table.last_sent[pos[nan]] = np.where(od > 0, base, 0.0)
         table.values[pos] = payload["values"]
         table.active[pos] = payload["active"]
         table.out_deg_total[pos] = payload["outdeg"]
@@ -1429,6 +1768,26 @@ class Agent(Entity):
         send_mask = np.zeros(len(table), dtype=bool)
         send_mask[active_rows] = True
         values = program.scatter_values(table.values, table.out_deg_total)
+        if run.delta_msgs:
+            # Residual scatter: emit only the change since the last
+            # send, then advance the baseline.  Rows whose steady value
+            # did not move send nothing at all — the wire traffic of a
+            # delta round tracks true residuals, not frontier size.
+            baseline = np.where(np.isnan(table.last_sent), values, table.last_sent)
+            deltas = values - baseline
+            send_mask &= deltas != 0.0
+            table.last_sent[send_mask] = values[send_mask]
+            values = deltas
+        if run.routing_uncharged is not None:
+            # Deferred placement resolution: rows scattering for the
+            # first time this run pay the full (uncached) lookup rate
+            # for their local edges; _scatter_direction adds the cached
+            # probe every send, so only the difference is owed here.
+            rows = np.flatnonzero(send_mask)
+            owed = float(run.routing_uncharged[rows].sum())
+            if owed:
+                self.charge(owed * self._lookup_supplement())
+                run.routing_uncharged[rows] = 0.0
         self._scatter_direction(
             send_mask, values, run.out_src_pos, run.out_dst_raw, run.out_segments
         )
@@ -1544,6 +1903,15 @@ class Agent(Entity):
         batches, run.pending_msgs = run.pending_msgs, []
         dst = np.concatenate([b[0] for b in batches])
         val = np.concatenate([b[1] for b in batches])
+        if run.is_delta and len(dst):
+            # Structural seeds may target vertices the mutation batch
+            # left unhosted here (a deletion removed their last edge);
+            # they have no row to apply to and no influence to retract.
+            hosted = np.isin(dst, table.ids)
+            if not hosted.all():
+                dst, val = dst[hosted], val[hosted]
+        if not len(dst):
+            return
         order = np.lexsort((val, dst))
         pos = table.pos(dst[order])
         run.program.ufunc.at(table.accum, pos, val[order])
@@ -1712,8 +2080,14 @@ class Agent(Entity):
             old = np.array([run.split_applied[v][0] for v in sverts])
             new = np.array([run.split_applied[v][1] for v in sverts])
             act = np.array([run.split_applied[v][2] for v in sverts], dtype=bool)
-            for key, value in run.program.step_stats(old, new, act).items():
-                stats[key] = stats.get(key, 0.0) + value
+            statser = run.program.delta_stats if run.is_delta else run.program.step_stats
+            for key, value in statser(old, new, act).items():
+                self._fold_stat(stats, key, value)
+        if run.table is not None:
+            # Area under the frontier curve: how many locally-hosted
+            # vertices end this round active (collapses fast in a
+            # converging delta run; ~|V| every round in a scratch run).
+            self.metrics.frontier_size += int(run.table.active.sum())
         self.push.push(
             self.directory_address,
             PacketType.AGENT_READY,
@@ -1729,7 +2103,7 @@ class Agent(Entity):
             # ADVANCE arrives: that interval is the barrier-wait span.
             self._trace_wait_from = self.available_at()
         if (
-            run.phase == "step"
+            run.phase in ("step", "delta_step")
             and self.config.checkpoint_every > 0
             and run.step >= 1
             and run.step % self.config.checkpoint_every == 0
@@ -1760,6 +2134,31 @@ class Agent(Entity):
                 act.add(int(v))
             else:
                 act.discard(int(v))
+        if run.delta_msgs and table.last_sent is not None:
+            sstore = self.persistent_scatter.setdefault(run.program.name, {})
+            for v, s in zip(table.ids, table.last_sent):
+                if not np.isnan(s):
+                    sstore[int(v)] = float(s)
+        elif getattr(run.program, "delta_messages", False):
+            # A full (scratch or dense) run re-converges every vertex:
+            # baselines recorded by an earlier delta run no longer
+            # describe what receivers hold, and the steady-state
+            # reconstruction from the fresh fixpoint is the truth.
+            self.persistent_scatter.pop(run.program.name, None)
+
+    def _trim_dirty_log(self) -> None:
+        """Drop the dirty-row prefix every known program has consumed.
+
+        Safe even with programs this agent has never seen: the engine
+        runs a program's first execution from scratch, and its finalize
+        sets that program's watermark to the end of the log."""
+        if not self._dirty_seen:
+            return
+        cut = min(self._dirty_seen.values())
+        if cut <= 0:
+            return
+        del self._dirty_log[:cut]
+        self._dirty_seen = {name: mark - cut for name, mark in self._dirty_seen.items()}
 
     def finalize_run(self, persist: bool) -> None:
         run = self.run
@@ -1768,6 +2167,12 @@ class Agent(Entity):
         if persist and run.table is not None:
             self._persist_table()
         if persist:
+            # The finished program has now folded every dirty row logged
+            # so far into its fixpoint; advance its watermark *before*
+            # the halt checkpoint so a restore cannot re-seed an
+            # already-converged run.
+            self._dirty_seen[run.program.name] = len(self._dirty_log)
+            self._trim_dirty_log()
             # Halt checkpoint: the post-run state becomes the durable
             # restore base (and truncates the WAL).
             self._recovery_store.snapshot_agent(self)
@@ -1816,11 +2221,30 @@ class Agent(Entity):
         sketched: bool,
         values: Optional[Dict[str, Dict[int, float]]] = None,
         active: Optional[Dict[str, Set[int]]] = None,
+        scatter: Optional[Dict[str, Dict[int, float]]] = None,
     ) -> None:
-        if not rows and not values and not active:
+        if not rows and not values and not active and not scatter:
             return
-        self._recovery.wal.append(role, rows, sketched, values=values, active=active)
+        self._recovery.wal.append(
+            role, rows, sketched, values=values, active=active, scatter=scatter
+        )
         self.metrics.wal_records_logged += len(rows)
+
+    def _snapshot_prescatter(self, run: _RunState) -> None:
+        """Stash this round's pre-scatter residual baselines.
+
+        Taken at each round begin (and resume) of a delta-message run
+        so a coordinated checkpoint can record baselines that still
+        precede the round's scatter — see ``prescatter_last_sent``.
+        Skipped when checkpointing is off: nothing would consume it.
+        """
+        if (
+            run.delta_msgs
+            and self.config.checkpoint_every > 0
+            and run.table is not None
+            and run.table.last_sent is not None
+        ):
+            run.prescatter_last_sent = run.table.last_sent.copy()
 
     def _take_value_checkpoint(self, run: _RunState) -> None:
         """Coordinated checkpoint at a barrier step.
@@ -1846,6 +2270,21 @@ class Agent(Entity):
                     act.add(int(v))
                 else:
                     act.discard(int(v))
+        scatter = copy_values(self.persistent_scatter)
+        if run.delta_msgs and table is not None and table.last_sent is not None:
+            # Pre-scatter baselines: a rollback drops this round's
+            # in-flight deltas, and the resume re-scatter regenerates
+            # them only against the baseline from *before* the round's
+            # sends advanced it.
+            baselines = (
+                run.prescatter_last_sent
+                if run.prescatter_last_sent is not None
+                else table.last_sent
+            )
+            sstore = scatter.setdefault(run.program.name, {})
+            for v, s in zip(table.ids, baselines):
+                if not np.isnan(s):
+                    sstore[int(v)] = float(s)
         checkpoint = Checkpoint(
             out_store=copy_store(self.out_store),
             in_store=copy_store(self.in_store),
@@ -1854,6 +2293,9 @@ class Agent(Entity):
             sketch_delta=self.sketch_delta.copy(),
             run_id=run.spec.run_id,
             step=run.step,
+            persistent_scatter=scatter,
+            dirty_log=list(self._dirty_log),
+            dirty_seen=dict(self._dirty_seen),
         )
         self._recovery.checkpoints.save(checkpoint)
         self._recovery.wal.truncate()
@@ -1895,6 +2337,12 @@ class Agent(Entity):
             self.in_store = copy_store(base.in_store)
             self.persistent = copy_values(base.persistent)
             self.persistent_active = copy_active(base.persistent_active)
+            self.persistent_scatter = copy_values(base.persistent_scatter)
+            # Dirty rows come from the *latest* base (the WAL suffix is
+            # relative to it); they never change during a run, so the
+            # rollback checkpoint would carry the same rows anyway.
+            self._dirty_log = list(base.dirty_log)
+            self._dirty_seen = dict(base.dirty_seen)
             if base.sketch_delta is not None:
                 self.sketch_delta = base.sketch_delta.copy()
             self.metrics.checkpoints_restored += 1
@@ -1902,6 +2350,7 @@ class Agent(Entity):
             # Mid-run rollback: values from the common checkpoint step.
             self.persistent = copy_values(rolled.persistent)
             self.persistent_active = copy_active(rolled.persistent_active)
+            self.persistent_scatter = copy_values(rolled.persistent_scatter)
         elif base is not None and base.run_id is not None:
             # Restart-mode recovery from a mid-run base: its values are
             # partially converged and must not seed the re-run; fall
@@ -1911,13 +2360,21 @@ class Agent(Entity):
             self.persistent_active = (
                 copy_active(pre.persistent_active) if pre is not None else {}
             )
+            self.persistent_scatter = (
+                copy_values(pre.persistent_scatter) if pre is not None else {}
+            )
         replayed = source.wal.replay(
             self.out_store,
             self.in_store,
             sketch_delta=self.sketch_delta,
             persistent=self.persistent,
             persistent_active=self.persistent_active,
+            persistent_scatter=self.persistent_scatter,
         )
+        # Streaming mutations logged after the base checkpoint were
+        # dirty but unconsumed when the agent died; re-dirty them so the
+        # next delta run still sees its full frontier seed.
+        self._dirty_log.extend(source.wal.sketched_rows())
         self.metrics.wal_records_replayed += replayed
         self.n_out_edges = sum(len(s) for s in self.out_store.values())
         self.n_in_edges = sum(len(s) for s in self.in_store.values())
@@ -1986,6 +2443,9 @@ class Agent(Entity):
             )
         self.persistent = copy_values(checkpoint.persistent)
         self.persistent_active = copy_active(checkpoint.persistent_active)
+        self.persistent_scatter = copy_values(checkpoint.persistent_scatter)
+        self._dirty_log = list(checkpoint.dirty_log)
+        self._dirty_seen = dict(checkpoint.dirty_seen)
         # Drop every trace of post-checkpoint progress: the resume
         # rebuilds the table from the restored persistent state, and
         # stragglers from the old incarnation are fenced by ``inc``.

@@ -615,9 +615,17 @@ class Directory(Entity):
 
 
 def _merge_stats(stat_dicts) -> dict:
-    """Sum-aggregate per-agent stats (residuals, active counts, ...)."""
+    """Aggregate per-agent stats (residuals, active counts, ...).
+
+    Keys prefixed ``max_`` fold by maximum (e.g. the worst per-vertex
+    residual of a delta run); everything else sums.  Both reductions are
+    order-insensitive, so merged stats stay deterministic.
+    """
     merged: dict = {}
     for stats in stat_dicts:
         for key, value in stats.items():
-            merged[key] = merged.get(key, 0) + value
+            if key.startswith("max_"):
+                merged[key] = max(merged.get(key, value), value)
+            else:
+                merged[key] = merged.get(key, 0) + value
     return merged

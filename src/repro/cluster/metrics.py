@@ -49,6 +49,10 @@ class AgentMetrics:
     wal_records_logged: int = 0
     wal_records_replayed: int = 0
     recoveries_participated: int = 0
+    # Incremental path: cumulative count of locally-hosted vertices that
+    # were active at each barrier round — the area under the frontier
+    # curve, so frontier collapse is visible in the exposition.
+    frontier_size: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict copy (what a METRIC_REPORT would carry).

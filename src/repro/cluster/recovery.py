@@ -59,6 +59,14 @@ class Checkpoint:
     # None for checkpoints taken outside any run (e.g. at agent start).
     run_id: Optional[int] = None
     step: int = 0
+    # Incremental-run durable state: the last-sent scatter values of
+    # delta-message programs (program -> vertex -> value), the ordered
+    # log of dirty mutation rows ``(role, key, other, action)`` not yet
+    # consumed by every program, and each program's consumption
+    # watermark into that log.
+    persistent_scatter: Dict[str, Dict[int, float]] = field(default_factory=dict)
+    dirty_log: List[Tuple[str, int, int, int]] = field(default_factory=list)
+    dirty_seen: Dict[str, int] = field(default_factory=dict)
 
     @property
     def n_edges(self) -> int:
@@ -86,6 +94,9 @@ class WALRecord:
     sketched: bool
     values: Optional[Dict[str, Dict[int, float]]] = None
     active: Optional[Dict[str, Set[int]]] = None
+    #: Last-sent scatter state that rode along with a migration batch
+    #: (delta-message programs must not lose it mid-suspension).
+    scatter: Optional[Dict[str, Dict[int, float]]] = None
 
 
 class EdgeWAL:
@@ -102,10 +113,11 @@ class EdgeWAL:
         sketched: bool,
         values: Optional[Dict[str, Dict[int, float]]] = None,
         active: Optional[Dict[str, Set[int]]] = None,
+        scatter: Optional[Dict[str, Dict[int, float]]] = None,
     ) -> None:
-        if not rows and not values and not active:
+        if not rows and not values and not active and not scatter:
             return
-        self._records.append(WALRecord(role, list(rows), sketched, values, active))
+        self._records.append(WALRecord(role, list(rows), sketched, values, active, scatter))
         self.records_logged += len(rows)
 
     def truncate(self) -> None:
@@ -122,6 +134,7 @@ class EdgeWAL:
         sketch_delta: Optional[object] = None,
         persistent: Optional[Dict[str, Dict[int, float]]] = None,
         persistent_active: Optional[Dict[str, Set[int]]] = None,
+        persistent_scatter: Optional[Dict[str, Dict[int, float]]] = None,
     ) -> int:
         """Re-apply every logged mutation onto the given stores.
 
@@ -160,7 +173,21 @@ class EdgeWAL:
             if record.active and persistent_active is not None:
                 for prog, verts in record.active.items():
                     persistent_active.setdefault(prog, set()).update(verts)
+            if record.scatter and persistent_scatter is not None:
+                for prog, vals in record.scatter.items():
+                    persistent_scatter.setdefault(prog, {}).update(vals)
         return replayed
+
+    def sketched_rows(self) -> List[Tuple[str, int, int, int]]:
+        """The logged streaming mutations, in application order, as
+        ``(role, key, other, action)`` — exactly the rows a replacement
+        agent must re-append to its dirty log (migration records are
+        placement moves, not graph changes, and are excluded)."""
+        rows: List[Tuple[str, int, int, int]] = []
+        for record in self._records:
+            if record.sketched:
+                rows.extend((record.role, k, o, a) for k, o, a in record.rows)
+        return rows
 
 
 class CheckpointStore:
@@ -249,6 +276,9 @@ class RecoveryStore:
             sketch_delta=agent.sketch_delta.copy(),
             run_id=run_id,
             step=step,
+            persistent_scatter=copy_values(getattr(agent, "persistent_scatter", {})),
+            dirty_log=list(getattr(agent, "_dirty_log", ())),
+            dirty_seen=dict(getattr(agent, "_dirty_seen", {})),
         )
         slot = self.slot(agent.agent_id)
         slot.checkpoints.save(checkpoint)

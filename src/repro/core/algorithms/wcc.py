@@ -39,6 +39,11 @@ class WCC(VertexProgram):
     aggregator = "min"
     needs_in_and_out = True
     supports_async = True
+    # Monotone label-shrink repair: insertions activate both endpoints,
+    # absolute labels re-fold safely (no delta messages needed), and
+    # deletions invalidate the fixpoint (labels cannot grow back).
+    supports_delta = True
+    deletions_invalidate = True
 
     def __init__(self, max_iters: int = 10_000):
         self.max_iters = int(max_iters)

@@ -73,8 +73,15 @@ class ElGA:
         self.cluster = ElGACluster(config)
         self.reference: Optional[DynamicGraph] = DynamicGraph() if keep_reference else None
         self._run_counter = 0
-        self._touched_since_run: Set[int] = set()
-        self._deletions_since_run = False
+        # Per-program incremental bookkeeping.  ``_batch_log`` records
+        # each applied mutation batch (touched vertices, whether it
+        # deleted anything); ``_program_meta`` records, per program,
+        # how much of the log its last completed run consumed plus the
+        # conditions its fixpoint was computed under (|V|, membership).
+        # The log prefix every known program has consumed is trimmed.
+        self._batch_log: List[dict] = []
+        self._batch_base = 0
+        self._program_meta: Dict[str, dict] = {}
         self.ingest_reports: List[dict] = []
         self._active_controller: Optional[SyncRunController] = None
         # Recovery-mode bookkeeping for the current sync run: who was a
@@ -90,6 +97,26 @@ class ElGA:
     def ingest_edges(self, us, vs, n_streamers: int = 1, flush: bool = True) -> dict:
         """Insert an edge list (convenience over :meth:`apply_batch`)."""
         return self.apply_batch(EdgeBatch.insertions(us, vs), n_streamers, flush)
+
+    def quiesce(self) -> None:
+        """Advance simulated time until every agent is idle.
+
+        After an update batch, agents still owe charged background work
+        (sketch maintenance, the post-broadcast migration check over
+        resident edges).  That backlog otherwise drains inside the next
+        run's measured window, which blurs ingest-side maintenance into
+        analysis time; benchmarks that want to time *analysis* call
+        this between the batch and the run.
+        """
+        self.cluster.settle()
+        kernel = self.cluster.kernel
+        horizon = max(
+            (agent.available_at() for agent in sorted_agents(self.cluster.agents)),
+            default=kernel.now,
+        )
+        if horizon > kernel.now:
+            kernel.run(until=horizon)
+            self.cluster.settle()
 
     def apply_batch(self, batch: EdgeBatch, n_streamers: int = 1, flush: bool = True) -> dict:
         """Stream one change batch in and wait for acknowledgement.
@@ -108,9 +135,12 @@ class ElGA:
             self.cluster.flush_sketches()
         else:
             self.cluster.settle()
-        self._touched_since_run.update(int(v) for v in batch.touched_vertices)
-        if (batch.actions == REMOVE).any():
-            self._deletions_since_run = True
+        self._batch_log.append(
+            {
+                "touched": {int(v) for v in batch.touched_vertices},
+                "deletions": bool((batch.actions == REMOVE).any()),
+            }
+        )
         self.ingest_reports.append(report)
         return report
 
@@ -132,6 +162,76 @@ class ElGA:
             return self.reference.num_edges
         # Each edge is resident twice (out-copy + in-copy).
         return self.cluster.total_resident_edges() // 2
+
+    # ------------------------------------------------------------------
+    # incremental strategy resolution
+    # ------------------------------------------------------------------
+
+    def _pending_batches(self, name: str) -> List[dict]:
+        """Batches applied since ``name``'s last completed run."""
+        mark = self._program_meta.get(name, {}).get("watermark", self._batch_base)
+        return self._batch_log[max(0, mark - self._batch_base):]
+
+    def _pending_touched(self, name: str) -> Set[int]:
+        touched: Set[int] = set()
+        for entry in self._pending_batches(name):
+            touched |= entry["touched"]
+        return touched
+
+    def _resolve_strategy(self, program: VertexProgram, activate) -> str:
+        """Pick how an ``incremental=True`` run actually executes.
+
+        * ``"scratch"`` — full recompute: no prior fixpoint exists, or
+          pending deletions invalidate the program's monotone reuse
+          (and the caller didn't pin an explicit frontier).
+        * ``"dense"`` — warm start from the previous fixpoint with a
+          conservative activation: the program can reuse values but the
+          conditions for exact delta propagation don't hold (membership
+          changed, |V| changed under a stable-n program, the frontier
+          touches a split vertex, or the program has no delta protocol).
+        * ``"delta"`` — converge from the previous fixpoint: agents seed
+          the frontier from their dirty mutation rows and propagate only
+          residuals (delta-message programs) or repaired labels.
+        """
+        meta = self._program_meta.get(program.name)
+        if meta is None:
+            return "scratch"
+        pending = self._pending_batches(program.name)
+        if (
+            activate is None
+            and getattr(program, "deletions_invalidate", False)
+            and any(entry["deletions"] for entry in pending)
+        ):
+            return "scratch"
+        if not getattr(program, "supports_delta", False):
+            return "dense"
+        if getattr(program, "requires_stable_n", False) and self.global_n != meta["n"]:
+            return "dense"
+        if meta["members"] != frozenset(self.cluster.agents):
+            # Reshaped (or crash-replaced by a *different* id set)
+            # since the fixpoint: per-agent dirty logs and baselines
+            # may have moved under the program; play it safe.
+            return "dense"
+        split = set(self.cluster.lead.state.split_vertices)
+        if split and (self._pending_touched(program.name) & split):
+            # Split vertices scatter via replica choreography whose
+            # local degrees delta seeding cannot reconstruct.
+            return "dense"
+        return "delta"
+
+    def _record_program_meta(self, name: str) -> None:
+        """A run of ``name`` just completed and persisted its fixpoint:
+        it consumed every batch applied so far, under the current
+        vertex count and membership."""
+        self._program_meta[name] = {
+            "watermark": self._batch_base + len(self._batch_log),
+            "n": self.global_n,
+            "members": frozenset(self.cluster.agents),
+        }
+        cut = min(m["watermark"] for m in self._program_meta.values()) - self._batch_base
+        if cut > 0:
+            del self._batch_log[:cut]
+            self._batch_base += cut
 
     # ------------------------------------------------------------------
     # running algorithms
@@ -171,14 +271,28 @@ class ElGA:
 
         Notes
         -----
-        Incremental WCC with deletions is undoable territory [31]; as
-        in the paper's experiments, a batch containing deletions forces
-        a from-scratch run.
+        How an incremental run executes is resolved per program (see
+        :meth:`_resolve_strategy`): exact delta propagation from the
+        previous fixpoint where the program supports it and conditions
+        allow, a dense warm start otherwise, and a from-scratch run
+        when reuse is invalid — e.g. incremental WCC with deletions is
+        undoable territory [31]; as in the paper's experiments, a batch
+        containing deletions forces a full recompute.
         """
-        if incremental and self._deletions_since_run and activate is None:
-            incremental = False  # deletions invalidate monotone reuse
-        if incremental and activate is None:
-            activate = np.array(sorted(self._touched_since_run), dtype=np.int64)
+        strategy = "scratch"
+        if incremental:
+            strategy = self._resolve_strategy(program, activate)
+            if strategy == "scratch":
+                incremental = False
+                activate = None
+            elif strategy == "dense" and activate is None and not getattr(
+                program, "supports_delta", False
+            ):
+                # Legacy warm-start semantics for programs without a
+                # delta protocol: activate the touched frontier.
+                activate = np.array(
+                    sorted(self._pending_touched(program.name)), dtype=np.int64
+                )
         self._run_counter += 1
         spec = RunSpec(
             run_id=self._run_counter,
@@ -187,16 +301,18 @@ class ElGA:
             global_n=self.global_n,
             mode=mode,
             activate=activate,
+            strategy=strategy,
         )
-        self._touched_since_run.clear()
-        self._deletions_since_run = False
         if mode == "async":
             if crash_plan:
                 raise ValueError("crash_plan requires synchronous mode")
-            return self._run_async(spec)
-        if mode != "sync":
+            result = self._run_async(spec)
+        elif mode != "sync":
             raise ValueError(f"unknown mode {mode!r}")
-        return self._run_sync(spec, scale_plan, crash_plan)
+        else:
+            result = self._run_sync(spec, scale_plan, crash_plan)
+        self._record_program_meta(program.name)
+        return result
 
     def _run_sync(
         self,
@@ -260,6 +376,7 @@ class ElGA:
             sim_seconds=kernel.now - start,
             round_durations=controller.round_durations,
             stats_history=controller.stats_history,
+            strategy=spec.strategy,
         )
 
     def _on_run_suspended(self, round_id: int, step: int, target_agents: int) -> None:
@@ -422,6 +539,7 @@ class ElGA:
             values=self._collect(spec.program.name),
             steps=None,
             sim_seconds=kernel.now - start,
+            strategy=spec.strategy,
         )
 
     def _collect(self, program_name: str) -> Dict[int, float]:

@@ -68,6 +68,17 @@ class RunSpec:
     #: the batch's changes (Δ's touched vertices).  Ignored when
     #: ``incremental`` is False.
     activate: Optional[np.ndarray] = None
+    #: How the run warms up from persisted state:
+    #:
+    #: * ``"scratch"`` — cold start, every vertex re-initializes;
+    #: * ``"dense"``   — keep persisted values but activate everyone
+    #:   (warm start without frontier tracking — the safe fallback when
+    #:   the graph reshaped or |V| changed under a delta program);
+    #: * ``"delta"``   — keep persisted values and activate only the
+    #:   frontier seeded from each agent's dirty mutation rows
+    #:   (:meth:`VertexProgram.affected`), converging from the previous
+    #:   fixpoint via residual propagation.
+    strategy: str = "scratch"
 
     @property
     def nbytes(self) -> int:
@@ -95,6 +106,28 @@ class VertexProgram:
     #: monotone programs (min/max aggregators whose apply moves values
     #: one way) are safe to run asynchronously.
     supports_async: bool = False
+
+    # -- incremental protocol (delta runs) ----------------------------------
+
+    #: Whether the program can converge from the previous fixpoint with
+    #: only a frontier active (strategy ``"delta"``).  Programs that
+    #: cannot still benefit from ``"dense"`` warm starts.
+    supports_delta: bool = False
+    #: If True, active vertices scatter the *change* in their steady
+    #: message (``scatter - last_sent``) instead of the absolute value,
+    #: and receivers fold the aggregated delta into their state via
+    #: :meth:`delta_apply` (residual propagation, e.g. PageRank).
+    #: Monotone programs (WCC) leave this False: their absolute messages
+    #: re-fold safely.
+    delta_messages: bool = False
+    #: If True, any pending deletion invalidates the previous fixpoint
+    #: and forces a from-scratch run (e.g. min-label WCC cannot undo a
+    #: label after the edge that carried it disappears).
+    deletions_invalidate: bool = False
+    #: If True, a delta run is only valid while |V| is unchanged since
+    #: the fixpoint was computed (PageRank's (1-d)/n term bakes n into
+    #: every persisted value); otherwise fall back to ``"dense"``.
+    requires_stable_n: bool = False
 
     # -- derived ------------------------------------------------------------
 
@@ -167,3 +200,91 @@ class VertexProgram:
         """Global convergence decision, evaluated by the lead directory
         from the summed stats of every agent."""
         raise NotImplementedError
+
+    # -- incremental hooks (strategy "delta") -------------------------------
+
+    def affected(
+        self,
+        role: str,
+        keys: np.ndarray,
+        others: np.ndarray,
+        actions: np.ndarray,
+        ctx: Dict[str, Any],
+    ) -> np.ndarray:
+        """Frontier seeds from one agent's applied mutation rows.
+
+        Called once per edge role at delta-run start with the agent's
+        un-consumed dirty rows: ``keys`` are the locally-keyed endpoints
+        (sources for ``role == "out"``, destinations for ``"in"``),
+        ``others`` the far endpoints, ``actions`` +1/-1 per row.
+        Returns the vertex ids (among ``keys``) that join the initial
+        active set.  Default: every touched endpoint.
+        """
+        return np.unique(keys)
+
+    def delta_seed_values(
+        self,
+        role: str,
+        keys: np.ndarray,
+        others: np.ndarray,
+        actions: np.ndarray,
+        values: np.ndarray,
+        out_deg_old: np.ndarray,
+        ctx: Dict[str, Any],
+    ) -> Optional[np.ndarray]:
+        """Per-row structural correction delivered to ``others[i]``.
+
+        For delta-message programs, an edge mutation (u, v, ±1) changes
+        v's input by ``±`` u's previously-sent message, which u's owner
+        must inject as a round-0 seed (u's own scatter only covers the
+        change in its steady value).  ``values`` holds u's persisted
+        value per row and ``out_deg_old`` u's out-degree *before* the
+        mutations.  Return None (default) or a per-row value array;
+        zero-valued rows are skipped.
+        """
+        return None
+
+    def delta_flush_mask(
+        self,
+        values: np.ndarray,
+        out_deg_total: np.ndarray,
+        last_sent: np.ndarray,
+        ctx: Dict[str, Any],
+    ) -> Optional[np.ndarray]:
+        """Vertices owing enough unsent residual to rejoin the frontier.
+
+        Deactivated vertices hold their sub-threshold deltas against
+        ``last_sent`` rather than losing them; over a long update stream
+        that held mass accumulates.  At the start of each delta run the
+        agent asks the program which vertices' accumulated unsent mass
+        now matters; returning a bool mask forces them active so the
+        debt is flushed.  Return None (default) to skip the check.
+        NaN ``last_sent`` entries must compare False.
+        """
+        return None
+
+    def delta_apply(
+        self,
+        old: np.ndarray,
+        agg: np.ndarray,
+        got: np.ndarray,
+        ctx: Dict[str, Any],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Apply for delta rounds: fold the aggregated *delta* into the
+        previous value.  Defaults to :meth:`apply` (correct for programs
+        whose messages are absolute, e.g. monotone min-label WCC)."""
+        return self.apply(old, agg, got, ctx)
+
+    def delta_stats(
+        self, old: np.ndarray, new: np.ndarray, active: np.ndarray
+    ) -> Dict[str, float]:
+        """Per-agent statistics for delta rounds.  Keys prefixed
+        ``max_`` merge by maximum at the directory instead of summing
+        (order-insensitive, so determinism is preserved)."""
+        return self.step_stats(old, new, active)
+
+    def delta_halt(self, step: int, stats: Dict[str, float], ctx: Dict[str, Any]) -> bool:
+        """Halt condition for delta runs — typically global frontier
+        quiescence (``active == 0``) or the residual dropping under
+        ``tol``.  Defaults to :meth:`halt`."""
+        return self.halt(step, stats, ctx)

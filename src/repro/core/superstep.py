@@ -55,6 +55,9 @@ class RunResult:
     sim_seconds: float
     round_durations: List[Tuple[str, int, float]] = field(default_factory=list)
     stats_history: List[Dict[str, float]] = field(default_factory=list)
+    #: How the run executed: "scratch", "dense" (warm start), or
+    #: "delta" (residual propagation from the previous fixpoint).
+    strategy: str = "scratch"
 
     def value(self, vertex: int) -> Optional[float]:
         """The result for one vertex (None if the vertex is unknown)."""
@@ -94,9 +97,14 @@ class RunResult:
                 out[v] = x
         return out
 
+    #: Barrier phases that are normal compute supersteps (as opposed to
+    #: scaling's apply_only/resume choreography) — the entries Figure
+    #: 8–11 per-iteration numbers are drawn from.
+    COMPUTE_PHASES = ("init", "step", "delta_init", "delta_step")
+
     def per_step_seconds(self) -> List[float]:
         """Simulated duration of each normal compute superstep."""
-        return [d for phase, _, d in self.round_durations if phase in ("init", "step")]
+        return [d for phase, _, d in self.round_durations if phase in self.COMPUTE_PHASES]
 
     def mean_step_seconds(self) -> float:
         """Mean per-superstep simulated time (per-iteration runtime)."""
@@ -130,7 +138,10 @@ class SyncRunController:
         self.crash_plan = dict(crash_plan or {})
         self.on_crash = on_crash
         self.tracer = tracer
-        self.phase = "init"
+        # Delta runs get their own phase names so traces, timelines, and
+        # the agents' phase dispatch can tell residual rounds apart.
+        self._delta = getattr(spec, "strategy", "scratch") == "delta"
+        self.phase = "delta_init" if self._delta else "init"
         self.round_started_at = kernel.now
         self.round_durations: List[Tuple[str, int, float]] = []
         self.stats_history: List[Dict[str, float]] = []
@@ -173,10 +184,11 @@ class SyncRunController:
                 {"round": round_id, "step": step, "phase": self.phase},
             )
         program = self.spec.program
+        halts = program.delta_halt if self._delta else program.halt
 
         if self.phase == "apply_only":
             # All in-flight state is now persisted; agents are suspended.
-            if program.halt(step, stats, self._ctx):
+            if halts(step, stats, self._ctx):
                 return self._halt_payload(step)
             if self.on_suspended is None:
                 raise RuntimeError("apply_only completed but no suspension handler")
@@ -185,7 +197,7 @@ class SyncRunController:
 
         # A resume round only re-scatters — no applies ran, so its stats
         # are empty and must not be mistaken for quiescence.
-        if self.phase != "resume" and program.halt(step, stats, self._ctx):
+        if self.phase != "resume" and halts(step, stats, self._ctx):
             return self._halt_payload(step)
         if step in self.scale_plan:
             # Drain in-flight state, then the engine reshapes the cluster.
@@ -198,7 +210,7 @@ class SyncRunController:
                 # drains).  Only armed on plain steps so the failure
                 # detector is never quiesced when the crash lands.
                 self.on_crash(due)
-        return self._payload(round_id + 1, step + 1, "step")
+        return self._payload(round_id + 1, step + 1, "delta_step" if self._delta else "step")
 
     def next_round(self) -> int:
         """The first round id not yet used by any issued payload."""
@@ -206,7 +218,7 @@ class SyncRunController:
 
     def mark_restarted(self) -> None:
         """Reset phase tracking when recovery restarts the run."""
-        self.phase = "init"
+        self.phase = "delta_init" if self._delta else "init"
         self.round_started_at = self.kernel.now
 
     def resume_payload(self, round_id: int, step: int) -> dict:

@@ -28,6 +28,7 @@ class StepRow:
     wait: float = 0.0               # summed agent barrier-wait seconds
     comms_packets: int = 0          # data-plane packets sent this round
     comms_bytes: int = 0
+    frontier: int = 0               # vertices activated this round (all agents)
     straggler: Optional[str] = None   # agent with the largest compute share
     straggler_compute: float = 0.0
     per_agent_compute: Dict[str, float] = field(default_factory=dict)
@@ -79,6 +80,7 @@ class TraceSummary:
             if span.cat == "compute":
                 row = row_for(round_id)
                 row.compute += span.duration
+                row.frontier += int(span.args.get("frontier", 0))
                 row.per_agent_compute[span.entity] = (
                     row.per_agent_compute.get(span.entity, 0.0) + span.duration
                 )
@@ -119,7 +121,7 @@ class TraceSummary:
 
     def steps(self) -> List[StepRow]:
         """Rows for plain compute supersteps only."""
-        return [r for r in self.rows if r.phase in ("init", "step")]
+        return [r for r in self.rows if r.phase in ("init", "step", "delta_init", "delta_step")]
 
     def total_compute(self) -> float:
         return sum(r.compute for r in self.rows)
@@ -134,7 +136,8 @@ class TraceSummary:
         """A fixed-width text table of the per-round timeline."""
         header = (
             f"{'round':>5} {'step':>4} {'phase':<10} {'dur_ms':>9} "
-            f"{'compute_ms':>11} {'wait_ms':>9} {'pkts':>6} {'bytes':>10} straggler"
+            f"{'compute_ms':>11} {'wait_ms':>9} {'front':>7} {'pkts':>6} "
+            f"{'bytes':>10} straggler"
         )
         lines = [header, "-" * len(header)]
         for r in self.rows:
@@ -146,6 +149,6 @@ class TraceSummary:
             lines.append(
                 f"{r.round:>5} {r.step:>4} {r.phase:<10} {r.duration * 1e3:>9.3f} "
                 f"{r.compute * 1e3:>11.3f} {r.wait * 1e3:>9.3f} "
-                f"{r.comms_packets:>6} {r.comms_bytes:>10} {straggler}"
+                f"{r.frontier:>7} {r.comms_packets:>6} {r.comms_bytes:>10} {straggler}"
             )
         return "\n".join(lines)

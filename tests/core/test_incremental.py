@@ -3,9 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.core import ElGA, WCC
+from repro.core import ElGA, PageRank, PersonalizedPageRank, WCC
 from repro.graph import EdgeBatch
 from tests.conftest import reference_wcc
+
+pytestmark = pytest.mark.incremental
 
 
 @pytest.fixture()
@@ -88,3 +90,113 @@ def test_explicit_activation_overrides_default(two_islands):
     elga.apply_batch(EdgeBatch.insertions([2], [10]))
     result = elga.run(WCC(), incremental=True, activate=np.array([2, 10]))
     assert result.values[12] == 0.0
+
+
+# -- delta strategy: converge from the previous fixpoint ----------------
+
+
+def _paired_engines(seed=31):
+    """Two identical engines over a ring with chords (|V| = 40)."""
+    us = np.concatenate([np.arange(40), np.array([0, 5, 11])])
+    vs = np.concatenate([(np.arange(40) + 1) % 40, np.array([20, 30, 4])])
+    a = ElGA(nodes=2, agents_per_node=2, seed=seed)
+    a.ingest_edges(us, vs)
+    b = ElGA(nodes=2, agents_per_node=2, seed=seed)
+    b.ingest_edges(us, vs)
+    return a, b
+
+
+def test_pagerank_delta_matches_scratch_within_tol():
+    a, b = _paired_engines()
+    pr = PageRank(max_iters=200, tol=1e-8)
+    a.run(pr)
+    # Inserts between existing vertices: |V| stable, so delta engages.
+    batch = EdgeBatch.insertions([7, 25], [19, 2])
+    a.apply_batch(batch)
+    b.apply_batch(batch)
+    inc = a.run(pr, incremental=True)
+    full = b.run(PageRank(max_iters=200, tol=1e-8))
+    assert inc.strategy == "delta"
+    assert full.strategy == "scratch"
+    err = max(abs(inc.values[v] - full.values[v]) for v in full.values)
+    assert err < pr.tol
+
+
+def test_pagerank_delta_is_deterministic():
+    a, b = _paired_engines()
+    pr_a = PageRank(max_iters=200, tol=1e-8)
+    pr_b = PageRank(max_iters=200, tol=1e-8)
+    batch = EdgeBatch.insertions([3, 14], [22, 9])
+    a.run(pr_a)
+    b.run(pr_b)
+    a.apply_batch(batch)
+    b.apply_batch(batch)
+    ra = a.run(pr_a, incremental=True)
+    rb = b.run(pr_b, incremental=True)
+    assert ra.strategy == rb.strategy == "delta"
+    assert ra.values == rb.values  # bit-identical, not just close
+
+
+def test_pagerank_vertex_count_change_falls_back_to_dense():
+    a, b = _paired_engines()
+    pr = PageRank(max_iters=200, tol=1e-8)
+    a.run(pr)
+    batch = EdgeBatch.insertions([100], [101])  # |V| grows: stable-n gate
+    a.apply_batch(batch)
+    b.apply_batch(batch)
+    inc = a.run(pr, incremental=True)
+    assert inc.strategy == "dense"
+    full = b.run(PageRank(max_iters=200, tol=1e-8))
+    err = max(abs(inc.values[v] - full.values[v]) for v in full.values)
+    assert err < pr.tol
+
+
+def test_no_prior_fixpoint_runs_scratch():
+    a, _ = _paired_engines()
+    result = a.run(WCC(), incremental=True)
+    assert result.strategy == "scratch"
+
+
+def test_program_without_delta_protocol_warm_starts_dense():
+    a, _ = _paired_engines()
+    ppr = PersonalizedPageRank(source=0, max_iters=50)
+    a.run(ppr)
+    a.apply_batch(EdgeBatch.insertions([6], [17]))
+    result = a.run(ppr, incremental=True)
+    assert result.strategy == "dense"
+
+
+def test_wcc_deletion_resolves_to_scratch_strategy(two_islands):
+    elga = two_islands
+    elga.apply_batch(EdgeBatch.deletions([1], [2]))
+    result = elga.run(WCC(), incremental=True)
+    assert result.strategy == "scratch"
+
+
+def test_wcc_insert_delta_strategy_and_exactness(two_islands):
+    elga = two_islands
+    elga.apply_batch(EdgeBatch.insertions([2], [10]))
+    result = elga.run(WCC(), incremental=True)
+    assert result.strategy == "delta"
+    fresh = ElGA(nodes=2, agents_per_node=2, seed=16)
+    us, vs = elga.reference.edge_arrays()
+    fresh.ingest_edges(us, vs)
+    assert result.values == fresh.run(WCC()).values
+
+
+def test_delta_run_uses_delta_phases_and_counts_frontier():
+    from repro.cluster.cluster import sorted_agents
+
+    a, _ = _paired_engines()
+    pr = PageRank(max_iters=200, tol=1e-8)
+    a.run(pr)
+    a.apply_batch(EdgeBatch.insertions([3], [22]))
+    result = a.run(pr, incremental=True)
+    assert result.strategy == "delta"
+    phases = {phase for phase, _, _ in result.round_durations}
+    assert "delta_init" in phases and "delta_step" in phases
+    # per_step_seconds must count the delta rounds (phase allowlist fix).
+    assert len(result.per_step_seconds()) >= result.steps
+    assert sum(
+        agent.metrics.frontier_size for agent in sorted_agents(a.cluster.agents)
+    ) > 0
