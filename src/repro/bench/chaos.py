@@ -264,6 +264,178 @@ def run_chaos_scenario(
     return report
 
 
+@dataclass
+class ServingChaosReport:
+    """Outcome of one serving-under-chaos scenario.
+
+    A Zipf query stream runs through client proxies *while* the engine
+    executes PageRank under a faulty data plane with one abrupt
+    mid-run crash.  The claims bundled here:
+
+    * **no query lost** — every accepted query was answered
+      (``outstanding == 0``) and no shed query ran out of resubmits
+      (``dropped == 0``);
+    * **every reply snapshot-consistent** — torn fan-outs were retried,
+      never delivered (``snapshot_retries`` counts the catches);
+    * **zero stale reads after the run** — re-querying every vertex
+      post-run matches the converged fixpoint exactly
+      (``post_run_mismatches == 0``);
+    * **the run itself still converges bit-identical** to a fault-free
+      reference (``bit_equal``).
+    """
+
+    plan_seed: int
+    bit_equal: bool = False
+    steps: Optional[int] = None
+    submitted: int = 0
+    delivered: int = 0
+    shed: int = 0
+    resubmitted: int = 0
+    dropped: int = 0
+    outstanding: int = 0
+    snapshot_retries: int = 0
+    snapshot_value_merges: int = 0
+    queries_retried: int = 0
+    post_run_mismatches: int = 0
+    serving_metrics: Dict[str, float] = field(default_factory=dict)
+    drops_chaos: int = 0
+    messages_duplicated: int = 0
+    recovery_log: List[dict] = field(default_factory=list)
+
+    @property
+    def recoveries(self) -> int:
+        return sum(1 for e in self.recovery_log if e.get("event") == "recover")
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.bit_equal
+            and self.outstanding == 0
+            and self.dropped == 0
+            and self.post_run_mismatches == 0
+        )
+
+
+def serving_chaos_plan(
+    seed: int = 0,
+    after_step: int = 3,
+    drop_p: float = 0.05,
+    dup_p: float = 0.05,
+) -> FaultPlan:
+    """Data-plane chaos that also abuses the serving plane's packets.
+
+    ``DATA_PTYPES`` deliberately excludes client traffic (queries must
+    not perturb algorithm-content digests), so the serving scenario
+    opts the query/reply/notice types in explicitly.
+    """
+    from repro.net.faults import DATA_PTYPES
+
+    return FaultPlan.data_plane_chaos(
+        seed=seed,
+        drop_p=drop_p,
+        dup_p=dup_p,
+        crashes=[CrashEvent(after_step=after_step, abrupt=True)],
+        ptypes=DATA_PTYPES
+        | {PacketType.CLIENT_QUERY, PacketType.CLIENT_REPLY, PacketType.RESULT_NOTICE},
+    )
+
+
+def run_serving_chaos_scenario(
+    us,
+    vs,
+    plan: FaultPlan,
+    program=None,
+    nodes: int = 2,
+    agents_per_node: int = 2,
+    seed: int = 9,
+    n_proxies: int = 2,
+    rate: float = 2000.0,
+    duration: float = 0.5,
+    n_clients: int = 10_000,
+    zipf_s: float = 1.0,
+    workload_seed: int = 1,
+    **config_overrides,
+) -> ServingChaosReport:
+    """Serve a Zipf query stream while the engine crashes and recovers.
+
+    The workload starts immediately before the chaos run, so arrivals
+    interleave with supersteps, the crash window, eviction, and the
+    rollback — exactly when torn reads and lost replies would happen if
+    the serving plane allowed them.  The fault-free reference engine
+    runs the same program with no queries; recovery must still converge
+    bit-identical (queries are read-only — they must not perturb the
+    run).
+    """
+    from repro.core import PageRank
+    from repro.serving import OpenLoopWorkload
+
+    if program is None:
+        program = PageRank(max_iters=12)
+    config_overrides.setdefault("heartbeat_interval", 0.005)
+    config_overrides.setdefault("lease_timeout", 0.025)
+    config_overrides.setdefault("checkpoint_every", 2)
+    reference, chaos = build_engine_pair(
+        plan, nodes=nodes, agents_per_node=agents_per_node, seed=seed, **config_overrides
+    )
+    before = chaos.cluster.network.stats.snapshot()
+    reference.ingest_edges(us, vs)
+    chaos.ingest_edges(us, vs)
+    check_cluster_invariants(chaos)
+
+    proxies = [chaos.cluster.new_client(node=i % nodes) for i in range(n_proxies)]
+    import numpy as np
+
+    vertices = np.unique(np.concatenate([np.asarray(us), np.asarray(vs)]))
+    workload = OpenLoopWorkload(
+        proxies,
+        vertices,
+        program.name,
+        rate=rate,
+        duration=duration,
+        n_clients=n_clients,
+        zipf_s=zipf_s,
+        seed=workload_seed,
+    )
+
+    report = ServingChaosReport(plan_seed=plan.seed)
+    ref_result = reference.run(program)
+    workload.start()
+    chaos_result = chaos.run(program, crash_plan=plan.crash_plan() or None)
+    chaos.cluster.settle()  # drain late arrivals, resubmits, retries
+    check_cluster_invariants(chaos)
+
+    report.bit_equal = ref_result.values == chaos_result.values
+    report.steps = chaos_result.steps
+    report.submitted = workload.submitted
+    report.delivered = workload.delivered
+    report.shed = workload.shed
+    report.resubmitted = workload.resubmitted
+    report.dropped = workload.dropped
+    report.outstanding = workload.outstanding
+    report.serving_metrics = chaos.cluster.collect_client_metrics()
+    report.snapshot_retries = int(report.serving_metrics.get("client_snapshot_retries", 0))
+    report.snapshot_value_merges = int(
+        report.serving_metrics.get("client_snapshot_value_merges", 0)
+    )
+    report.queries_retried = int(report.serving_metrics.get("client_queries_retried", 0))
+
+    # Zero-stale acceptance: after the run, every vertex read through
+    # the serving plane must equal the converged fixpoint.
+    for i, vertex in enumerate(map(int, vertices)):
+        proxy = proxies[i % len(proxies)]
+        out: List[Optional[float]] = []
+        proxy.query(vertex, program.name, out.append)
+        chaos.cluster.settle()
+        if not out or out[0] != chaos_result.values.get(vertex):
+            report.post_run_mismatches += 1
+
+    after = chaos.cluster.network.stats
+    report.drops_chaos = after.drops_chaos - before.drops_chaos
+    report.messages_duplicated = after.messages_duplicated - before.messages_duplicated
+    report.recovery_log = list(chaos.cluster.recovery_log)
+    return report
+
+
 def fault_matrix(seed: int = 0) -> Dict[str, FaultPlan]:
     """The named fault plans the chaos suite sweeps.
 

@@ -17,6 +17,9 @@ Commands
     sustained updates/s.
 ``query``
     Run an algorithm, then answer point queries through a ClientProxy.
+``serve``
+    Run an algorithm, then drive an open-loop Zipf query stream through
+    client proxies and print the tail-latency/QPS/cache summary.
 ``trace``
     Run an algorithm with tracing on, print the per-superstep timeline,
     and export the trace as Chrome ``trace_event`` JSON (open it in
@@ -172,6 +175,50 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run an algorithm, then serve an open-loop Zipf query stream."""
+    from repro.serving import OpenLoopWorkload, percentile
+
+    program, default_mode = _build_algorithm(args.algorithm, args.source, args.max_iters)
+    elga = _build_engine(args, keep_reference=True)
+    elga.run(program, mode=args.mode or default_mode)
+    cluster = elga.cluster
+    proxies = [cluster.new_client(node=i % args.nodes) for i in range(args.proxies)]
+    vertices = np.fromiter(elga.reference.vertices(), dtype=np.int64)
+    workload = OpenLoopWorkload(
+        proxies,
+        vertices,
+        program.name,
+        rate=args.rate,
+        duration=args.duration,
+        n_clients=args.clients,
+        zipf_s=args.zipf,
+        seed=args.seed,
+    ).start()
+    start = cluster.kernel.now
+    cluster.settle()
+    elapsed = cluster.kernel.now - start
+    metrics = cluster.collect_client_metrics()
+    samples: List[float] = []
+    for proxy in proxies:
+        samples.extend(proxy.latencies)
+    hits = metrics.get("serving_cache_hits", 0)
+    misses = metrics.get("serving_cache_misses", 0)
+    table = Table(["metric", "value"])
+    table.add_row("queries delivered", workload.delivered)
+    table.add_row("distinct clients", workload.distinct_clients)
+    table.add_row("QPS (simulated)", f"{workload.delivered / max(elapsed, 1e-12):,.0f}")
+    table.add_row("p50 latency (us)", f"{percentile(samples, 50.0) * 1e6:.2f}")
+    table.add_row("p99 latency (us)", f"{percentile(samples, 99.0) * 1e6:.2f}")
+    table.add_row("p999 latency (us)", f"{percentile(samples, 99.9) * 1e6:.2f}")
+    table.add_row("cache hit rate", f"{hits / max(hits + misses, 1):.3f}")
+    table.add_row("coalesced", int(metrics.get("client_queries_coalesced", 0)))
+    table.add_row("shed", int(metrics.get("client_queries_shed", 0)))
+    table.add_row("snapshot retries", int(metrics.get("client_snapshot_retries", 0)))
+    table.show()
+    return 0
+
+
 def cmd_query(args) -> int:
     program, default_mode = _build_algorithm(args.algorithm, args.source, args.max_iters)
     elga = _build_engine(args)
@@ -224,6 +271,20 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(query_p)
     query_p.add_argument("vertices", type=int, nargs="+", help="vertex ids to query")
 
+    serve_p = sub.add_parser(
+        "serve", help="run, then serve an open-loop Zipf query stream"
+    )
+    add_common(serve_p)
+    serve_p.add_argument("--proxies", type=int, default=2, help="client proxy count")
+    serve_p.add_argument("--rate", type=float, default=50_000.0, help="queries/s offered")
+    serve_p.add_argument(
+        "--duration", type=float, default=0.2, help="stream length (simulated s)"
+    )
+    serve_p.add_argument(
+        "--clients", type=int, default=100_000, help="simulated client population"
+    )
+    serve_p.add_argument("--zipf", type=float, default=1.0, help="key skew exponent")
+
     trace_p = sub.add_parser("trace", help="run traced, export a Chrome trace")
     add_common(trace_p)
     trace_p.add_argument(
@@ -243,6 +304,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "datasets": cmd_datasets,
         "run": cmd_run,
         "query": cmd_query,
+        "serve": cmd_serve,
         "trace": cmd_trace,
         "metrics": cmd_metrics,
     }

@@ -255,6 +255,15 @@ class Agent(Entity):
 
         self.run: Optional[_RunState] = None
 
+        # Serving plane (Goal 4): the barrier-published snapshot views
+        # client queries read from.  ``_serving[prog]`` is
+        # (ids, values, run_id, step) copied at READY time — the last
+        # complete superstep state, never the mid-mutation live table —
+        # and ``_serving_final[prog]`` is the (run_id, step) tag the
+        # persistent fixpoint store answers under once a run finalizes.
+        self._serving: Dict[str, Tuple[np.ndarray, np.ndarray, int, int]] = {}
+        self._serving_final: Dict[str, Tuple[int, int]] = {}
+
         # Crash tolerance: durable side-channel, liveness, and fencing.
         # ``_data_inc`` stamps every data-plane message with the cluster
         # incarnation it belongs to; after a recovery, stragglers from
@@ -935,18 +944,71 @@ class Agent(Entity):
         payload = message.payload
         vertex = int(payload["vertex"])
         prog = payload.get("program")
-        value = None
-        if self.run is not None and self.run.table is not None and (
-            prog is None or prog == self.run.program.name
-        ):
-            table = self.run.table
-            idx = np.searchsorted(table.ids, vertex)
-            if idx < len(table.ids) and table.ids[idx] == vertex:
-                value = float(table.values[idx])
-        if value is None and prog is not None:
-            value = self.persistent.get(prog, {}).get(vertex)
-        reply = {"vertex": vertex, "value": value, "token": payload.get("token")}
+        value, run_id, step = self._serving_lookup(prog, vertex)
+        reply = {
+            "vertex": vertex,
+            "value": value,
+            "token": payload.get("token"),
+            "run_id": run_id,
+            "step": step,
+            "inc": self._data_inc,
+            "agent_id": self.agent_id,
+        }
         self.push.push(message.src, PacketType.CLIENT_REPLY, reply)
+
+    def _serving_lookup(self, prog: Optional[str], vertex: int):
+        """Resolve one query against a *stable* snapshot.
+
+        Never reads the live ``run.table``: between an ADVANCE and the
+        next READY that table is mid-mutation, and two replicas of a
+        split vertex could answer from different rounds (a torn read).
+        Resolution order:
+
+        1. The barrier-published serving view — the complete state of
+           the last round this agent reported READY for, tagged with
+           its (run_id, step).
+        2. The persistent fixpoint store, tagged with the finalize-time
+           (run_id, step) of the run that wrote it (``(-1, -1)`` for
+           values restored by a replacement agent, whose proxies accept
+           them by value equality).
+        """
+        if prog is None:
+            return None, -1, -1
+        view = self._serving.get(prog)
+        if view is not None:
+            ids, values, run_id, step = view
+            idx = np.searchsorted(ids, vertex)
+            if idx < len(ids) and ids[idx] == vertex:
+                self.metrics.queries_from_snapshot += 1
+                return float(values[idx]), run_id, step
+        # Not hosted in the live view (or no view): the persistent
+        # fixpoint store.  Split vertices are always in every replica's
+        # view while a run is live, so this fallback never mixes
+        # per-replica rounds.
+        run_id, step = self._serving_final.get(prog, (-1, -1))
+        value = self.persistent.get(prog, {}).get(vertex)
+        return value, run_id, step
+
+    def _publish_serving_view(self, run: "_RunState") -> None:
+        """Copy the completed round's table into the serving view.
+
+        Called exactly once per barrier round, at READY time, when the
+        local state for (run.step) is complete: all vertex messages are
+        folded and every split-vertex replica value is applied.  Pure
+        local mutation — no charge(), no messages — so enabling the
+        serving plane perturbs neither simulated time nor delivery
+        interleavings of existing runs.
+        """
+        table = run.table
+        if table is None or len(table.ids) == 0:
+            return
+        self._serving[run.program.name] = (
+            table.ids,
+            table.values.copy(),
+            run.spec.run_id,
+            run.step,
+        )
+        self.metrics.serving_views_published += 1
 
     # ------------------------------------------------------------------
     # run lifecycle: table construction
@@ -2088,6 +2150,10 @@ class Agent(Entity):
             # vertices end this round active (collapses fast in a
             # converging delta run; ~|V| every round in a scratch run).
             self.metrics.frontier_size += int(run.table.active.sum())
+        # The local state for this round is complete right here (all
+        # messages folded, all replica values applied): publish it as
+        # the snapshot client queries read until the next READY.
+        self._publish_serving_view(run)
         self.push.push(
             self.directory_address,
             PacketType.AGENT_READY,
@@ -2166,7 +2232,13 @@ class Agent(Entity):
             return
         if persist and run.table is not None:
             self._persist_table()
+        # The run is over: the persistent store (just persisted, or
+        # already persisted by a suspend) is the serving truth, tagged
+        # with where the run ended.  Drop the live view so queries and
+        # later ingest both read one place.
+        self._serving.pop(run.program.name, None)
         if persist:
+            self._serving_final[run.program.name] = (run.spec.run_id, run.step)
             # The finished program has now folded every dirty row logged
             # so far into its fixpoint; advance its watermark *before*
             # the halt checkpoint so a restore cannot re-seed an
@@ -2430,6 +2502,10 @@ class Agent(Entity):
                 },
             )
         if payload["mode"] == "restart":
+            # The aborted run's serving view describes state the re-run
+            # will recompute; fall back to the pre-run fixpoint store
+            # (untouched in restart mode) under its existing final tag.
+            self._serving.pop(run.program.name, None)
             self.run = None
             if self._pending_state is not None:
                 self._adopt_state(self._pending_state)
@@ -2446,6 +2522,14 @@ class Agent(Entity):
         self.persistent_scatter = copy_values(checkpoint.persistent_scatter)
         self._dirty_log = list(checkpoint.dirty_log)
         self._dirty_seen = dict(checkpoint.dirty_seen)
+        # Serve the rolled-back checkpoint during the suspension: the
+        # persistent store now holds exactly step-``step`` values, and
+        # every survivor tags them identically, so reads during
+        # recovery stay snapshot-consistent.  (A replacement agent's
+        # restored values carry the default tag and are accepted by the
+        # proxies' value-equality rule.)
+        self._serving.pop(run.program.name, None)
+        self._serving_final[run.program.name] = (run.spec.run_id, step)
         # Drop every trace of post-checkpoint progress: the resume
         # rebuilds the table from the restored persistent state, and
         # stragglers from the old incarnation are fenced by ``inc``.

@@ -366,6 +366,19 @@ class ElGACluster:
             if agent_id in live and agent_id not in suspected
         }
 
+    def collect_client_metrics(self) -> Dict[str, float]:
+        """Sum the serving-plane counters over every client proxy.
+
+        Proxies are purely local entities (no METRIC_REPORT protocol
+        leg), so this is a direct aggregation rather than a directory
+        round-trip like :meth:`collect_metrics`.
+        """
+        merged: Dict[str, float] = {}
+        for client in self.clients:
+            for key, value in client.serving_metrics().items():
+                merged[key] = merged.get(key, 0) + value
+        return merged
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------

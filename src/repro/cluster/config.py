@@ -109,6 +109,37 @@ class ClusterConfig:
         wait, checkpoint, recovery) and message-causality events on the
         simulated clock.  Off by default — the instrument sites then
         cost one attribute check each, keeping benchmark throughput.
+    serving_coalesce_window:
+        Simulated seconds a ClientProxy buffers queries before shipping
+        the buffered fan-outs, so queries for the same (program, vertex)
+        arriving within the window collapse into one fan-out with shared
+        reply delivery.  ``0`` dispatches every fan-out immediately
+        (queries still join an identical fan-out already in flight).
+    serving_cache_ttl:
+        Simulated seconds a proxy-side result-cache entry stays fresh.
+        Entries are additionally fenced by the directory's placement
+        epoch token and the per-program result version, so the TTL only
+        bounds staleness the version plane cannot see (it never
+        overrides an epoch/version invalidation).  ``0`` disables the
+        result cache entirely.
+    serving_cache_capacity:
+        Maximum (program, vertex) entries a proxy's result cache holds;
+        the oldest entry is evicted first (insertion order).
+    serving_max_inflight:
+        Admission control: maximum queries a proxy will hold open
+        (waiting on cache-hit delivery or fan-out replies) at once.
+        Excess queries are shed with a retry-after hint instead of
+        queueing unboundedly.
+    serving_retry_after:
+        The retry-after hint (simulated seconds) returned to a shed
+        query's submitter.
+    serving_snapshot_backoff:
+        Simulated seconds a proxy waits before re-issuing a fan-out
+        whose replica replies straddled two snapshots (different
+        (run_id, step) tags with different values).
+    serving_latency_window:
+        Per-proxy bound on recorded latency samples (a ring of the most
+        recent N); also bounds the shed/retry bookkeeping deques.
     """
 
     nodes: int = 4
@@ -134,6 +165,13 @@ class ClusterConfig:
     combining: bool = True
     ack_batch_window: float = 2e-5
     tracing: bool = False
+    serving_coalesce_window: float = 2e-5
+    serving_cache_ttl: float = 5e-3
+    serving_cache_capacity: int = 65536
+    serving_max_inflight: int = 1024
+    serving_retry_after: float = 1e-3
+    serving_snapshot_backoff: float = 2e-4
+    serving_latency_window: int = 65536
     transport: TransportModel = field(default_factory=TransportModel.zeromq)
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
 
@@ -167,6 +205,16 @@ class ClusterConfig:
                 "combining requires coalescing: without round-buffered "
                 "packets the reduction tree would depend on emission timing"
             )
+        if self.serving_coalesce_window < 0 or self.serving_cache_ttl < 0:
+            raise ValueError("serving windows must be >= 0")
+        if self.serving_cache_capacity < 1:
+            raise ValueError("serving_cache_capacity must be >= 1")
+        if self.serving_max_inflight < 1:
+            raise ValueError("serving_max_inflight must be >= 1")
+        if self.serving_retry_after <= 0 or self.serving_snapshot_backoff <= 0:
+            raise ValueError("serving retry/backoff hints must be > 0")
+        if self.serving_latency_window < 1:
+            raise ValueError("serving_latency_window must be >= 1")
 
     @property
     def hash_fn(self) -> Callable:

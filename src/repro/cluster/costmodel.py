@@ -67,6 +67,12 @@ class CostModel:
     elga_migrate_op: float = 150e-9
     # Serving one client query.
     elga_query_op: float = 1.5e-6
+    # One proxy-side serving-cache operation (TTL'd result-cache probe,
+    # coalescing-table probe, or cached-reply delivery).  Like
+    # ``elga_lookup_cached`` this is a memo-table access, orders of
+    # magnitude below the agent-side ``elga_query_op`` it saves — the
+    # asymmetry the serving bench's QPS headroom comes from.
+    elga_serving_cache_op: float = 2e-7
 
     # --- Streamer costs -----------------------------------------------------
     # Producing and routing one edge change at a streamer.

@@ -188,6 +188,14 @@ class Directory(Entity):
         # Latest metric snapshot per agent (§3.4.3: "Metrics are passed
         # to Directories"); autoscalers read these.
         self.metric_store: Dict[int, dict] = {}
+        # Serving plane: per-program result versions.  The lead bumps a
+        # program's version whenever its results may have changed
+        # (RUN_START, each completed barrier round, recovery) and
+        # broadcasts a RESULT_NOTICE; peers merge and re-publish to
+        # their own subscribers (client proxies), whose result caches
+        # fence entries on the version they were filled under.
+        self.result_versions: Dict[str, int] = {}
+        self._active_program: Optional[str] = None
         # Lead-only aggregation state.
         self._pending_split: Set[int] = set()
         self._sketch_dirty = False
@@ -227,6 +235,20 @@ class Directory(Entity):
                 self.pubsub.subscribe(message.src, message.payload)
                 # Late joiners immediately get the current state so they
                 # can start placing edges without waiting for churn.
+                if (
+                    PacketType.RESULT_NOTICE in message.payload
+                    and self.result_versions
+                ):
+                    # Seed a late-joining proxy with the current result
+                    # versions so its first cache fills are fenced
+                    # against everything that already ran.
+                    seeded = Message(
+                        ptype=PacketType.RESULT_NOTICE,
+                        payload={"versions": dict(self.result_versions)},
+                    )
+                    seeded.src = self.address
+                    seeded.dst = message.src
+                    self.network.send(seeded)
                 if (
                     PacketType.DIRECTORY_UPDATE in message.payload
                     and self.state.version > 0
@@ -268,6 +290,13 @@ class Directory(Entity):
             PacketType.RECOVER,
         ):
             # Lead-originated control, re-published to local subscribers.
+            self.pubsub.publish(ptype, message.payload)
+        elif ptype == PacketType.RESULT_NOTICE:
+            # Lead-originated version bump: merge (so late SUBSCRIBE
+            # seeding works from any directory) and re-publish.
+            for prog, version in message.payload["versions"].items():
+                if version > self.result_versions.get(prog, 0):
+                    self.result_versions[prog] = version
             self.pubsub.publish(ptype, message.payload)
         else:
             raise ValueError(f"Directory got unexpected {ptype.name}")
@@ -455,6 +484,10 @@ class Directory(Entity):
             stats = _merge_stats(bucket[k] for k in sorted(bucket))
             del self._ready[round_id]
             self._ready_done = round_id
+            # Every agent has published its step-``step`` serving view:
+            # results changed cluster-wide, so proxy caches filled under
+            # the previous version must stop serving.
+            self.note_results_changed(self._active_program)
             tracer = self.network.tracer
             if tracer is not None:
                 tracer.instant(
@@ -479,7 +512,7 @@ class Directory(Entity):
             self._reseed_leases()
         self._control_broadcast(PacketType.SUPERSTEP_ADVANCE, payload)
 
-    def send_run_start(self, payload: dict) -> None:
+    def send_run_start(self, payload) -> None:
         """Broadcast a RUN_START to every agent (lead only)."""
         # Barrier rounds restart from zero with each run.
         self._ready.clear()
@@ -487,6 +520,12 @@ class Directory(Entity):
         self._recovering = False
         self._suspected.clear()
         self._reseed_leases()
+        # The payload is the RunSpec; remember whose results the
+        # barrier rounds are about to change, and invalidate anything
+        # cached from that program's previous fixpoint.
+        program = getattr(payload, "program", None)
+        self._active_program = getattr(program, "name", None)
+        self.note_results_changed(self._active_program)
         self._control_broadcast(PacketType.RUN_START, payload)
 
     # -- failure detection (lead only) ----------------------------------------
@@ -601,7 +640,37 @@ class Directory(Entity):
                     "incarnation": payload.get("incarnation"),
                 },
             )
+        # Rollback rewinds every agent's serving tag to the checkpoint
+        # step; restart drops views entirely.  Either way, cached
+        # replies from the pre-recovery snapshot must stop serving.
+        self.note_results_changed(self._active_program)
         self._control_broadcast(PacketType.RECOVER, payload)
+
+    # -- serving plane: result versions (lead only) -----------------------
+
+    def note_results_changed(self, program: Optional[str]) -> None:
+        """Bump ``program``'s result version and notify proxies.
+
+        Called by the barrier on every completed round, by RUN_START /
+        recovery broadcasts, and by the engine when an async run
+        finalizes.  No-op for ``None`` (e.g. a run started before any
+        program was known) and on non-lead directories.
+        """
+        if not self.is_lead or program is None:
+            return
+        version = self.result_versions.get(program, 0) + 1
+        self.result_versions[program] = version
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.instant(
+                self.name,
+                "result_notice",
+                "serving",
+                {"program": program, "version": version},
+            )
+        self._control_broadcast(
+            PacketType.RESULT_NOTICE, {"versions": {program: version}}
+        )
 
     def _control_broadcast(self, ptype: PacketType, payload: dict) -> None:
         if not self.is_lead:

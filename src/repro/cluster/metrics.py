@@ -53,6 +53,11 @@ class AgentMetrics:
     # were active at each barrier round — the area under the frontier
     # curve, so frontier collapse is visible in the exposition.
     frontier_size: int = 0
+    # Serving plane: queries answered from a barrier-published snapshot
+    # view (vs the persistent fixpoint store), and views published (one
+    # per program per completed round).
+    queries_from_snapshot: int = 0
+    serving_views_published: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict copy (what a METRIC_REPORT would carry).

@@ -522,6 +522,11 @@ class ElGA:
         self.cluster.settle()  # quiescence = termination for monotone programs
         for agent in sorted_agents(self.cluster.agents):
             agent.finalize_run(persist=True)
+        # Async runs have no barrier rounds to piggyback result notices
+        # on; tell the serving plane the fixpoint landed so proxy caches
+        # drop anything filled mid-relaxation.
+        lead.note_results_changed(spec.program.name)
+        self.cluster.settle()
         tracer = self.tracer
         if tracer is not None:
             tracer.complete(
@@ -563,6 +568,10 @@ class ElGA:
         if not out:
             raise RuntimeError("query lost: no reply arrived")
         return out[0]
+
+    def serving_stats(self) -> Dict[str, float]:
+        """Aggregate serving-plane counters across all client proxies."""
+        return self.cluster.collect_client_metrics()
 
     def scale_to(self, n_agents: int) -> dict:
         """Elastically scale between computations; returns move stats."""

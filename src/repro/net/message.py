@@ -48,6 +48,7 @@ class PacketType(enum.IntEnum):
     # Client path
     CLIENT_QUERY = 30         # client proxy -> agent: read one vertex result
     CLIENT_REPLY = 31
+    RESULT_NOTICE = 32        # directory -> client proxies: result version bump
 
     # Generic REQ/REP plumbing
     REQUEST = 40

@@ -156,6 +156,36 @@ def charge_families(entities) -> List[MetricFamily]:
     return [fam]
 
 
+def serving_families(clients) -> List[MetricFamily]:
+    """Serving-plane families: one per proxy counter, labeled by client.
+
+    Counter names come from :meth:`ClientProxy.serving_metrics`
+    (``client_*`` and ``serving_cache_*`` keys); ``client_inflight`` is
+    the only gauge — everything else is monotone.
+    """
+    clients = list(clients)
+    keys = sorted({key for c in clients for key in c.serving_metrics()})
+    families = []
+    for key in keys:
+        if key == "client_inflight":
+            fam = MetricFamily(
+                "elga_client_inflight", "gauge", "Open queries held per proxy."
+            )
+        else:
+            fam = MetricFamily(
+                name=f"elga_{key}_total",
+                kind="counter",
+                help=f"Serving-plane counter {key}.",
+            )
+        for client in clients:
+            fam.add(
+                {"client": str(client.client_id)},
+                client.serving_metrics().get(key, 0),
+            )
+        families.append(fam)
+    return families
+
+
 def engine_families(engine) -> List[MetricFamily]:
     """The full exposition for one :class:`~repro.core.engine.ElGA`.
 
@@ -177,6 +207,8 @@ def engine_families(engine) -> List[MetricFamily]:
     ]
     families += agent_metric_families(per_agent)
     families += network_families(cluster.network.stats)
+    if cluster.clients:
+        families += serving_families(cluster.clients)
     participants = [cluster.agents[k] for k in sorted(cluster.agents)]
     participants += list(cluster.directories) + list(cluster.streamers)
     participants += list(cluster.clients)

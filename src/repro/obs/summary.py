@@ -45,8 +45,14 @@ class TraceSummary:
     the round.
     """
 
-    def __init__(self, rows: List[StepRow]):
+    def __init__(
+        self, rows: List[StepRow], serving_events: Optional[Dict[str, int]] = None
+    ):
         self.rows = rows
+        #: Serving-plane instants (query_shed, snapshot_retry,
+        #: result_notice, ...) counted by name — tail-latency incidents
+        #: deserve a line next to the compute timeline.
+        self.serving_events: Dict[str, int] = serving_events or {}
 
     @classmethod
     def from_trace(cls, trace: Union[Trace, Tracer]) -> "TraceSummary":
@@ -99,7 +105,11 @@ class TraceSummary:
                     row.phase = str(span.args["phase"])
                 if span.args.get("step") is not None and row.step < 0:
                     row.step = int(span.args["step"])
+        serving_events: Dict[str, int] = {}
         for event in trace.events:
+            if event.cat == "serving":
+                serving_events[event.name] = serving_events.get(event.name, 0) + 1
+                continue
             if event.cat != "message" or event.name != "send":
                 continue
             round_id = event.args.get("round")
@@ -115,7 +125,7 @@ class TraceSummary:
                 )
                 row.straggler = straggler
                 row.straggler_compute = row.per_agent_compute[straggler]
-        return cls([rows[k] for k in sorted(rows)])
+        return cls([rows[k] for k in sorted(rows)], serving_events)
 
     # -- views -------------------------------------------------------------
 
@@ -151,4 +161,10 @@ class TraceSummary:
                 f"{r.compute * 1e3:>11.3f} {r.wait * 1e3:>9.3f} "
                 f"{r.frontier:>7} {r.comms_packets:>6} {r.comms_bytes:>10} {straggler}"
             )
+        if self.serving_events:
+            counts = ", ".join(
+                f"{name}={self.serving_events[name]}"
+                for name in sorted(self.serving_events)
+            )
+            lines.append(f"serving: {counts}")
         return "\n".join(lines)

@@ -44,6 +44,13 @@ DATA_PACKET_TYPES = frozenset(
     {PacketType.VERTEX_MSG, PacketType.REPLICA_SYNC, PacketType.REPLICA_VALUE}
 )
 
+#: Packet types belonging to the query-serving plane (client proxies).
+#: Kept out of :data:`DATA_PACKET_TYPES` — queries are read-only and
+#: must not perturb the run's algorithm-content digests.
+SERVING_PACKET_TYPES = frozenset(
+    {PacketType.CLIENT_QUERY, PacketType.CLIENT_REPLY, PacketType.RESULT_NOTICE}
+)
+
 #: Payload keys that are delivery bookkeeping, not algorithm content
 #: (the incarnation fence differs between a recovered and a never-
 #: crashed run even when the values are bit-identical).

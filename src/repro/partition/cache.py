@@ -198,12 +198,19 @@ class PlacementCache:
         return k
 
     def replica_set(self, vertex: int) -> List[int]:
-        """Cached :meth:`EdgePlacer.replica_set`."""
+        """Cached :meth:`EdgePlacer.replica_set`.
+
+        The memo honours the ``max_vertices`` bound like the vertex
+        memo does: once full it stops admitting (serving-plane proxies
+        probe this per query, and an unbounded per-vertex dict would
+        grow with the key population rather than the working set).
+        """
         v = int(vertex)
         reps = self._replica_sets.get(v)
         if reps is None:
             reps = self._require_placer().replica_set(v)
-            self._replica_sets[v] = reps
+            if len(self._replica_sets) < self.max_vertices:
+                self._replica_sets[v] = reps
         return list(reps)
 
     def replica_matrix(self, vertices):

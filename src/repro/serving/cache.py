@@ -1,0 +1,148 @@
+"""TTL'd, epoch- and version-fenced result cache for client proxies.
+
+A cached vertex result may only be served while *three* independent
+freshness fences all hold:
+
+1. **Result version** — the per-program counter the lead directory
+   bumps on every RUN_START, completed barrier round, and recovery
+   broadcast (RESULT_NOTICE).  An entry filled at version ``v`` is dead
+   the moment the proxy observes ``v' > v`` for its program: results
+   may have changed.
+2. **Placement epoch** — the ``DirectoryState.epoch_token`` (membership
+   version, sketch version, split registry size) reused from the
+   :class:`~repro.partition.cache.PlacementCache`.  Membership or split
+   churn re-routes queries, so entries filled under an older epoch are
+   invalidated wholesale.
+3. **TTL on the simulated clock** — bounds staleness the version plane
+   cannot see (e.g. the broadcast latency of a notice still in flight).
+
+Because fences 1–2 are compared against *observed monotone* tokens, a
+hit can never return a value older than anything the proxy has already
+learned about — stale reads are structural, not probabilistic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+
+@dataclass
+class CacheEntry:
+    """One cached (program, vertex) result and its freshness fences."""
+
+    value: Optional[float]
+    version: int            # per-program result version at fill time
+    epoch: Hashable         # directory epoch token at fill time
+    expires_at: float       # simulated-clock TTL deadline
+    snapshot: Tuple[int, int]  # (run_id, step) the replicas agreed on
+
+
+class ResultCache:
+    """Bounded TTL + epoch + version result cache (insertion-evicting).
+
+    ``capacity`` bounds the entry count; when full, the oldest entry by
+    insertion order is evicted (hot keys are re-inserted on refill, so
+    a Zipf mix keeps its head resident).
+    """
+
+    def __init__(self, ttl: float, capacity: int):
+        if ttl <= 0:
+            raise ValueError("ResultCache needs a positive TTL; gate it off upstream")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.ttl = float(ttl)
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[Tuple[str, int], CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.expirations = 0          # TTL lapsed
+        self.version_invalidations = 0  # result version moved on
+        self.epoch_invalidations = 0    # membership/sketch/split churn
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(
+        self,
+        program: str,
+        vertex: int,
+        now: float,
+        epoch: Hashable,
+        version: int,
+    ) -> Optional[CacheEntry]:
+        """The live entry for (program, vertex), or None after counting
+        why it could not be served."""
+        key = (program, int(vertex))
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.version != version:
+            self.version_invalidations += 1
+            self.misses += 1
+            del self._entries[key]
+            return None
+        if entry.epoch != epoch:
+            self.epoch_invalidations += 1
+            self.misses += 1
+            del self._entries[key]
+            return None
+        if now >= entry.expires_at:
+            self.expirations += 1
+            self.misses += 1
+            del self._entries[key]
+            return None
+        self.hits += 1
+        return entry
+
+    def put(
+        self,
+        program: str,
+        vertex: int,
+        value: Optional[float],
+        now: float,
+        epoch: Hashable,
+        version: int,
+        snapshot: Tuple[int, int],
+    ) -> None:
+        """Fill (program, vertex), evicting the oldest entry when full."""
+        key = (program, int(vertex))
+        if key in self._entries:
+            del self._entries[key]
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = CacheEntry(
+            value=value,
+            version=version,
+            epoch=epoch,
+            expires_at=now + self.ttl,
+            snapshot=snapshot,
+        )
+
+    def invalidate_program(self, program: str) -> int:
+        """Drop every entry of one program (e.g. on a version notice).
+
+        Lazy validation in :meth:`get` already fences these; eager
+        removal just returns the memory sooner.  Returns entries
+        dropped.
+        """
+        stale = [k for k in self._entries if k[0] == program]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def counters(self) -> dict:
+        """A plain-dict snapshot of the cache counters."""
+        return {
+            "serving_cache_hits": self.hits,
+            "serving_cache_misses": self.misses,
+            "serving_cache_expirations": self.expirations,
+            "serving_cache_version_invalidations": self.version_invalidations,
+            "serving_cache_epoch_invalidations": self.epoch_invalidations,
+            "serving_cache_evictions": self.evictions,
+            "serving_cache_entries": len(self._entries),
+        }

@@ -1,0 +1,187 @@
+"""Synthetic open-loop query workloads on the simulated clock.
+
+Open-loop means arrivals are scheduled by a Poisson-like process that
+does **not** wait for responses — the honest way to measure tail
+latency (a closed loop self-throttles exactly when the system is
+slowest, hiding the tail).  Three knobs shape the stream:
+
+* **Zipf(s) keys** — query vertices are drawn rank-skewed, the standard
+  model of hot-key web traffic; the rank→vertex mapping is a seeded
+  permutation so hotness is uncorrelated with vertex id.
+* **Diurnal rate** — the arrival rate follows a sinusoidal day curve,
+  ``λ(t) = rate · (1 + amplitude · sin(2πt/period))``, compressed onto
+  the simulated clock.
+* **Client multiplexing** — each arrival is attributed to one of
+  ``n_clients`` simulated clients and routed to a proxy entity by
+  client id, so millions of clients ride on a handful of proxy
+  entities without a million Entity objects.
+
+Shed queries (admission control) are resubmitted after the proxy's
+retry-after hint, up to ``max_resubmits`` times, so "no query lost"
+holds under backpressure as long as capacity eventually exists.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def zipf_keys(
+    vertices: Sequence[int],
+    n: int,
+    s: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw ``n`` vertex ids Zipf(s)-skewed over ``vertices``.
+
+    Rank r (1-based) gets probability ∝ r^-s; ranks map to vertices
+    through a seeded permutation.
+    """
+    verts = np.asarray(list(vertices), dtype=np.int64)
+    if verts.size == 0:
+        raise ValueError("need at least one vertex to query")
+    ranks = np.arange(1, verts.size + 1, dtype=np.float64)
+    weights = ranks ** (-float(s))
+    weights /= weights.sum()
+    perm = rng.permutation(verts.size)
+    draws = rng.choice(verts.size, size=int(n), p=weights)
+    return verts[perm[draws]]
+
+
+def _diurnal_arrivals(
+    n: int,
+    duration: float,
+    amplitude: float,
+    period: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """``n`` sorted arrival offsets in [0, duration) under the day curve.
+
+    Inverse-transform sampling against the integrated rate, evaluated
+    on a fine grid — exact enough for latency work and fully
+    vectorized.
+    """
+    grid = np.linspace(0.0, duration, 4096)
+    lam = 1.0 + amplitude * np.sin(2.0 * np.pi * grid / period)
+    lam = np.maximum(lam, 1e-9)
+    cum = np.concatenate([[0.0], np.cumsum((lam[1:] + lam[:-1]) * np.diff(grid) / 2.0)])
+    cum /= cum[-1]
+    u = rng.random(int(n))
+    times = np.interp(u, cum, grid)
+    times.sort()
+    return times
+
+
+class OpenLoopWorkload:
+    """Schedule an open-loop Zipf/diurnal query stream against proxies.
+
+    Parameters
+    ----------
+    proxies:
+        ClientProxy entities to multiplex the clients over (client id
+        mod len(proxies) picks the proxy).
+    vertices, program:
+        Key population and program name to query.
+    rate, duration:
+        Mean offered load (queries per simulated second) and stream
+        length; the realized count is ``int(rate * duration)``.
+    n_clients:
+        Simulated client population the arrivals are attributed to.
+    zipf_s, diurnal_amplitude, diurnal_period:
+        Key skew and day-curve shape (period defaults to the duration:
+        one "day" per stream).
+    max_resubmits:
+        How many times one query retries after being shed before it is
+        counted dropped.
+    """
+
+    def __init__(
+        self,
+        proxies: Sequence,
+        vertices: Sequence[int],
+        program: str,
+        *,
+        rate: float,
+        duration: float,
+        n_clients: int = 1_000_000,
+        zipf_s: float = 1.0,
+        diurnal_amplitude: float = 0.6,
+        diurnal_period: Optional[float] = None,
+        seed: int = 0,
+        max_resubmits: int = 8,
+    ):
+        if not proxies:
+            raise ValueError("need at least one proxy")
+        if rate <= 0 or duration <= 0:
+            raise ValueError("rate and duration must be > 0")
+        self.proxies = list(proxies)
+        self.program = program
+        self.rate = float(rate)
+        self.duration = float(duration)
+        self.n_clients = int(n_clients)
+        self.max_resubmits = int(max_resubmits)
+        rng = np.random.default_rng(seed)
+        n = max(1, int(rate * duration))
+        self._offsets = _diurnal_arrivals(
+            n,
+            duration,
+            diurnal_amplitude,
+            diurnal_period if diurnal_period is not None else duration,
+            rng,
+        )
+        self._keys = zipf_keys(vertices, n, zipf_s, rng)
+        self._client_ids = rng.integers(0, self.n_clients, size=n)
+        # Accounting.
+        self.submitted = 0
+        self.delivered = 0
+        self.shed = 0
+        self.resubmitted = 0
+        self.dropped = 0
+        self.values: List[Optional[float]] = []
+
+    @property
+    def n_queries(self) -> int:
+        return len(self._offsets)
+
+    @property
+    def distinct_clients(self) -> int:
+        return int(np.unique(self._client_ids).size)
+
+    def start(self) -> "OpenLoopWorkload":
+        """Schedule every arrival on the proxies' kernel; returns self."""
+        kernel = self.proxies[0].kernel
+        for offset, vertex, client_id in zip(
+            self._offsets, self._keys, self._client_ids
+        ):
+            proxy = self.proxies[int(client_id) % len(self.proxies)]
+            kernel.schedule(
+                float(offset),
+                lambda p=proxy, v=int(vertex): self._submit(p, v, self.max_resubmits),
+            )
+        return self
+
+    def _submit(self, proxy, vertex: int, budget: int) -> None:
+        self.submitted += 1
+        retry_after = proxy.query(vertex, self.program, self._on_value)
+        if retry_after > 0:
+            self.shed += 1
+            if budget > 0:
+                self.resubmitted += 1
+                proxy.kernel.schedule(
+                    retry_after,
+                    lambda: self._submit(proxy, vertex, budget - 1),
+                )
+            else:
+                self.dropped += 1
+
+    def _on_value(self, value: Optional[float]) -> None:
+        self.delivered += 1
+        self.values.append(value)
+
+    @property
+    def outstanding(self) -> int:
+        """Accepted queries whose reply has not been delivered yet."""
+        accepted = self.submitted - self.shed
+        return accepted - self.delivered
