@@ -41,6 +41,28 @@ class InvariantViolation(AssertionError):
     """A cluster invariant did not hold after a settle."""
 
 
+def _control_plane_defaults(plan: FaultPlan, config_overrides: dict) -> None:
+    """Arm failover machinery when ``plan`` targets control entities.
+
+    A plan that kills the lead Directory needs peer directories and the
+    lease/election protocol; one that kills either control entity needs
+    agent heartbeats (so participants homed on a dead directory re-home)
+    and checkpoints.  Applied via ``setdefault`` so callers can still
+    pin their own values — and applied to BOTH engines of the pair
+    (``build_engine_pair`` shares the overrides), keeping the reference
+    and chaos configurations identical.
+    """
+    targets = {crash.target for crash in plan.crashes if crash.abrupt}
+    if "directory" in targets:
+        config_overrides.setdefault("n_directories", 3)
+        config_overrides.setdefault("dir_lease_interval", 2e-3)
+        config_overrides.setdefault("dir_lease_timeout", 6e-3)
+    if targets & {"directory", "master"}:
+        config_overrides.setdefault("heartbeat_interval", 0.005)
+        config_overrides.setdefault("lease_timeout", 0.025)
+        config_overrides.setdefault("checkpoint_every", 2)
+
+
 @dataclass
 class ChaosReport:
     """Outcome of one chaos scenario (one plan, one graph, N programs).
@@ -62,9 +84,13 @@ class ChaosReport:
     messages_retried: int = 0
     duplicates_suppressed: int = 0
     scale_plan: Dict[int, int] = field(default_factory=dict)
-    crash_plan: Dict[int, int] = field(default_factory=dict)
+    crash_plan: Dict[int, object] = field(default_factory=dict)
     recovery_log: List[dict] = field(default_factory=list)
-    directory_versions: List[int] = field(default_factory=list)
+    #: (publisher, term, version) of every DIRECTORY_UPDATE seen on the
+    #: wire — versions alone are non-monotone across lead elections.
+    directory_versions: List[Tuple[int, int, int]] = field(default_factory=list)
+    lead_elections: int = 0
+    stale_term_drops: int = 0
     # Populated when the scenario ran with ``tracing=True``: immutable
     # Trace snapshots keyed "reference" / "chaos", ready for
     # :func:`repro.obs.diff.diff_traces`.
@@ -74,6 +100,11 @@ class ChaosReport:
     def recoveries(self) -> int:
         """How many crash-recovery cycles the chaos engine completed."""
         return sum(1 for e in self.recovery_log if e.get("event") == "recover")
+
+    @property
+    def elections(self) -> int:
+        """How many lead-directory elections the chaos engine logged."""
+        return sum(1 for e in self.recovery_log if e.get("event") == "lead_elected")
 
     @property
     def ok(self) -> bool:
@@ -124,8 +155,11 @@ def check_cluster_invariants(engine, versions_seen: Optional[List[int]] = None) 
     * every reference edge resident exactly once as an out-copy and
       once as an in-copy (no loss, no double-count);
     * resident copy total == 2 x reference edge count;
-    * directory versions observed on the wire are monotone, and the
-      lead's current version is their maximum;
+    * directory (term, version) fences observed on the wire are
+      monotone — raw versions are non-monotone across lead elections
+      (a successor rebuilds state from its mirror), but the
+      lexicographic fence must never go backwards — and the lead's
+      current fence is their maximum;
     * no migration traffic outstanding and every agent on the latest
       directory state;
     * the reliable fabric holds no forgotten in-flight sends.
@@ -144,13 +178,23 @@ def check_cluster_invariants(engine, versions_seen: Optional[List[int]] = None) 
             "reference edges"
         )
     if versions_seen is not None:
-        if any(b < a for a, b in zip(versions_seen, versions_seen[1:])):
+        # Monotone per *publisher*: with peer directories re-publishing
+        # adopted states, independent link latencies can interleave two
+        # publishers' streams on the wire, but no single publisher may
+        # ever send a fence lower than one it already sent.
+        last_fence: Dict[int, Tuple[int, int]] = {}
+        for src, term, version in versions_seen:
+            fence = (term, version)
+            previous = last_fence.get(src)
+            if previous is not None and fence < previous:
+                raise InvariantViolation(
+                    f"directory fence went backwards on the wire: publisher "
+                    f"{src} sent {fence} after {previous}"
+                )
+            last_fence[src] = fence
+        if versions_seen and cluster.lead.state.fence < max(last_fence.values()):
             raise InvariantViolation(
-                f"directory versions went backwards on the wire: {versions_seen}"
-            )
-        if versions_seen and cluster.directory_version() < max(versions_seen):
-            raise InvariantViolation(
-                "lead directory version is behind a broadcast version"
+                "lead directory fence is behind a broadcast fence"
             )
     if not cluster.consistent():
         raise InvariantViolation(
@@ -179,15 +223,20 @@ def check_cluster_invariants(engine, versions_seen: Optional[List[int]] = None) 
             )
 
 
-def _watch_directory_versions(network) -> List[int]:
-    """Tap the fabric and record every broadcast directory version."""
-    versions: List[int] = []
+def _watch_directory_versions(network) -> List[Tuple[int, int, int]]:
+    """Tap the fabric and record every broadcast directory fence.
+
+    Entries are ``(publisher address, term, version)``; the invariant
+    check asserts per-publisher (term, version) monotonicity.
+    """
+    versions: List[Tuple[int, int, int]] = []
 
     def tap(message: Message) -> None:
         if message.ptype == PacketType.DIRECTORY_UPDATE:
             version = getattr(message.payload, "version", None)
             if version is not None:
-                versions.append(int(version))
+                term = int(getattr(message.payload, "term", 0) or 0)
+                versions.append((int(message.src), term, int(version)))
 
     network.add_tap(tap)
     return versions
@@ -217,6 +266,7 @@ def run_chaos_scenario(
 
     if programs is None:
         programs = [PageRank(max_iters=15), WCC()]
+    _control_plane_defaults(plan, config_overrides)
     reference, chaos = build_engine_pair(
         plan, nodes=nodes, agents_per_node=agents_per_node, seed=seed, **config_overrides
     )
@@ -253,6 +303,8 @@ def run_chaos_scenario(
     report.duplicates_suppressed = (
         after.duplicates_suppressed - before.duplicates_suppressed
     )
+    report.lead_elections = after.lead_elections - before.lead_elections
+    report.stale_term_drops = after.stale_term_drops - before.stale_term_drops
     report.directory_versions = list(versions)
     report.recovery_log = list(chaos.cluster.recovery_log)
     # With tracing=True in config_overrides both engines carry a Tracer;
@@ -300,6 +352,8 @@ class ServingChaosReport:
     serving_metrics: Dict[str, float] = field(default_factory=dict)
     drops_chaos: int = 0
     messages_duplicated: int = 0
+    lead_elections: int = 0
+    stale_term_drops: int = 0
     recovery_log: List[dict] = field(default_factory=list)
 
     @property
@@ -321,12 +375,15 @@ def serving_chaos_plan(
     after_step: int = 3,
     drop_p: float = 0.05,
     dup_p: float = 0.05,
+    target: str = "agent",
 ) -> FaultPlan:
     """Data-plane chaos that also abuses the serving plane's packets.
 
     ``DATA_PTYPES`` deliberately excludes client traffic (queries must
     not perturb algorithm-content digests), so the serving scenario
-    opts the query/reply/notice types in explicitly.
+    opts the query/reply/notice types in explicitly.  ``target``
+    selects the mid-run victim — ``"directory"`` makes this the
+    zero-stale-reads-across-lead-failover scenario.
     """
     from repro.net.faults import DATA_PTYPES
 
@@ -334,7 +391,7 @@ def serving_chaos_plan(
         seed=seed,
         drop_p=drop_p,
         dup_p=dup_p,
-        crashes=[CrashEvent(after_step=after_step, abrupt=True)],
+        crashes=[CrashEvent(after_step=after_step, abrupt=True, target=target)],
         ptypes=DATA_PTYPES
         | {PacketType.CLIENT_QUERY, PacketType.CLIENT_REPLY, PacketType.RESULT_NOTICE},
     )
@@ -371,6 +428,7 @@ def run_serving_chaos_scenario(
 
     if program is None:
         program = PageRank(max_iters=12)
+    _control_plane_defaults(plan, config_overrides)
     config_overrides.setdefault("heartbeat_interval", 0.005)
     config_overrides.setdefault("lease_timeout", 0.025)
     config_overrides.setdefault("checkpoint_every", 2)
@@ -432,6 +490,8 @@ def run_serving_chaos_scenario(
     after = chaos.cluster.network.stats
     report.drops_chaos = after.drops_chaos - before.drops_chaos
     report.messages_duplicated = after.messages_duplicated - before.messages_duplicated
+    report.lead_elections = after.lead_elections - before.lead_elections
+    report.stale_term_drops = after.stale_term_drops - before.stale_term_drops
     report.recovery_log = list(chaos.cluster.recovery_log)
     return report
 
@@ -453,5 +513,13 @@ def fault_matrix(seed: int = 0) -> Dict[str, FaultPlan]:
         "control-chaos": FaultPlan.control_plane_chaos(seed=seed + 3),
         "full-chaos": FaultPlan.full_chaos(
             seed=seed + 4, crashes=[CrashEvent(after_step=4)]
+        ),
+        "lead-crash": FaultPlan.data_plane_chaos(
+            seed=seed + 5,
+            crashes=[CrashEvent(after_step=3, abrupt=True, target="directory")],
+        ),
+        "master-crash": FaultPlan.data_plane_chaos(
+            seed=seed + 6,
+            crashes=[CrashEvent(after_step=3, abrupt=True, target="master")],
         ),
     }

@@ -54,7 +54,7 @@ from repro.net.message import Message, PacketType
 if TYPE_CHECKING:  # pragma: no cover - avoids a package import cycle
     from repro.core.program import RunSpec
 from repro.bench.counters import PerfCounters
-from repro.net.sockets import PushSocket
+from repro.net.sockets import PushSocket, ReqRepSocket
 from repro.partition.cache import PlacementCache
 from repro.partition.placer import EdgePlacer
 from repro.hashing.ring import ConsistentHashRing
@@ -151,6 +151,11 @@ class _RunState:
         self.expected_values: Set[int] = set()
         self.initial_work_done = False
         self.ready_sent = False
+        # The exact AGENT_READY payload last sent, re-sent verbatim when
+        # a lead election bumps the control term: the successor rebuilds
+        # its READY buckets from these re-reports, and a verbatim copy
+        # keeps the merged barrier stats bit-identical.
+        self.last_ready: Optional[dict] = None
         self.round_stats: Dict[str, float] = {}
         # Split-vertex (old, new, active) per applied vertex; step
         # stats for them are computed once at READY time over the
@@ -194,6 +199,7 @@ class Agent(Entity):
         recover_from: Optional[int] = None,
         restore_checkpoint: Optional[Tuple[int, int]] = None,
         incarnation: int = 0,
+        master_address: Optional[int] = None,
     ):
         super().__init__(network, f"agent-{agent_id}", config.seed)
         self.config = config
@@ -203,6 +209,15 @@ class Agent(Entity):
         # agent's virtual-position count on every participant's ring.
         self.weight = float(weight)
         self.directory_address = directory_address
+        # Control-plane fault tolerance: the highest directory term seen
+        # (stale-term control traffic is fenced out below it), and the
+        # master endpoint used to re-home when this agent's directory
+        # dies (heartbeat ticks probe the endpoint and re-query).
+        self.term = 0
+        self.master_address = master_address
+        self._master_req = ReqRepSocket(self)
+        self._rehome_pending = False
+        self._rehome_attempts = 0
         self.push = PushSocket(self)
         self.metrics = AgentMetrics()
         self.perf = PerfCounters()
@@ -318,6 +333,21 @@ class Agent(Entity):
     # ------------------------------------------------------------------
 
     def handle_message(self, message: Message) -> None:
+        # Term fence: control traffic from a deposed lead must not be
+        # acted on (the control-plane analogue of incarnation fencing).
+        term = message.term
+        bumped = False
+        if term is not None:
+            if term < self.term:
+                self.network.stats.stale_term_drops += 1
+                return
+            bumped = term > self.term
+            self.term = term
+        self._dispatch(message)
+        if bumped:
+            self._on_term_bump()
+
+    def _dispatch(self, message: Message) -> None:
         ptype = message.ptype
         if ptype == PacketType.DIRECTORY_UPDATE:
             self._on_directory_update(message.payload)
@@ -345,15 +375,37 @@ class Agent(Entity):
             self._on_recover(message.payload)
         elif ptype == PacketType.CLIENT_QUERY:
             self._on_client_query(message)
+        elif ptype == PacketType.DIRECTORY_ASSIGN:
+            self._master_req.handle_reply(message)
         else:
             raise ValueError(f"Agent {self.agent_id} got unexpected {ptype.name}")
+
+    def _on_term_bump(self) -> None:
+        """A successor lead took over: re-drive anything it must see.
+
+        The new lead reconstructs in-flight barrier state by
+        re-collecting READYs; an agent waiting at a barrier re-sends its
+        last report verbatim (stats must merge bit-identically).
+        """
+        run = self.run
+        if self.crashed or run is None or run.spec.mode != "sync":
+            return
+        if run.ready_sent and run.last_ready is not None:
+            self.push.push(
+                self.directory_address,
+                PacketType.AGENT_READY,
+                dict(run.last_ready),
+            )
 
     # ------------------------------------------------------------------
     # directory updates, migration, elasticity (§3.4.3)
     # ------------------------------------------------------------------
 
     def _on_directory_update(self, state: DirectoryState) -> None:
-        if self.dstate is not None and state.version <= self.dstate.version:
+        # (term, version) fence: a freshly elected lead's first state
+        # may carry a lower version than the dead lead's last broadcast
+        # (sync loss), but its higher term must still win.
+        if self.dstate is not None and state.fence <= self.dstate.fence:
             return
         if self.run is not None and not self.run.suspended:
             # Placement must stay stable while a superstep's messages are
@@ -2154,15 +2206,16 @@ class Agent(Entity):
         # messages folded, all replica values applied): publish it as
         # the snapshot client queries read until the next READY.
         self._publish_serving_view(run)
+        run.last_ready = {
+            "agent_id": self.agent_id,
+            "round": run.round,
+            "step": run.step,
+            "stats": stats,
+        }
         self.push.push(
             self.directory_address,
             PacketType.AGENT_READY,
-            {
-                "agent_id": self.agent_id,
-                "round": run.round,
-                "step": run.step,
-                "stats": stats,
-            },
+            dict(run.last_ready),
         )
         if self.network.tracer is not None:
             # Quiet from the moment the READY can depart until the next
@@ -2277,14 +2330,108 @@ class Agent(Entity):
         run = self.run
         if self.crashed or run is None or run.suspended or run.spec.mode != "sync":
             return  # chain ends; the next run start / resume re-arms it
-        self.metrics.heartbeats_sent += 1
-        self.push.push(
-            self.directory_address,
-            PacketType.HEARTBEAT,
-            {"agent_id": self.agent_id},
-        )
+        if not self.network.is_attached(self.directory_address):
+            # This agent's directory died: re-home through the master
+            # instead of heartbeating into the void.  The chain keeps
+            # ticking so a failed re-home attempt is retried.
+            self._maybe_rehome()
+        else:
+            self.metrics.heartbeats_sent += 1
+            self.push.push(
+                self.directory_address,
+                PacketType.HEARTBEAT,
+                {"agent_id": self.agent_id},
+            )
         self._heartbeat_pending = True
         self.kernel.schedule(self.config.heartbeat_interval, self._heartbeat_tick)
+
+    # ------------------------------------------------------------------
+    # control-plane re-homing (directory death)
+    # ------------------------------------------------------------------
+
+    def _maybe_rehome(self) -> None:
+        """Start a master DIRECTORY_QUERY if one is not already running."""
+        if self._rehome_pending or self.crashed or self.master_address is None:
+            return
+        if self.network.is_attached(self.directory_address):
+            return
+        self._rehome_pending = True
+        self._rehome_attempts = 0
+        self._query_master()
+
+    def _rehome_backoff(self) -> float:
+        return min(
+            self.config.master_query_timeout
+            * self.config.master_query_backoff ** min(self._rehome_attempts, 10),
+            0.1,
+        )
+
+    def _query_master(self) -> None:
+        if self.crashed:
+            self._rehome_pending = False
+            return
+        master = self.master_address
+        if master is None or not self.network.is_attached(master) or self._master_req.busy:
+            # Master down too (or a cancelled request still draining):
+            # back off and retry — a restarted master gets rewired in.
+            self._retry_rehome()
+            return
+        request_id = self._master_req.request(
+            master, PacketType.DIRECTORY_QUERY, None, self._on_rehome_assign
+        )
+        timeout = self._rehome_backoff()
+        self.kernel.schedule(timeout, lambda: self._rehome_timed_out(request_id))
+
+    def _rehome_timed_out(self, request_id: int) -> None:
+        if self._master_req._pending_id != request_id:
+            return  # answered or superseded
+        self._master_req.cancel()
+        self._retry_rehome()
+
+    def _retry_rehome(self, delay: Optional[float] = None) -> None:
+        self._rehome_attempts += 1
+        if self._rehome_attempts > self.config.master_query_retries:
+            # Give up for now; the heartbeat chain restarts the attempt.
+            self._rehome_pending = False
+            return
+        self.kernel.schedule(
+            self._rehome_backoff() if delay is None else delay, self._query_master
+        )
+
+    def _on_rehome_assign(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, dict):
+            # Retry-after: the master has no live directory registered
+            # yet (bootstrap race or registry rebuild in progress).
+            self._retry_rehome(delay=float(payload["retry_after"]))
+            return
+        address = int(payload)
+        if not self.network.is_attached(address):
+            self._retry_rehome()
+            return
+        self._rehome_pending = False
+        self._rehome_attempts = 0
+        self.directory_address = address
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.instant(
+                self.name,
+                "rehome",
+                "control",
+                {"agent_id": self.agent_id, "directory": address},
+            )
+        # SUBSCRIBE and AGENT_JOIN are idempotent at the directory tier;
+        # the SUBSCRIBE reply seeds the current state (and term).
+        self._subscribe_and_join()
+        run = self.run
+        if run is not None and run.ready_sent and run.last_ready is not None:
+            # The READY sent to the dead directory may never have been
+            # forwarded; re-report through the new home.
+            self.push.push(
+                self.directory_address,
+                PacketType.AGENT_READY,
+                dict(run.last_ready),
+            )
 
     def _wal_log(
         self,

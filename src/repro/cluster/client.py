@@ -41,7 +41,7 @@ from repro.cluster.config import ClusterConfig
 from repro.cluster.directory import DirectoryState
 from repro.hashing.ring import ConsistentHashRing
 from repro.net.message import Message, PacketType
-from repro.net.sockets import PushSocket
+from repro.net.sockets import PushSocket, ReqRepSocket
 from repro.partition.cache import PlacementCache
 from repro.partition.placer import EdgePlacer
 from repro.serving import LatencyRecorder, ResultCache
@@ -106,12 +106,20 @@ class ClientProxy(Entity):
         client_id: int,
         node: int,
         directory_address: int,
+        master_address: Optional[int] = None,
     ):
         super().__init__(network, f"client-{client_id}", config.seed)
         self.config = config
         self.client_id = client_id
         self.node = node
         self.directory_address = directory_address
+        # Highest control-plane term witnessed; directory traffic from
+        # a deposed lead (term < ours) is dropped at the door.
+        self.term = 0
+        self.master_address = master_address
+        self._master_req = ReqRepSocket(self)
+        self._rehome_pending = False
+        self._rehome_attempts = 0
         self.push = PushSocket(self)
         self.dstate: Optional[DirectoryState] = None
         self.perf = PerfCounters()
@@ -160,17 +168,29 @@ class ClientProxy(Entity):
     # -- directory plane ---------------------------------------------------
 
     def handle_message(self, message: Message) -> None:
+        bumped = False
+        if message.term is not None:
+            if message.term < self.term:
+                # Control traffic from a deposed lead: fence it out.
+                self.network.stats.stale_term_drops += 1
+                return
+            bumped = message.term > self.term
+            self.term = message.term
         if message.ptype == PacketType.DIRECTORY_UPDATE:
             self._adopt(message.payload)
         elif message.ptype == PacketType.CLIENT_REPLY:
             self._on_reply(message.payload)
         elif message.ptype == PacketType.RESULT_NOTICE:
-            self._on_result_notice(message.payload)
+            self._on_result_notice(message.payload, assign=bumped)
+        elif message.ptype == PacketType.DIRECTORY_ASSIGN:
+            self._master_req.handle_reply(message)
         else:
             raise ValueError(f"ClientProxy got unexpected {message.ptype.name}")
+        if bumped:
+            self._on_term_bump()
 
     def _adopt(self, state: DirectoryState) -> None:
-        if self.dstate is not None and state.version <= self.dstate.version:
+        if self.dstate is not None and state.fence <= self.dstate.fence:
             return
         previous = self.dstate
         self.dstate = state
@@ -194,15 +214,49 @@ class ClientProxy(Entity):
         if previous is not None:
             self._failover_pending(state)
 
-    def _on_result_notice(self, payload: dict) -> None:
-        """Adopt new per-program result versions (monotone)."""
+    def _on_result_notice(self, payload: dict, assign: bool = False) -> None:
+        """Adopt new per-program result versions.
+
+        Ordinarily monotone (max-merge): late or duplicated notices
+        cannot roll a version back.  On a term bump (``assign``) the new
+        lead's versions are adopted verbatim instead — a successor
+        reconstructs versions from its mirror and may legitimately land
+        *below* what this proxy saw from the old lead; max-merging would
+        then ignore every future legit notice and leave the cache fenced
+        against versions agents will never report again.
+        """
         for program, version in payload["versions"].items():
-            if version > self.known_versions.get(program, 0):
+            if assign or version > self.known_versions.get(program, 0):
                 self.known_versions[program] = version
                 if self.cache is not None:
                     # get() would fence these lazily; eager removal
                     # keeps the capacity for entries that can still hit.
                     self.cache.invalidate_program(program)
+
+    def _on_term_bump(self) -> None:
+        """React to a control-plane lead election.
+
+        Everything cached or in flight under the old term is suspect:
+        the cache is cleared wholesale (result versions were re-assigned,
+        so old entries can no longer fence correctly), and every
+        dispatched fan-out is re-issued — its targets may have re-homed,
+        and a reply computed under the old term must not race a
+        new-term read.  Waiters keep their first-accept time so the
+        failover stall lands in the latency tail.
+        """
+        if self.cache is not None:
+            self.cache.clear()
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.instant(
+                self.name, "term_bump", "control", {"term": self.term}
+            )
+        for flight in list(self._flights.values()):
+            if not flight.dispatched:
+                continue
+            self._by_token.pop(flight.token, None)
+            self.queries_retried += len(flight.waiters)
+            self._dispatch(flight)
 
     def _failover_pending(self, state: DirectoryState) -> None:
         """Re-issue in-flight fan-outs whose target left the membership.
@@ -224,6 +278,87 @@ class ClientProxy(Entity):
             self.queries_retried += len(flight.waiters)
             self._dispatch(flight)
 
+    # -- re-homing (directory failure) -------------------------------------
+
+    def _maybe_rehome(self) -> None:
+        """Ask the DirectoryMaster for a live directory to subscribe to.
+
+        Event-driven (triggered from :meth:`query`), not periodic — an
+        idle proxy costs the simulator nothing, and the first query
+        after a directory death pays the re-home.  Retries with
+        exponential backoff; a ``retry_after`` reply (master has no live
+        registry yet) waits the hinted interval instead.
+        """
+        self._rehome_pending = True
+        self._rehome_attempts = 0
+        self._query_master()
+
+    def _rehome_backoff(self) -> float:
+        base = self.config.master_query_timeout
+        factor = self.config.master_query_backoff
+        return min(base * factor ** min(self._rehome_attempts, 10), 0.1)
+
+    def _query_master(self) -> None:
+        if self.master_address is None:
+            self._rehome_pending = False
+            return
+        if (
+            not self.network.is_attached(self.master_address)
+            or self._master_req.busy
+        ):
+            self._retry_rehome()
+            return
+        request_id = self._master_req.request(
+            self.master_address,
+            PacketType.DIRECTORY_QUERY,
+            None,
+            self._on_rehome_assign,
+        )
+        self.kernel.schedule(
+            self.config.master_query_timeout,
+            lambda rid=request_id: self._rehome_timed_out(rid),
+        )
+
+    def _rehome_timed_out(self, request_id: int) -> None:
+        if self._master_req._pending_id != request_id:
+            return  # answered (or superseded) before the timeout fired
+        self._master_req.cancel()
+        self._retry_rehome()
+
+    def _retry_rehome(self, delay: Optional[float] = None) -> None:
+        self._rehome_attempts += 1
+        if self._rehome_attempts > self.config.master_query_retries:
+            # Give up for now; the next query() re-arms the whole cycle.
+            self._rehome_pending = False
+            return
+        self.kernel.schedule(
+            delay if delay is not None else self._rehome_backoff(),
+            self._query_master,
+        )
+
+    def _on_rehome_assign(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, dict):
+            self._retry_rehome(delay=float(payload["retry_after"]))
+            return
+        address = int(payload)
+        if not self.network.is_attached(address):
+            self._retry_rehome()
+            return
+        self._rehome_pending = False
+        self._rehome_attempts = 0
+        self.directory_address = address
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.instant(
+                self.name, "rehome", "control", {"directory": address}
+            )
+        self.push.push(
+            self.directory_address,
+            PacketType.SUBSCRIBE,
+            [PacketType.DIRECTORY_UPDATE, PacketType.RESULT_NOTICE],
+        )
+
     # -- query admission ---------------------------------------------------
 
     def query(
@@ -244,6 +379,16 @@ class ClientProxy(Entity):
                 f"client {self.client_id} has no directory state yet; "
                 "run the simulator until the first broadcast lands"
             )
+        if (
+            self.master_address is not None
+            and not self._rehome_pending
+            and not self.network.is_attached(self.directory_address)
+        ):
+            # The home directory died.  Queries keep flowing on the
+            # last-adopted state (fan-outs target agents, not the
+            # directory), but without a live subscription this proxy
+            # would never see another epoch or version — re-home now.
+            self._maybe_rehome()
         if len(self._pending) >= self.config.serving_max_inflight:
             self.queries_shed += 1
             tracer = self.network.tracer

@@ -69,8 +69,16 @@ class ElGACluster:
         lead.peers = [d.address for d in self.directories[1:]]
         for d in self.directories[1:]:
             d.peers = [lead.address]
+        addresses = {d.index: d.address for d in self.directories}
         for d in self.directories:
             d.master_address = self.master.address
+            d.directory_addresses = dict(addresses)
+            d.on_lead_change = self._on_lead_change
+        # Control-plane failover: which directory currently holds the
+        # lead term, plus the engine hooks to re-install on a successor.
+        self._lead_index = 0
+        self._run_controller_ref = None
+        self._on_eviction_ref = None
 
         self.agents: Dict[int, Agent] = {}
         self._departing: List[Agent] = []
@@ -100,11 +108,112 @@ class ElGACluster:
 
     @property
     def lead(self) -> Directory:
-        """The lead directory (barrier aggregation, batch clock)."""
-        return self.directories[0]
+        """The directory currently holding the lead term.
+
+        Index 0 at bootstrap; repointed by :meth:`_on_lead_change` when
+        an election promotes a successor.  Engine code must read this
+        property at each use rather than capturing it — the lead can
+        change between any two kernel events.
+        """
+        return self.directories[self._lead_index]
 
     def directory_for(self, index: int) -> Directory:
-        return self.directories[index % len(self.directories)]
+        """Deterministic home-directory assignment, skipping dead ones
+        (a participant created mid-failover must not be homed on a
+        detached endpoint it has no lease machinery to escape)."""
+        live = [d for d in self.directories if self.network.is_attached(d.address)]
+        if not live:
+            raise RuntimeError("no live directories")
+        return live[index % len(live)]
+
+    def _on_lead_change(self, directory: Directory) -> None:
+        """Election callback: repoint ``lead`` and re-install hooks."""
+        self._lead_index = directory.index
+        directory.run_controller = self._run_controller_ref
+        directory.on_eviction = self._on_eviction_ref
+        self.recovery_log.append(
+            {
+                "event": "lead_elected",
+                "index": directory.index,
+                "term": directory.term,
+                "time": round(self.kernel.now, 9),
+            }
+        )
+
+    def install_run_controller(self, controller, on_eviction=None) -> None:
+        """Install the engine's barrier hooks on the current lead.
+
+        The cluster keeps the references so an elected successor gets
+        them re-installed before any barrier can complete under its
+        term."""
+        self._run_controller_ref = controller
+        self._on_eviction_ref = on_eviction
+        self.lead.run_controller = controller
+        self.lead.on_eviction = on_eviction
+
+    def uninstall_run_controller(self) -> None:
+        self._run_controller_ref = None
+        self._on_eviction_ref = None
+        self.lead.run_controller = None
+        self.lead.on_eviction = None
+
+    def crash_directory(self, index: Optional[int] = None) -> int:
+        """Abruptly kill one Directory (default: the current lead).
+
+        The endpoint vanishes mid-flight exactly like a crashed agent's.
+        Recovery is protocol-driven: peers detect the lease lapse, the
+        lowest-index live directory succeeds under a bumped term, and
+        participants re-home via the master.
+        """
+        live = [d for d in self.directories if self.network.is_attached(d.address)]
+        if len(live) <= 1:
+            raise RuntimeError("refusing to crash the last live directory")
+        if index is None:
+            index = self._lead_index
+        directory = self.directories[index]
+        if not self.network.is_attached(directory.address):
+            raise RuntimeError(f"directory {index} is already dead")
+        directory.crashed = True
+        self.network.detach_abrupt(directory.address)
+        self.recovery_log.append(
+            {
+                "event": "directory_crash",
+                "index": index,
+                "term": directory.term,
+                "lead": index == self._lead_index,
+                "time": round(self.kernel.now, 9),
+            }
+        )
+        return index
+
+    def crash_master(self) -> None:
+        """Abruptly kill the DirectoryMaster (bootstrap + eviction
+        arbiter).  Directories keep running; suspicion verdicts and
+        re-homing queries stall until :meth:`restart_master`."""
+        self.network.detach_abrupt(self.master.address)
+        self.recovery_log.append(
+            {"event": "master_crash", "time": round(self.kernel.now, 9)}
+        )
+
+    def restart_master(self) -> None:
+        """Bring up a fresh DirectoryMaster at a new endpoint.
+
+        Its registry starts *empty* and rebuilds purely from the
+        directories' periodic DIRECTORY_REGISTER heartbeats — the
+        well-known endpoint is rewired into every participant (the
+        operator updating a service address), but no registry state is
+        handed over.
+        """
+        self.master = DirectoryMaster(self.network, seed=self.config.seed)
+        for d in self.directories:
+            d.master_address = self.master.address
+        for agent in self.agents.values():
+            agent.master_address = self.master.address
+        for client in self.clients:
+            client.master_address = self.master.address
+        self.recovery_log.append(
+            {"event": "master_restart", "time": round(self.kernel.now, 9)}
+        )
 
     def add_agent(
         self,
@@ -149,6 +258,7 @@ class ElGACluster:
             recover_from=recover_from,
             restore_checkpoint=restore_checkpoint,
             incarnation=self._incarnation,
+            master_address=self.master.address,
         )
         self.agents[agent_id] = agent
         if settle:
@@ -289,6 +399,7 @@ class ElGACluster:
             self._next_client_id,
             node,
             self.directory_for(self._next_client_id).address,
+            master_address=self.master.address,
         )
         self._next_client_id += 1
         self.clients.append(client)
@@ -406,9 +517,9 @@ class ElGACluster:
         ]
         if self._departing:
             return False
-        version = self.lead.state.version
+        fence = self.lead.state.fence
         for agent in self.agents.values():
-            if agent.dstate is None or agent.dstate.version != version:
+            if agent.dstate is None or agent.dstate.fence != fence:
                 return False
             if agent._migration_acks_pending != 0:
                 return False

@@ -140,6 +140,30 @@ class ClusterConfig:
     serving_latency_window:
         Per-proxy bound on recorded latency samples (a ring of the most
         recent N); also bounds the shed/retry bookkeeping deques.
+    dir_lease_interval:
+        Simulated seconds between the lead Directory's DIR_LEASE pushes
+        to its peer Directories (the control-plane liveness lease that
+        backs lead failover).  ``0`` disables directory failover
+        entirely — the default, so single-directory clusters and classic
+        benchmarks keep their exact traffic counts.
+    dir_lease_timeout:
+        How stale a peer lets the lead's lease go before starting an
+        election.  Must exceed ``dir_lease_interval`` when failover is
+        enabled.  The lowest-index live Directory succeeds (a
+        deterministic rule — no randomized votes — so the same seed
+        always produces the same term sequence).
+    master_query_timeout:
+        Simulated seconds a participant waits for a DIRECTORY_ASSIGN
+        reply before cancelling the request and re-querying the master
+        (exponential backoff up to ``master_query_retries`` attempts).
+    master_query_backoff:
+        Exponential factor applied to ``master_query_timeout`` between
+        re-queries.
+    master_query_retries:
+        Re-query attempts before a participant gives up re-homing.
+    master_restart_delay:
+        Simulated seconds after a master crash before the chaos harness
+        restarts it (the operator's MTTR in the simulation).
     """
 
     nodes: int = 4
@@ -172,6 +196,12 @@ class ClusterConfig:
     serving_retry_after: float = 1e-3
     serving_snapshot_backoff: float = 2e-4
     serving_latency_window: int = 65536
+    dir_lease_interval: float = 0.0
+    dir_lease_timeout: float = 0.02
+    master_query_timeout: float = 2e-3
+    master_query_backoff: float = 2.0
+    master_query_retries: int = 16
+    master_restart_delay: float = 5e-3
     transport: TransportModel = field(default_factory=TransportModel.zeromq)
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
 
@@ -215,6 +245,16 @@ class ClusterConfig:
             raise ValueError("serving retry/backoff hints must be > 0")
         if self.serving_latency_window < 1:
             raise ValueError("serving_latency_window must be >= 1")
+        if self.dir_lease_interval < 0:
+            raise ValueError("dir_lease_interval must be >= 0")
+        if self.dir_lease_interval > 0 and self.dir_lease_timeout <= self.dir_lease_interval:
+            raise ValueError("dir_lease_timeout must exceed dir_lease_interval")
+        if self.master_query_timeout <= 0 or self.master_query_backoff < 1.0:
+            raise ValueError("master query retry policy must satisfy timeout > 0, backoff >= 1")
+        if self.master_query_retries < 1:
+            raise ValueError("master_query_retries must be >= 1")
+        if self.master_restart_delay < 0:
+            raise ValueError("master_restart_delay must be >= 0")
 
     @property
     def hash_fn(self) -> Callable:

@@ -54,6 +54,7 @@ class DirectoryState:
         "split_vertices",
         "weights",
         "epoch",
+        "term",
     )
 
     def __init__(
@@ -65,7 +66,9 @@ class DirectoryState:
         split_vertices: frozenset,
         weights: Optional[Dict[int, float]] = None,
         epoch: Optional[tuple] = None,
+        term: int = 0,
     ):
+        self.term = term
         self.version = version
         self.batch_id = batch_id
         self.agents = dict(agents)  # agent id -> network address
@@ -106,35 +109,74 @@ class DirectoryState:
     def agent_ids(self) -> List[int]:
         return sorted(self.agents)
 
+    @property
+    def fence(self) -> Tuple[int, int]:
+        """The adoption fence: states order by (term, version).
+
+        A freshly elected lead's first broadcast may carry a *lower*
+        version than the dead lead's last one (sync messages can be
+        lost), but its higher term must still win everywhere.
+        """
+        return (self.term, self.version)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"DirectoryState(v{self.version}, batch={self.batch_id}, "
+            f"DirectoryState(t{self.term}/v{self.version}, batch={self.batch_id}, "
             f"P={len(self.agents)}, split={len(self.split_vertices)})"
         )
 
 
 class DirectoryMaster(Entity):
-    """Bootstrap service: hands out a Directory address on request."""
+    """Bootstrap service: hands out a Directory address on request.
 
-    def __init__(self, network, seed: int = 0):
+    The master itself is reconstructable: its registry is soft state
+    rebuilt from the directories' periodic ``DIRECTORY_REGISTER``
+    heartbeats, so a restarted (or standby) master converges on the
+    live directory set without any handoff.  ``DIRECTORY_QUERY`` never
+    raises — an empty (or fully dead) registry answers with a
+    retry-after hint so participants back off and re-query.
+    """
+
+    def __init__(self, network, seed: int = 0, retry_after: float = 1e-3):
         super().__init__(network, "directory-master", seed)
         self._directories: List[int] = []
         self._next = 0
+        self.retry_after = retry_after
 
     def register_directory(self, address: int) -> None:
-        """Called by the cluster when a Directory comes up."""
-        self._directories.append(address)
+        """Called by the cluster when a Directory comes up (idempotent)."""
+        if address not in self._directories:
+            self._directories.append(address)
 
     def unregister_directory(self, address: int) -> None:
         self._directories = [a for a in self._directories if a != address]
+        # Clamp the round-robin cursor: stale modulo state over a shorter
+        # list would skew assignment toward the survivors after the gap.
+        if self._directories:
+            self._next %= len(self._directories)
+        else:
+            self._next = 0
 
     def handle_message(self, message: Message) -> None:
         if message.ptype == PacketType.DIRECTORY_QUERY:
-            if not self._directories:
-                raise RuntimeError("no directories registered with the master")
-            address = self._directories[self._next % len(self._directories)]
+            live = [a for a in self._directories if self.network.is_attached(a)]
+            if not live:
+                # Nothing to assign (bootstrap race, or every registered
+                # directory is dead): tell the requester when to retry
+                # instead of crashing the sim (registration heartbeats
+                # will repopulate the registry).
+                ReqRepSocket.reply_to(
+                    self.network,
+                    message,
+                    PacketType.DIRECTORY_ASSIGN,
+                    {"retry_after": self.retry_after},
+                )
+                return
+            address = live[self._next % len(live)]
             self._next += 1
             ReqRepSocket.reply_to(self.network, message, PacketType.DIRECTORY_ASSIGN, address)
+        elif message.ptype == PacketType.DIRECTORY_REGISTER:
+            self.register_directory(int(message.payload["address"]))
         elif message.ptype == PacketType.AGENT_SUSPECT:
             # Failure-detection arbiter: the lead suspects an agent whose
             # lease lapsed; the master confirms the eviction iff the
@@ -220,14 +262,66 @@ class Directory(Entity):
         self.master_address: Optional[int] = None
         self.on_eviction: Optional[Callable[[int], None]] = None
         self._leases: Dict[int, float] = {}
-        self._suspected: Set[int] = set()
+        # Suspected agents, keyed to when the AGENT_SUSPECT was last
+        # sent: if the master's verdict never lands (it crashed, or the
+        # confirm was addressed to a dead lead), the probe is re-sent
+        # after a lease-timeout so arbitration survives master loss.
+        self._suspected: Dict[int, float] = {}
         self._lease_pending = False
         self._recovering = False
+        # Control-plane fault tolerance.  ``term`` is the monotone
+        # election counter fencing all directory-originated traffic
+        # (the control-plane analogue of the data plane's incarnation
+        # numbers).  ``directory_addresses`` maps every directory index
+        # to its address (wired by the cluster) so a candidate can run
+        # the deterministic lowest-index-live succession rule locally.
+        self.term = 0
+        self.directory_addresses: Dict[int, int] = {}
+        self.on_lead_change: Optional[Callable[["Directory"], None]] = None
+        # Set by the cluster's crash_directory: a dead process neither
+        # handles messages nor fires its timer chains (the kernel still
+        # runs already-scheduled callbacks; they must no-op).
+        self.crashed = False
+        # Lead side: when it last heard a DIR_LEASE_ACK from each peer.
+        self._peer_seen: Dict[int, float] = {}
+        self._dir_lease_pending = False
+        # Peer side: when it last heard *anything* from the lead, plus
+        # the mirrored control tail used to reconstruct barrier state on
+        # election — the last lead control broadcast (re-sent verbatim
+        # under the new term so partially-delivered broadcasts unstick)
+        # and the highest barrier round it implies was completed.
+        self._lead_seen = 0.0
+        self._election_pending = False
+        self._mirrored_ctrl: Optional[Tuple[PacketType, object]] = None
+        self._mirrored_ready_done = -1
+        self._mirrored_run_live = False
+        self._register_pending = False
 
     # -- message dispatch -----------------------------------------------------
 
     def handle_message(self, message: Message) -> None:
         ptype = message.ptype
+        if self.crashed:
+            return  # racing in-flight delivery to a dead process
+        if not self._admit_term(message):
+            return
+        if not self.is_lead and self.peers and message.src == self.peers[0]:
+            self._lead_seen = self.now
+        if ptype == PacketType.DIR_LEASE:
+            # Lead's lease renewal: acknowledge so the lead can prune
+            # dead peers from its broadcast list.
+            ack = Message(
+                ptype=PacketType.DIR_LEASE_ACK,
+                payload={"index": self.index},
+                term=self.term,
+            )
+            ack.src = self.address
+            ack.dst = message.src
+            self.network.send(ack)
+            return
+        if ptype == PacketType.DIR_LEASE_ACK:
+            self._peer_seen[message.src] = self.now
+            return
         if ptype == PacketType.SUBSCRIBE:
             if isinstance(message.payload, dict) and message.payload.get("remove"):
                 self.pubsub.unsubscribe(message.src)
@@ -245,6 +339,7 @@ class Directory(Entity):
                     seeded = Message(
                         ptype=PacketType.RESULT_NOTICE,
                         payload={"versions": dict(self.result_versions)},
+                        term=self.term,
                     )
                     seeded.src = self.address
                     seeded.dst = message.src
@@ -258,7 +353,9 @@ class Directory(Entity):
                     # a snapshot, never the live object.
                     payload = self._snapshot_state() if self.is_lead else self.state
                     update = Message(
-                        ptype=PacketType.DIRECTORY_UPDATE, payload=payload
+                        ptype=PacketType.DIRECTORY_UPDATE,
+                        payload=payload,
+                        term=payload.term,
                     )
                     update.src = self.address
                     update.dst = message.src
@@ -290,16 +387,76 @@ class Directory(Entity):
             PacketType.RECOVER,
         ):
             # Lead-originated control, re-published to local subscribers.
-            self.pubsub.publish(ptype, message.payload)
+            # Mirror the control tail: on election the successor re-sends
+            # this broadcast verbatim under the new term, so agents a
+            # partial delivery left behind can proceed.
+            self._mirror_control(ptype, message.payload)
+            self.pubsub.publish(ptype, message.payload, term=message.term)
         elif ptype == PacketType.RESULT_NOTICE:
             # Lead-originated version bump: merge (so late SUBSCRIBE
             # seeding works from any directory) and re-publish.
             for prog, version in message.payload["versions"].items():
                 if version > self.result_versions.get(prog, 0):
                     self.result_versions[prog] = version
-            self.pubsub.publish(ptype, message.payload)
+            self.pubsub.publish(ptype, message.payload, term=message.term)
         else:
             raise ValueError(f"Directory got unexpected {ptype.name}")
+
+    def _admit_term(self, message: Message) -> bool:
+        """Fence directory-origin traffic by term; adopt newer terms.
+
+        Returns ``False`` for stale-term messages (dropped and counted).
+        A higher term on any message means a successor was elected; an
+        old lead that somehow survived steps down immediately
+        (split-brain safety — in the simulation a replaced lead is
+        always detached, but the rule costs nothing and is load-bearing
+        the moment partitions can heal).
+        """
+        term = message.term
+        if term is None:
+            return True
+        if term < self.term:
+            self.network.stats.stale_term_drops += 1
+            return False
+        if term > self.term:
+            self.term = term
+            if self.is_lead:
+                self._step_down(message.src)
+            elif self.peers and self.peers[0] != message.src:
+                self.peers = [message.src]
+        return True
+
+    def _mirror_control(self, ptype: PacketType, payload) -> None:
+        self._mirrored_ctrl = (ptype, payload)
+        if ptype == PacketType.RUN_START:
+            self._mirrored_ready_done = -1
+            self._mirrored_run_live = True
+            program = getattr(payload, "program", None)
+            self._active_program = getattr(program, "name", None)
+            self._ensure_election_watch()
+            self._ensure_master_register()
+        elif ptype == PacketType.SUPERSTEP_ADVANCE:
+            phase = payload.get("phase") if isinstance(payload, dict) else None
+            if phase == "halt":
+                self._mirrored_run_live = False
+            else:
+                round_id = int(payload.get("round", 0))
+                # The lead broadcast round N only after completing
+                # barrier round N-1.
+                self._mirrored_ready_done = max(self._mirrored_ready_done, round_id - 1)
+
+    def _step_down(self, new_lead: int) -> None:
+        """Demote this directory: a higher-term lead exists."""
+        self.is_lead = False
+        self.run_controller = None
+        self.on_eviction = None
+        self._ready.clear()
+        self.peers = [new_lead]
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.instant(
+                self.name, "step_down", "control", {"term": self.term}
+            )
 
     def _to_lead(self, message: Message) -> None:
         """Handle membership/sketch traffic at the lead, or forward it."""
@@ -372,6 +529,8 @@ class Directory(Entity):
 
     def _sketch_broadcast_due(self) -> None:
         self._broadcast_scheduled = False
+        if self.crashed:
+            return
         if not self._sketch_dirty:
             return
         self._last_sketch_broadcast = self.now
@@ -389,7 +548,12 @@ class Directory(Entity):
             sketch=self.state.sketch,  # lead keeps the live master copy
             split_vertices=split,
             weights=self._weights,
-            epoch=(self._membership_version, self._sketch_version, len(split)),
+            # The term leads the epoch token: a successor re-derives its
+            # epoch counters from the mirror, and without the term a
+            # re-derived token could collide with a pre-crash epoch of
+            # different content, poisoning placement caches.
+            epoch=(self.term, self._membership_version, self._sketch_version, len(split)),
+            term=self.term,
         )
 
     def advance_batch_clock(self) -> int:
@@ -412,10 +576,12 @@ class Directory(Entity):
             split_vertices=self.state.split_vertices,
             weights=self.state.weights,
             epoch=(
+                self.term,
                 self._membership_version,
                 self._sketch_version,
                 len(self.state.split_vertices),
             ),
+            term=self.term,
         )
 
     def _broadcast_now(self) -> None:
@@ -434,18 +600,22 @@ class Directory(Entity):
                 },
             )
         for peer in self.peers:
-            msg = Message(ptype=PacketType.DIRECTORY_SYNC, payload=snapshot)
+            msg = Message(
+                ptype=PacketType.DIRECTORY_SYNC, payload=snapshot, term=self.term
+            )
             msg.src = self.address
             msg.dst = peer
             self.network.send(msg)
-        self.pubsub.publish(PacketType.DIRECTORY_UPDATE, snapshot)
+        self.pubsub.publish(PacketType.DIRECTORY_UPDATE, snapshot, term=self.term)
 
     def _on_sync(self, message: Message) -> None:
         incoming: DirectoryState = message.payload
-        if incoming.version <= self.state.version:
+        if incoming.fence <= self.state.fence:
             return  # stale
         self.state = incoming
-        self.pubsub.publish(PacketType.DIRECTORY_UPDATE, incoming)
+        self.pubsub.publish(
+            PacketType.DIRECTORY_UPDATE, incoming, term=incoming.term
+        )
 
     # -- barrier protocol (Figure 2) ------------------------------------------------
 
@@ -527,6 +697,8 @@ class Directory(Entity):
         self._active_program = getattr(program, "name", None)
         self.note_results_changed(self._active_program)
         self._control_broadcast(PacketType.RUN_START, payload)
+        self._ensure_dir_lease()
+        self._ensure_master_register()
 
     # -- failure detection (lead only) ----------------------------------------
 
@@ -546,7 +718,8 @@ class Directory(Entity):
         self._lease_pending = False
         controller = self.run_controller
         if (
-            controller is None
+            self.crashed
+            or controller is None
             or getattr(controller, "done", False)
             or self.config.heartbeat_interval <= 0
         ):
@@ -562,29 +735,34 @@ class Directory(Entity):
                 self._leases[agent_id] = now
                 continue
             if agent_id in self._suspected:
-                continue  # verdict pending at the master
+                # Verdict pending at the master; re-ask if it has been
+                # silent for a full lease (master crash/restart window).
+                if now - self._suspected[agent_id] > self.config.lease_timeout:
+                    self._suspect(agent_id, now - last, resend=True)
+                continue
             if now - last > self.config.lease_timeout:
                 self._suspect(agent_id, now - last)
         self._lease_pending = True
         self.kernel.schedule(self.config.lease_timeout / 2.0, self._lease_tick)
 
-    def _suspect(self, agent_id: int, overdue: float) -> None:
+    def _suspect(self, agent_id: int, overdue: float, resend: bool = False) -> None:
         if self.master_address is None:
             return  # nobody to arbitrate; keep waiting
-        self._suspected.add(agent_id)
+        self._suspected[agent_id] = self.now
         tracer = self.network.tracer
         if tracer is not None:
             tracer.instant(
                 self.name,
                 "suspect",
                 "failure",
-                {"agent_id": agent_id, "overdue": overdue},
+                {"agent_id": agent_id, "overdue": overdue, "resend": resend},
             )
-        self.network.stats.lease_expirations += 1
-        interval = self.config.heartbeat_interval
-        self.network.stats.heartbeats_missed += (
-            max(1, int(overdue / interval)) if interval > 0 else 1
-        )
+        if not resend:
+            self.network.stats.lease_expirations += 1
+            interval = self.config.heartbeat_interval
+            self.network.stats.heartbeats_missed += (
+                max(1, int(overdue / interval)) if interval > 0 else 1
+            )
         suspect = Message(
             ptype=PacketType.AGENT_SUSPECT,
             payload={
@@ -600,7 +778,7 @@ class Directory(Entity):
         if not self.is_lead:
             raise RuntimeError("only the lead evicts members")
         agent_id = int(payload["agent_id"])
-        self._suspected.discard(agent_id)
+        self._suspected.pop(agent_id, None)
         if not payload.get("evict"):
             # False suspicion (slow but alive): refresh and move on.
             self._leases[agent_id] = self.now
@@ -646,6 +824,195 @@ class Directory(Entity):
         self.note_results_changed(self._active_program)
         self._control_broadcast(PacketType.RECOVER, payload)
 
+    # -- control-plane fault tolerance: leases, elections, succession ------
+
+    @property
+    def _failover_on(self) -> bool:
+        """Directory failover requires a lease cadence and a peer."""
+        return self.config.dir_lease_interval > 0 and len(self.directory_addresses) > 1
+
+    def _run_live(self) -> bool:
+        """Whether a synchronous run is live from this directory's view.
+
+        The lease/election/registration timer chains are scoped to run
+        liveness so the kernel can go quiescent between runs (``settle``
+        would otherwise never drain).  The lead reads its controller;
+        peers read the mirrored control tail.
+        """
+        if self.is_lead:
+            controller = self.run_controller
+            return controller is not None and not getattr(controller, "done", False)
+        return self._mirrored_run_live
+
+    def _ensure_dir_lease(self) -> None:
+        """Arm the lead's DIR_LEASE renewal chain (idempotent)."""
+        if not self.is_lead or not self._failover_on or self._dir_lease_pending:
+            return
+        self._dir_lease_pending = True
+        self.kernel.schedule(self.config.dir_lease_interval, self._dir_lease_tick)
+
+    def _dir_lease_tick(self) -> None:
+        self._dir_lease_pending = False
+        if self.crashed or not self.is_lead or not self._failover_on or not self._run_live():
+            return  # chain ends with the run; send_run_start re-arms it
+        # Prune peers whose endpoint is gone: broadcasts to them would
+        # only churn the reliable transport's abandonment path.
+        self.peers = [p for p in self.peers if self.network.is_attached(p)]
+        for peer in self.peers:
+            lease = Message(
+                ptype=PacketType.DIR_LEASE,
+                payload={"term": self.term, "version": self.state.version},
+                term=self.term,
+            )
+            lease.src = self.address
+            lease.dst = peer
+            self.network.send(lease)
+        self._dir_lease_pending = True
+        self.kernel.schedule(self.config.dir_lease_interval, self._dir_lease_tick)
+
+    def _ensure_election_watch(self) -> None:
+        """Arm a peer's lead-liveness watchdog (idempotent)."""
+        if self.is_lead or not self._failover_on or self._election_pending:
+            return
+        self._election_pending = True
+        self.kernel.schedule(self.config.dir_lease_timeout / 2.0, self._election_tick)
+
+    def _election_tick(self) -> None:
+        self._election_pending = False
+        if self.crashed or self.is_lead or not self._failover_on or not self._mirrored_run_live:
+            return
+        lead_addr = self.peers[0] if self.peers else None
+        if lead_addr is None:
+            return
+        overdue = self.now - self._lead_seen > self.config.dir_lease_timeout
+        if overdue:
+            if self.network.is_attached(lead_addr):
+                # Lease lapsed but the endpoint still answers the
+                # liveness probe (slow lead, lossy control path): renew
+                # locally rather than electing over a live lead — the
+                # same arbitration idiom the master applies to agents.
+                self._lead_seen = self.now
+            elif self._is_successor():
+                self._become_lead()
+                return
+            # else: a lower-index live peer will take the term; keep
+            # watching in case it dies before it does.
+        self._ensure_election_watch()
+
+    def _is_successor(self) -> bool:
+        """Deterministic succession: lowest-index live directory wins.
+
+        Liveness is the fabric's attachment probe, so every candidate
+        evaluates the same predicate on the same state — no votes, no
+        randomness, and therefore per-seed reproducible term sequences.
+        """
+        for idx in sorted(self.directory_addresses):
+            if idx == self.index:
+                return True
+            if self.network.is_attached(self.directory_addresses[idx]):
+                return False
+        return False  # pragma: no cover - self is always attached
+
+    def _become_lead(self) -> None:
+        """Take over as lead under a bumped term.
+
+        Mirrored state (DirectoryState, result versions, the control
+        tail) carries over; lead-only aggregation state (weights, epoch
+        counters, READY buckets, leases) is reconstructed here, and
+        whatever the mirror could not see is re-driven: agents re-report
+        READY on the term bump, and the re-broadcast control tail
+        unsticks agents a partially-delivered broadcast left behind.
+        """
+        self.term += 1
+        self.is_lead = True
+        self.network.stats.lead_elections += 1
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.instant(
+                self.name,
+                "lead_elected",
+                "control",
+                {"term": self.term, "index": self.index},
+            )
+        self.peers = [
+            addr
+            for idx, addr in sorted(self.directory_addresses.items())
+            if idx != self.index and self.network.is_attached(addr)
+        ]
+        # Lead-only aggregation state, rebuilt from the mirror.
+        self._weights = dict(self.state.weights)
+        epoch = self.state.epoch
+        if epoch is not None and len(epoch) == 4:
+            self._membership_version = int(epoch[1])
+            self._sketch_version = int(epoch[2])
+        self._pending_split = set()
+        self._sketch_dirty = False
+        self._ready = {}
+        self._ready_done = self._mirrored_ready_done
+        self._suspected = {}
+        self._leases = {}
+        # If the old lead died mid-recovery the barrier stays shut until
+        # the engine's resume reopens it; the control-tail re-broadcast
+        # below lets agents that missed the RECOVER catch up.
+        self._recovering = (
+            self._mirrored_ctrl is not None
+            and self._mirrored_ctrl[0] == PacketType.RECOVER
+        )
+        if self.on_lead_change is not None:
+            # The cluster re-installs the engine's controller hooks and
+            # repoints ``cluster.lead`` before any barrier can complete.
+            self.on_lead_change(self)
+        self._reseed_leases()
+        # Re-announce result versions past the mirror.  The dead lead
+        # may have bumped further than it synced; proxies *assign* (not
+        # max-merge) versions on a term bump and clear their caches, so
+        # the non-monotone adoption is safe.
+        if self.result_versions:
+            versions = {prog: v + 1 for prog, v in self.result_versions.items()}
+            self.result_versions = versions
+            self._control_broadcast(
+                PacketType.RESULT_NOTICE, {"versions": dict(versions)}
+            )
+        # New-term state broadcast: re-fences every subscriber and rolls
+        # the placement epoch (its leading component is the term).
+        self._replace_state(agents=self.state.agents, bump_batch=False)
+        self._broadcast_now()
+        # Re-drive the last control broadcast verbatim under the new
+        # term: agents already past it drop the duplicate (round/run_id
+        # guards), stuck agents proceed.
+        if self._mirrored_ctrl is not None and self._mirrored_run_live:
+            ptype, payload = self._mirrored_ctrl
+            self._control_broadcast(ptype, payload)
+        self._ensure_dir_lease()
+
+    def _ensure_master_register(self) -> None:
+        """Arm the periodic DIRECTORY_REGISTER heartbeat (idempotent).
+
+        Every directory re-registers on a cadence so a restarted master
+        rebuilds its registry as soft state; needs only the lease knob,
+        not a peer (single-directory clusters still re-register).
+        """
+        if self.config.dir_lease_interval <= 0 or self._register_pending:
+            return
+        self._register_pending = True
+        self.kernel.schedule(self.config.dir_lease_interval, self._master_register_tick)
+
+    def _master_register_tick(self) -> None:
+        self._register_pending = False
+        if self.crashed or self.config.dir_lease_interval <= 0 or not self._run_live():
+            return
+        master = self.master_address
+        if master is not None and self.network.is_attached(master):
+            register = Message(
+                ptype=PacketType.DIRECTORY_REGISTER,
+                payload={"index": self.index, "address": self.address},
+            )
+            register.src = self.address
+            register.dst = master
+            self.network.send(register)
+        self._register_pending = True
+        self.kernel.schedule(self.config.dir_lease_interval, self._master_register_tick)
+
     # -- serving plane: result versions (lead only) -----------------------
 
     def note_results_changed(self, program: Optional[str]) -> None:
@@ -672,15 +1039,23 @@ class Directory(Entity):
             PacketType.RESULT_NOTICE, {"versions": {program: version}}
         )
 
-    def _control_broadcast(self, ptype: PacketType, payload: dict) -> None:
+    def _control_broadcast(self, ptype: PacketType, payload) -> None:
         if not self.is_lead:
             raise RuntimeError("control broadcasts originate at the lead directory")
+        if ptype in (
+            PacketType.SUPERSTEP_ADVANCE,
+            PacketType.RUN_START,
+            PacketType.RECOVER,
+        ):
+            # The lead mirrors its own tail too: it may be *elected* lead
+            # later in life, and succession math reads these fields.
+            self._mirror_control(ptype, payload)
         for peer in self.peers:
-            msg = Message(ptype=ptype, payload=payload)
+            msg = Message(ptype=ptype, payload=payload, term=self.term)
             msg.src = self.address
             msg.dst = peer
             self.network.send(msg)
-        self.pubsub.publish(ptype, payload)
+        self.pubsub.publish(ptype, payload, term=self.term)
 
 
 def _merge_stats(stat_dicts) -> dict:

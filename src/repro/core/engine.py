@@ -263,11 +263,17 @@ class ElGA:
             reshapes the cluster after that superstep completes
             (Figure 17's operator action).  Sync mode only.
         crash_plan:
-            Injected abrupt failures: ``{superstep: count}`` crashes
-            that many agents (no drain) shortly after the barrier for
-            that superstep completes.  Detection and recovery then run
-            through the normal heartbeat/checkpoint machinery; requires
-            ``heartbeat_interval > 0``.  Sync mode only.
+            Injected abrupt failures: ``{superstep: target}`` fires
+            shortly after the barrier for that superstep completes.  A
+            plain int target crashes that many agents (no drain); a dict
+            ``{"agents": n, "lead": bool, "master": bool}`` additionally
+            crashes the lead Directory and/or the DirectoryMaster (the
+            master is restarted after ``master_restart_delay``).  Agent
+            detection and recovery run through the normal
+            heartbeat/checkpoint machinery (requires
+            ``heartbeat_interval > 0``); a lead crash requires directory
+            failover (``dir_lease_interval > 0`` and at least two
+            directories).  Sync mode only.
 
         Notes
         -----
@@ -320,11 +326,24 @@ class ElGA:
         scale_plan: Optional[Dict[int, int]],
         crash_plan: Optional[Dict[int, int]] = None,
     ) -> RunResult:
-        if crash_plan and self.config.heartbeat_interval <= 0:
-            raise ValueError(
-                "crash_plan needs failure detection: set heartbeat_interval > 0"
+        if crash_plan:
+            targets_agents = any(
+                (int(e.get("agents", 0)) if isinstance(e, dict) else int(e)) > 0
+                for e in crash_plan.values()
             )
-        lead = self.cluster.lead
+            if targets_agents and self.config.heartbeat_interval <= 0:
+                raise ValueError(
+                    "crash_plan needs failure detection: set heartbeat_interval > 0"
+                )
+            if any(
+                isinstance(e, dict) and e.get("lead") for e in crash_plan.values()
+            ) and (
+                self.config.dir_lease_interval <= 0 or self.config.n_directories < 2
+            ):
+                raise ValueError(
+                    "a lead-directory crash needs failover: set "
+                    "dir_lease_interval > 0 and n_directories >= 2"
+                )
         kernel = self.cluster.kernel
         controller = SyncRunController(
             spec,
@@ -338,13 +357,15 @@ class ElGA:
         self._active_controller = controller
         self._run_members = set(self.cluster.agents)
         self._scaled_mid_run = False
-        lead.run_controller = controller
-        lead.on_eviction = self._on_agent_evicted
+        # Installed through the cluster, not pinned on one Directory
+        # object: a lead election mid-run re-homes the controller onto
+        # the successor.  ``cluster.lead`` is likewise re-read at every
+        # use below — never captured in a local.
+        self.cluster.install_run_controller(controller, self._on_agent_evicted)
         start = kernel.now
-        lead.send_run_start(spec)
+        self.cluster.lead.send_run_start(spec)
         self.cluster.settle()
-        lead.run_controller = None
-        lead.on_eviction = None
+        self.cluster.uninstall_run_controller()
         self._active_controller = None
         # Restart-mode recovery may have reissued the run under a fresh
         # run_id; prune whatever id actually completed.
@@ -401,13 +422,34 @@ class ElGA:
 
         self.cluster.kernel.schedule(1e-3, poll)
 
-    def _on_crash_due(self, count: int) -> None:
-        """Controller-scheduled fault injection: crash ``count`` agents
-        a beat after the superstep's ADVANCE goes out, so the failure
-        lands mid-superstep with messages in flight."""
+    def _on_crash_due(self, entry) -> None:
+        """Controller-scheduled fault injection: fire ``entry`` a beat
+        after the superstep's ADVANCE goes out, so the failure lands
+        mid-superstep with messages in flight.
+
+        ``entry`` is either an int (crash that many agents — the legacy
+        plan shape) or a dict ``{"agents": n, "lead": bool,
+        "master": bool}`` extending the blast radius to the control
+        plane.  A crashed master is restarted after
+        ``master_restart_delay`` (the simulated operator's MTTR); a
+        crashed lead Directory is *not* — the peers' election replaces
+        it."""
+        if isinstance(entry, dict):
+            agents = int(entry.get("agents", 0))
+            lead = bool(entry.get("lead", False))
+            master = bool(entry.get("master", False))
+        else:
+            agents, lead, master = int(entry), False, False
 
         def crash() -> None:
-            for _ in range(count):
+            if lead:
+                self.cluster.crash_directory()
+            if master:
+                self.cluster.crash_master()
+                self.cluster.kernel.schedule(
+                    self.config.master_restart_delay, self.cluster.restart_master
+                )
+            for _ in range(agents):
                 if len(self.cluster.agents) > 1:
                     self.cluster.crash_agent()
 
@@ -461,9 +503,8 @@ class ElGA:
                 "incarnation": incarnation,
             }
         )
-        lead = cluster.lead
         kernel = cluster.kernel
-        lead.broadcast_recover(
+        cluster.lead.broadcast_recover(
             {"mode": mode, "run_id": run_id, "step": step, "incarnation": incarnation}
         )
 
@@ -487,7 +528,7 @@ class ElGA:
                     kernel.schedule(1e-3, await_consistent)
                     return
                 if mode == "rollback":
-                    lead.send_advance(
+                    cluster.lead.send_advance(
                         controller.resume_payload(controller.next_round(), step)
                     )
                 else:
@@ -503,7 +544,7 @@ class ElGA:
                         controller.spec, run_id=self._run_counter
                     )
                     controller.mark_restarted()
-                    lead.send_run_start(controller.spec)
+                    cluster.lead.send_run_start(controller.spec)
 
             kernel.schedule(1e-3, await_consistent)
 
@@ -515,17 +556,16 @@ class ElGA:
                 f"{spec.program.name} is not monotone; asynchronous execution "
                 "is only safe for min/max programs"
             )
-        lead = self.cluster.lead
         kernel = self.cluster.kernel
         start = kernel.now
-        lead.send_run_start(spec)
+        self.cluster.lead.send_run_start(spec)
         self.cluster.settle()  # quiescence = termination for monotone programs
         for agent in sorted_agents(self.cluster.agents):
             agent.finalize_run(persist=True)
         # Async runs have no barrier rounds to piggyback result notices
         # on; tell the serving plane the fixpoint landed so proxy caches
         # drop anything filled mid-relaxation.
-        lead.note_results_changed(spec.program.name)
+        self.cluster.lead.note_results_changed(spec.program.name)
         self.cluster.settle()
         tracer = self.tracer
         if tracer is not None:

@@ -149,6 +149,14 @@ class SyncRunController:
         self.final_step = 0
         self._last_round = 0
         self._ctx = {"global_n": spec.global_n}
+        # Idempotency guard for lead failover: a newly-elected lead
+        # re-collects READY for the in-flight round and re-drives the
+        # barrier, so the same round id can reach this controller twice.
+        # The decision (and its side effects: durations, stats history,
+        # scale_plan/crash_plan pops) must happen exactly once; replays
+        # get the memoised response verbatim.
+        self._processed_round = -1
+        self._last_response: Optional[dict] = None
 
     # -- payload builders -------------------------------------------------
 
@@ -171,6 +179,14 @@ class SyncRunController:
     # -- barrier callback -----------------------------------------------------
 
     def __call__(self, round_id: int, step: int, stats: Dict[str, float]) -> Optional[dict]:
+        if round_id <= self._processed_round:
+            return self._last_response
+        response = self._advance(round_id, step, stats)
+        self._processed_round = round_id
+        self._last_response = response
+        return response
+
+    def _advance(self, round_id: int, step: int, stats: Dict[str, float]) -> Optional[dict]:
         duration = self.kernel.now - self.round_started_at
         self.round_durations.append((self.phase, step, duration))
         self.stats_history.append(dict(stats))
@@ -220,6 +236,10 @@ class SyncRunController:
         """Reset phase tracking when recovery restarts the run."""
         self.phase = "delta_init" if self._delta else "init"
         self.round_started_at = self.kernel.now
+        # Recovery may legitimately revisit round ids; drop the replay
+        # memo so post-restart rounds are decided afresh.
+        self._processed_round = -1
+        self._last_response = None
 
     def resume_payload(self, round_id: int, step: int) -> dict:
         """Built by the engine once migration has quiesced.

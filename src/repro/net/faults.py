@@ -74,6 +74,9 @@ CONTROL_PTYPES: FrozenSet[PacketType] = frozenset(
         PacketType.READY_REBROADCAST,
         PacketType.SUPERSTEP_ADVANCE,
         PacketType.RUN_START,
+        PacketType.DIR_LEASE,
+        PacketType.DIR_LEASE_ACK,
+        PacketType.DIRECTORY_REGISTER,
     }
 )
 
@@ -157,7 +160,7 @@ class PartitionWindow:
 
 @dataclass(frozen=True)
 class CrashEvent:
-    """A scheduled agent departure, keyed by superstep.
+    """A scheduled participant departure, keyed by superstep.
 
     Two flavors:
 
@@ -171,11 +174,23 @@ class CrashEvent:
       mid-superstep with no drain; the directory's lease-based failure
       detector must notice, evict it, and drive checkpoint/WAL
       recovery (see ``cluster/recovery.py``).
+
+    ``target`` extends the blast radius beyond the data plane:
+
+    * ``"agent"`` (default) — kill ``agents_removed`` Agents;
+    * ``"directory"`` — kill the *lead* Directory (the peers' term
+      election replaces it; requires ``dir_lease_interval > 0``);
+    * ``"master"`` — kill the DirectoryMaster (the harness restarts it
+      after ``master_restart_delay``).
+
+    Control-plane entities have no graceful drain, so non-agent
+    targets must be ``abrupt``.
     """
 
     after_step: int
     agents_removed: int = 1
     abrupt: bool = False
+    target: str = "agent"
 
     def __post_init__(self) -> None:
         if self.after_step < 1:
@@ -186,6 +201,15 @@ class CrashEvent:
         if self.agents_removed < 1:
             raise ValueError(
                 f"CrashEvent.agents_removed must be >= 1, got {self.agents_removed}"
+            )
+        if self.target not in ("agent", "directory", "master"):
+            raise ValueError(
+                f"CrashEvent.target must be 'agent', 'directory', or "
+                f"'master', got {self.target!r}"
+            )
+        if self.target != "agent" and not self.abrupt:
+            raise ValueError(
+                f"a {self.target} crash has no graceful drain; set abrupt=True"
             )
 
 
@@ -300,18 +324,34 @@ class FaultPlan:
             plan[crash.after_step] = target
         return plan
 
-    def crash_plan(self) -> Dict[int, int]:
+    def crash_plan(self) -> Dict[int, object]:
         """Translate *abrupt* crash events into the engine's crash plan.
 
-        Returns ``{superstep: victims}``: shortly after that superstep's
-        barrier completes, that many agents are killed mid-superstep
-        (detached from the fabric, no drain).
+        Shortly after each listed superstep's barrier completes, the
+        victims are killed mid-superstep (detached from the fabric, no
+        drain).  A step whose events only target agents maps to a plain
+        int victim count (the pre-control-plane shape every existing
+        harness understands); a step that also kills the lead Directory
+        or the DirectoryMaster maps to
+        ``{"agents": n, "lead": bool, "master": bool}``.
         """
-        plan: Dict[int, int] = {}
+        plan: Dict[int, dict] = {}
         for crash in self.crashes:
-            if crash.abrupt:
-                plan[crash.after_step] = plan.get(crash.after_step, 0) + crash.agents_removed
-        return plan
+            if not crash.abrupt:
+                continue
+            entry = plan.setdefault(
+                crash.after_step, {"agents": 0, "lead": False, "master": False}
+            )
+            if crash.target == "agent":
+                entry["agents"] += crash.agents_removed
+            elif crash.target == "directory":
+                entry["lead"] = True
+            else:
+                entry["master"] = True
+        return {
+            step: entry["agents"] if not (entry["lead"] or entry["master"]) else entry
+            for step, entry in plan.items()
+        }
 
     # -- convenience constructors ------------------------------------------
 

@@ -65,6 +65,11 @@ class PacketType(enum.IntEnum):
     EVICT_CONFIRM = 62        # master -> lead directory: eviction verdict
     RECOVER = 63              # lead directory -> agents: roll back / restart
 
+    # Control-plane fault tolerance (directory replication / failover)
+    DIR_LEASE = 64            # lead directory -> peers: term-numbered lease renewal
+    DIR_LEASE_ACK = 65        # peer -> lead directory: lease acknowledgement
+    DIRECTORY_REGISTER = 66   # directory -> master: periodic (re-)registration
+
 
 _SCALAR_BYTES = 8
 
@@ -121,6 +126,11 @@ class Message:
     seq:
         Per-link transport sequence number, assigned by the fabric when
         reliable delivery is enabled; ``None`` on fire-and-forget sends.
+    term:
+        Control-plane term the message was sent under (directory-origin
+        traffic only).  Receivers fence stale-term control packets the
+        same way incarnation numbers fence stale data traffic; ``None``
+        means "not term-fenced" (data plane, client requests, legacy).
     """
 
     ptype: PacketType
@@ -130,6 +140,7 @@ class Message:
     size_bytes: int = -1
     request_id: Optional[int] = None
     seq: Optional[int] = None
+    term: Optional[int] = None
     send_time: float = field(default=0.0, compare=False)
 
     def __post_init__(self) -> None:

@@ -78,6 +78,10 @@ class NetworkStats:
     # the way to a confirmed eviction.
     heartbeats_missed: int = 0
     lease_expirations: int = 0
+    # Control-plane fault tolerance: lead-directory elections completed
+    # and term-fenced control packets dropped by receivers as stale.
+    lead_elections: int = 0
+    stale_term_drops: int = 0
     # Data-plane fast path observability: total packets a cumulative
     # VERTEX_MSG_ACK acknowledged (its ``count`` field), and how many
     # of those acks covered more than one packet.
@@ -124,6 +128,8 @@ class NetworkStats:
             acks_sent=self.acks_sent,
             heartbeats_missed=self.heartbeats_missed,
             lease_expirations=self.lease_expirations,
+            lead_elections=self.lead_elections,
+            stale_term_drops=self.stale_term_drops,
             data_ack_credits=self.data_ack_credits,
             data_acks_batched=self.data_acks_batched,
         )

@@ -45,9 +45,16 @@ class PushSocket:
         self.owner = owner
         self.network: "Network" = owner.network
 
-    def push(self, dst: int, ptype: PacketType, payload=None, size_bytes: int = -1) -> None:
+    def push(
+        self,
+        dst: int,
+        ptype: PacketType,
+        payload=None,
+        size_bytes: int = -1,
+        term: Optional[int] = None,
+    ) -> None:
         """Send one message to ``dst`` without blocking."""
-        message = Message(ptype=ptype, payload=payload, size_bytes=size_bytes)
+        message = Message(ptype=ptype, payload=payload, size_bytes=size_bytes, term=term)
         message.src = self.owner.address
         message.dst = dst
         self.network.send(message)
@@ -91,6 +98,16 @@ class ReqRepSocket:
         message.dst = dst
         self.network.send(message)
         return request_id
+
+    def cancel(self) -> None:
+        """Abandon the outstanding request (timeout path).
+
+        The reply, if it ever arrives, will no longer match
+        ``_pending_id`` and is dropped by :meth:`handle_reply` — the
+        caller is free to issue a fresh request immediately.
+        """
+        self._pending_id = None
+        self._callback = None
 
     def handle_reply(self, message: Message) -> bool:
         """Route an incoming reply to the pending callback.
@@ -145,11 +162,17 @@ class PubSubSocket:
         """Current subscribers for one packet type (sorted, for determinism)."""
         return sorted(self._subscribers[ptype])
 
-    def publish(self, ptype: PacketType, payload=None, size_bytes: int = -1) -> int:
+    def publish(
+        self,
+        ptype: PacketType,
+        payload=None,
+        size_bytes: int = -1,
+        term: Optional[int] = None,
+    ) -> int:
         """Send to every subscriber of ``ptype``; returns the fan-out."""
         targets = self.subscribers_of(ptype)
         for dst in targets:
-            message = Message(ptype=ptype, payload=payload, size_bytes=size_bytes)
+            message = Message(ptype=ptype, payload=payload, size_bytes=size_bytes, term=term)
             message.src = self.owner.address
             message.dst = dst
             self.network.send(message)

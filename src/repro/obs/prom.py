@@ -136,6 +136,12 @@ def network_families(stats) -> List[MetricFamily]:
         ("elga_net_lease_expirations_total",
          "Liveness leases that expired into suspicion.",
          stats.lease_expirations),
+        ("elga_net_lead_elections_total",
+         "Lead-directory elections (control-plane failovers).",
+         stats.lead_elections),
+        ("elga_net_stale_term_drops_total",
+         "Control packets dropped for carrying a superseded term.",
+         stats.stale_term_drops),
     ]
     for name, help_text, value in scalars:
         families.append(MetricFamily(name, "counter", help_text).add({}, value))
@@ -201,6 +207,10 @@ def engine_families(engine) -> List[MetricFamily]:
         MetricFamily(
             "elga_directory_version", "gauge", "Lead directory state version."
         ).add({}, cluster.directory_version()),
+        MetricFamily(
+            "elga_control_term", "gauge",
+            "Control-plane term of the current lead directory."
+        ).add({}, cluster.lead.term),
         MetricFamily(
             "elga_sim_seconds", "gauge", "Current simulated time."
         ).add({}, cluster.kernel.now),

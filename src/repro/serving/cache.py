@@ -135,6 +135,15 @@ class ResultCache:
             del self._entries[key]
         return len(stale)
 
+    def clear(self) -> int:
+        """Drop every entry (e.g. on a control-plane term bump, where a
+        new lead re-assigns result versions and nothing cached under the
+        old term can be trusted to fence correctly).  Returns entries
+        dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        return dropped
+
     def counters(self) -> dict:
         """A plain-dict snapshot of the cache counters."""
         return {

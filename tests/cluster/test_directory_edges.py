@@ -57,19 +57,33 @@ def test_master_unregister():
     assert c.master._directories == [c.lead.address]
 
 
-def test_master_with_no_directories_errors():
+def test_master_with_no_directories_replies_retry_after():
+    """An empty registry is a bootstrap race, not a crash: the master
+    answers DIRECTORY_ASSIGN with a retry hint instead of raising."""
     from repro.cluster.directory import DirectoryMaster
     from repro.net import Network
     from repro.sim import SimKernel
+    from repro.sim.entity import Entity
+
+    class Sink(Entity):
+        def __init__(self, network):
+            super().__init__(network, "sink", 0)
+            self.got = []
+
+        def handle_message(self, message):
+            self.got.append(message)
 
     kernel = SimKernel()
     network = Network(kernel)
     master = DirectoryMaster(network)
+    sink = Sink(network)
     msg = Message(ptype=PacketType.DIRECTORY_QUERY, request_id=1)
-    msg.src = master.address
+    msg.src = sink.address
     msg.dst = master.address
-    with pytest.raises(RuntimeError):
-        master.handle_message(msg)
+    master.handle_message(msg)
+    kernel.run_until_idle()
+    assert [m.ptype for m in sink.got] == [PacketType.DIRECTORY_ASSIGN]
+    assert sink.got[0].payload == {"retry_after": master.retry_after}
 
 
 def test_sketch_broadcast_is_throttled():

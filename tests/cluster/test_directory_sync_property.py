@@ -1,0 +1,85 @@
+"""Property: peer directories mirror the lead's state field-for-field.
+
+Lead failover is only as good as the mirror it promotes: a peer whose
+``DIRECTORY_SYNC`` tail diverged from the lead's latest broadcast would
+re-broadcast a wrong world under its new term.  Hypothesis drives an
+arbitrary interleaving of membership changes (agent joins and leaves)
+and edge-delta ingests against a three-directory cluster, then demands
+every live peer's mirrored :class:`DirectoryState` equal the lead's —
+version, term, epoch, membership, weights, split set, and the count-min
+sketch bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterConfig, ElGACluster
+from repro.graph.stream import EdgeBatch
+
+pytestmark = pytest.mark.ctrlplane
+
+# One op per draw: agent join, agent leave, or a small random edge batch
+# (mixed insertions; ids beyond the seed graph grow the vertex set).
+ops = st.lists(
+    st.one_of(
+        st.just(("join",)),
+        st.just(("leave",)),
+        st.tuples(
+            st.just("delta"),
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=40),
+                    st.integers(min_value=0, max_value=40),
+                ),
+                min_size=1,
+                max_size=12,
+            ),
+        ),
+    ),
+    max_size=6,
+)
+
+
+def assert_states_mirrored(cluster) -> None:
+    lead = cluster.lead
+    for peer in cluster.directories:
+        if peer is lead or not cluster.network.is_attached(peer.address):
+            continue
+        mirror = peer.state
+        assert mirror.version == lead.state.version
+        assert mirror.term == lead.state.term
+        assert mirror.batch_id == lead.state.batch_id
+        assert mirror.epoch == lead.state.epoch
+        assert mirror.agents == lead.state.agents
+        assert mirror.weights == lead.state.weights
+        assert mirror.split_vertices == lead.state.split_vertices
+        assert np.array_equal(mirror.sketch.table, lead.state.sketch.table)
+        assert peer.result_versions == lead.result_versions
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1), plan=ops)
+def test_peer_mirror_equals_lead_after_any_op_sequence(seed, plan):
+    cluster = ElGACluster(
+        ClusterConfig(nodes=2, agents_per_node=2, seed=seed % 1000, n_directories=3)
+    )
+    cluster.ingest(EdgeBatch.insertions([0, 1, 2, 3], [1, 2, 3, 0]))
+    for op in plan:
+        if op[0] == "join":
+            cluster.add_agent()
+        elif op[0] == "leave":
+            if len(cluster.agents) > 2:
+                cluster.remove_agent(max(cluster.agents))
+        else:
+            us = [u for u, v in op[1] if u != v]
+            vs = [v for u, v in op[1] if u != v]
+            if us:
+                cluster.ingest(EdgeBatch.insertions(us, vs))
+        cluster.settle()
+        assert_states_mirrored(cluster)

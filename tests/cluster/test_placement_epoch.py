@@ -19,7 +19,8 @@ def test_broadcast_carries_epoch():
     for agent in elga.cluster.agents.values():
         assert agent.dstate is not None
         assert agent.dstate.epoch is not None
-        membership, sketch_v, n_split = agent.dstate.epoch
+        term, membership, sketch_v, n_split = agent.dstate.epoch
+        assert term == 0  # no election has happened
         assert membership >= len(elga.cluster.agents)
         assert n_split == len(agent.dstate.split_vertices)
 

@@ -57,6 +57,12 @@ def test_engine_exposition_end_to_end(traced_run):
     assert "elga_net_messages_total" in text
     assert 'elga_net_messages_by_type_total{type="VERTEX_MSG"}' in text
     assert 'elga_charged_seconds_total{entity="agent-0"}' in text
+    # Control-plane fault-tolerance counters are always exposed (zero in
+    # a healthy run), so failover dashboards need no conditional panels.
+    assert "elga_net_lead_elections_total 0" in text
+    assert "elga_net_stale_term_drops_total 0" in text
+    assert "# TYPE elga_control_term gauge" in text
+    assert "elga_control_term 0" in text
     # Every line is either a comment or "name[{labels}] value".
     for line in text.splitlines():
         assert line.startswith("#") or " " in line
