@@ -1,0 +1,341 @@
+"""Kernel acceleration benchmark — C backend vs the numpy reference.
+
+Three layers, matching the raw-speed push:
+
+* **Microbenches** — the three hot kernels (placement hash, canonical
+  ``combine_pairs``, PageRank fold + apply) timed head-to-head against
+  the pure-numpy reference on realistic RMAT-derived batches.  Results
+  must be *bit-identical* between backends (the reference path is the
+  determinism oracle), and the full run gates a >= 5x wall-clock
+  speedup per kernel.
+* **Million-edge end-to-end** — a scale-17 RMAT (~10^6 edges) ingested
+  into the cluster and run through PageRank, wall-clock and simulated
+  seconds both reported.  This is the "routine" scale the storage
+  refactor + kernels buy; it runs in CI.
+* **Scenario rows** — k-core, label propagation, and count-sketch
+  triangle counting at mid scale, with the sketch estimate checked
+  against the exact scipy oracle.
+
+Results land in ``BENCH_kernels.json``.  ``--smoke`` runs only the
+microbenches at reduced size and asserts a >= 3x speedup per kernel —
+the CI regression gate.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:
+    from benchmarks.common import timed_run
+except ModuleNotFoundError:  # script mode: sys.path[0] is benchmarks/
+    from common import timed_run
+from repro import kernels
+from repro.bench import Table, print_experiment_header
+from repro.core import ElGA, PageRank
+from repro.core.algorithms import KCore, LabelPropagation
+from repro.gen.rmat import rmat_graph
+from repro.kernels import reference
+from repro.sketch.triangles import triangle_count_exact, triangle_count_sketch
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+SEED = 5
+# Microbench batch sizes: full mode exercises the million-row regime
+# the cluster's hot loops see at scale 17; smoke keeps CI fast.
+MICRO_ROWS = 1 << 21
+SMOKE_ROWS = 1 << 19
+MICRO_REPEATS = 5
+# Gates: the committed full run must clear 5x per kernel; the CI smoke
+# run (noisier shared runners, smaller batches) gates at 3x.
+FULL_BAR = 5.0
+SMOKE_BAR = 3.0
+
+E2E_SCALE = 17
+E2E_EDGE_FACTOR = 8
+E2E_PR_ITERS = 3
+SCENARIO_SCALE = 13
+TRIANGLE_SCALE = 12
+
+
+def _require_backend() -> None:
+    if not kernels.available():
+        raise SystemExit(
+            "C kernel backend unavailable on this host "
+            "(no compiler?) — the kernels bench cannot run"
+        )
+
+
+def _best_of(fn, repeats: int = MICRO_REPEATS) -> float:
+    """Best wall-clock of ``repeats`` calls, GC paused while timed."""
+    best = float("inf")
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+    finally:
+        gc.enable()
+    return best
+
+
+def _pair_workload(rows: int) -> tuple:
+    """(dst, val) batches shaped like a scale-17 scatter: heavy-tailed
+    destinations, float64 message values."""
+    rng = np.random.default_rng(SEED)
+    us, vs, n = rmat_graph(14, edge_factor=4, seed=SEED)
+    dst = vs[rng.integers(0, len(vs), size=rows)].astype(np.int64)
+    val = rng.standard_normal(rows)
+    ids = np.unique(dst)
+    return dst, val, ids
+
+
+def micro_hash(rows: int) -> dict:
+    rng = np.random.default_rng(SEED)
+    keys = rng.integers(0, 1 << 63, size=rows, dtype=np.uint64)
+    ref = reference.wang64_u64(keys)
+    acc = kernels.c_wang64_u64(keys)
+    assert np.array_equal(ref, acc), "hash backends diverged"
+    t_ref = _best_of(lambda: reference.wang64_u64(keys))
+    t_acc = _best_of(lambda: kernels.c_wang64_u64(keys))
+    return {
+        "rows": rows,
+        "ref_seconds": t_ref,
+        "accel_seconds": t_acc,
+        "speedup": t_ref / t_acc,
+        "bit_identical": True,
+    }
+
+
+def micro_combine(rows: int) -> dict:
+    dst, val, _ = _pair_workload(rows)
+    ref = reference.combine_pairs(dst, val, np.add, 0.0)
+    acc = kernels.c_combine_pairs(dst, val, np.add, 0.0)
+    assert np.array_equal(ref[0], acc[0]) and np.array_equal(ref[1], acc[1]), (
+        "combine_pairs backends diverged"
+    )
+    t_ref = _best_of(lambda: reference.combine_pairs(dst, val, np.add, 0.0))
+    t_acc = _best_of(lambda: kernels.c_combine_pairs(dst, val, np.add, 0.0))
+    return {
+        "rows": rows,
+        "ref_seconds": t_ref,
+        "accel_seconds": t_acc,
+        "speedup": t_ref / t_acc,
+        "bit_identical": True,
+    }
+
+
+def micro_fold(rows: int) -> dict:
+    dst, val, ids = _pair_workload(rows)
+
+    def run_ref():
+        accum = np.zeros(len(ids))
+        got = np.zeros(len(ids), dtype=bool)
+        reference.fold_pairs(accum, got, ids, dst, val, np.add)
+        return accum, got
+
+    def run_acc():
+        accum = np.zeros(len(ids))
+        got = np.zeros(len(ids), dtype=bool)
+        kernels.c_fold_pairs(accum, got, ids, dst, val, np.add)
+        return accum, got
+
+    ra, rg = run_ref()
+    aa, ag = run_acc()
+    assert np.array_equal(ra, aa) and np.array_equal(rg, ag), (
+        "fold_pairs backends diverged"
+    )
+    t_ref = _best_of(run_ref)
+    t_acc = _best_of(run_acc)
+    return {
+        "rows": rows,
+        "hosted_ids": len(ids),
+        "ref_seconds": t_ref,
+        "accel_seconds": t_acc,
+        "speedup": t_ref / t_acc,
+        "bit_identical": True,
+    }
+
+
+MICROS = {"wang64": micro_hash, "combine_pairs": micro_combine, "pagerank_fold": micro_fold}
+
+
+def run_micros(rows: int) -> dict:
+    return {name: fn(rows) for name, fn in MICROS.items()}
+
+
+def _build_engine(us, vs, seed=SEED, threshold=4096) -> ElGA:
+    elga = ElGA(
+        nodes=2,
+        agents_per_node=2,
+        seed=seed,
+        replication_threshold=threshold,
+        keep_reference=False,
+    )
+    elga.ingest_edges(us, vs, n_streamers=4)
+    return elga
+
+
+def run_end_to_end() -> dict:
+    """Scale-17 RMAT (~10^6 edges) through ingest + PageRank, run once
+    accelerated and once on the reference path; the two runs must agree
+    bit for bit (the determinism-oracle contract, trace-diff clean)."""
+    us, vs, n = rmat_graph(E2E_SCALE, edge_factor=E2E_EDGE_FACTOR, seed=SEED)
+    runs = {}
+    values = {}
+    for label, flag in (("accel", True), ("reference", False)):
+        kernels.set_enabled(flag)
+        try:
+            start = time.perf_counter()
+            engine = _build_engine(us, vs)
+            ingest_wall = time.perf_counter() - start
+            result, pr_wall = timed_run(
+                engine, PageRank(max_iters=E2E_PR_ITERS, tol=1e-15)
+            )
+        finally:
+            kernels.set_enabled(False)
+        runs[label] = {
+            "backend": "c" if flag else "numpy",
+            "ingest_wall_seconds": ingest_wall,
+            "pagerank_wall_seconds": pr_wall,
+            "pagerank_sim_seconds": result.sim_seconds,
+            "steps": result.steps,
+            "checksum": float(sum(result.values.values())),
+        }
+        values[label] = result.values
+    bit_identical = values["accel"] == values["reference"]
+    assert bit_identical, "accelerated scale-17 run diverged from reference"
+    return {
+        "scale": E2E_SCALE,
+        "n_vertices": n,
+        "n_edges": int(len(us)),
+        "pr_iters": E2E_PR_ITERS,
+        "bit_identical": bit_identical,
+        **runs,
+    }
+
+
+def run_scenarios() -> dict:
+    """k-core / LPA / triangles riding the new scale."""
+    us, vs, n = rmat_graph(SCENARIO_SCALE, edge_factor=8, seed=SEED)
+    out: dict = {"scale": SCENARIO_SCALE, "n_vertices": n, "n_edges": int(len(us))}
+
+    engine = _build_engine(us, vs)
+    kcore_res, kcore_wall = timed_run(engine, KCore(4))
+    out["kcore4"] = {
+        "wall_seconds": kcore_wall,
+        "sim_seconds": kcore_res.sim_seconds,
+        "steps": kcore_res.steps,
+        "in_core": int(sum(kcore_res.values.values())),
+    }
+
+    engine = _build_engine(us, vs)
+    lpa = LabelPropagation(max_iters=20)
+    lpa_res, lpa_wall = timed_run(engine, lpa)
+    labels = lpa.labels(np.fromiter(lpa_res.values.values(), dtype=np.float64))
+    out["lpa"] = {
+        "wall_seconds": lpa_wall,
+        "sim_seconds": lpa_res.sim_seconds,
+        "steps": lpa_res.steps,
+        "communities": int(len(np.unique(labels))),
+    }
+
+    tus, tvs, _ = rmat_graph(TRIANGLE_SCALE, edge_factor=8, seed=SEED)
+    start = time.perf_counter()
+    exact = triangle_count_exact(tus, tvs)
+    exact_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    est = triangle_count_sketch(tus, tvs, width=256, seed=SEED)
+    sketch_wall = time.perf_counter() - start
+    out["triangles"] = {
+        "scale": TRIANGLE_SCALE,
+        "exact": int(exact),
+        "sketch_estimate": est,
+        "relative_error": abs(est - exact) / max(exact, 1),
+        "exact_wall_seconds": exact_wall,
+        "sketch_wall_seconds": sketch_wall,
+    }
+    return out
+
+
+def run_experiment(smoke: bool = False) -> dict:
+    _require_backend()
+    rows = SMOKE_ROWS if smoke else MICRO_ROWS
+    payload: dict = {
+        "micro_rows": rows,
+        "micro": run_micros(rows),
+    }
+    if not smoke:
+        payload["end_to_end"] = run_end_to_end()
+        payload["scenarios"] = run_scenarios()
+        RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def show(payload: dict) -> None:
+    print_experiment_header(
+        "Kernel acceleration",
+        "C backend vs numpy reference (bit-identical by construction)",
+    )
+    table = Table(["kernel", "rows", "ref ms", "accel ms", "speedup"])
+    for name, cell in payload["micro"].items():
+        table.add_row(
+            name,
+            cell["rows"],
+            1e3 * cell["ref_seconds"],
+            1e3 * cell["accel_seconds"],
+            cell["speedup"],
+        )
+    table.show()
+    e2e = payload.get("end_to_end")
+    if e2e:
+        acc = e2e["accel"]
+        print(
+            f"[e2e] scale-{e2e['scale']} RMAT: {e2e['n_edges']:,} edges — "
+            f"ingest {acc['ingest_wall_seconds']:.1f}s wall, "
+            f"pagerank x{e2e['pr_iters']} {acc['pagerank_wall_seconds']:.1f}s wall "
+            f"/ {acc['pagerank_sim_seconds']:.3f}s sim; "
+            f"accel == reference bit-identical: {e2e['bit_identical']}"
+        )
+    sc = payload.get("scenarios")
+    if sc:
+        print(
+            f"[scenarios] scale-{sc['scale']}: "
+            f"kcore4 {sc['kcore4']['wall_seconds']:.1f}s wall "
+            f"({sc['kcore4']['in_core']} in core), "
+            f"lpa {sc['lpa']['wall_seconds']:.1f}s wall "
+            f"({sc['lpa']['communities']} communities), "
+            f"triangles sketch err {sc['triangles']['relative_error']:.3f}"
+        )
+    if RESULT_PATH.exists():
+        print(f"[written] {RESULT_PATH}")
+
+
+def _assert_bar(payload: dict, bar: float) -> None:
+    for name, cell in payload["micro"].items():
+        assert cell["bit_identical"], f"{name}: backends diverged"
+        assert cell["speedup"] >= bar, (
+            f"{name}: speedup {cell['speedup']:.2f}x below the {bar}x gate"
+        )
+
+
+def test_kernel_speedups():
+    payload = run_experiment()
+    show(payload)
+    _assert_bar(payload, FULL_BAR)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv[1:]
+    payload = run_experiment(smoke=smoke)
+    show(payload)
+    _assert_bar(payload, SMOKE_BAR if smoke else FULL_BAR)
+    if smoke:
+        print(f"[smoke] ok: >={SMOKE_BAR}x on all three kernels")

@@ -10,6 +10,8 @@ maps them back to the paper's numbers.
 
 from __future__ import annotations
 
+import gc
+import time
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -54,6 +56,25 @@ def build_engine(
     )
     elga.ingest_edges(us, vs, n_streamers=min(4, nodes * 2))
     return elga
+
+
+def timed_run(engine: ElGA, program, **kw) -> Tuple[RunResult, float]:
+    """Run a program and report ``(result, wall_seconds)``.
+
+    Simulated seconds measure the modeled system; wall-clock measures
+    this reproduction's own raw speed.  Benches publish both columns —
+    the kernels push is judged on the second.  GC is paused while timed
+    so the measurement isn't a collection artifact.
+    """
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        result = engine.run(program, **kw)
+        wall = time.perf_counter() - start
+    finally:
+        gc.enable()
+    return result, wall
 
 
 def elga_pr_iter_seconds(

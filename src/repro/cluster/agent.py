@@ -38,9 +38,20 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro import kernels
 from repro.cluster.config import ClusterConfig
 from repro.cluster.dataplane import RoundBuffers, combine_pairs
 from repro.cluster.directory import DirectoryState
+from repro.cluster.edgestore import (
+    DirtyLog,
+    EdgeStore,
+    IdSet,
+    ValueColumn,
+    as_column,
+    as_dirty_log,
+    as_edge_store,
+    as_idset,
+)
 from repro.cluster.metrics import AgentMetrics
 from repro.cluster.recovery import (
     Checkpoint,
@@ -60,6 +71,30 @@ from repro.partition.placer import EdgePlacer
 from repro.hashing.ring import ConsistentHashRing
 from repro.sim.entity import Entity
 from repro.sketch.countmin import CountMinSketch
+
+
+def _ids_vals(obj) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalize migrated vertex-state payloads — an (ids, values)
+    array pair, or a legacy ``{vertex: value}`` dict — to arrays."""
+    if isinstance(obj, tuple):
+        ids, vals = obj
+        return np.asarray(ids, dtype=np.int64), np.asarray(vals, dtype=np.float64)
+    if not obj:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    ids = np.fromiter(obj.keys(), dtype=np.int64, count=len(obj))
+    vals = np.fromiter(obj.values(), dtype=np.float64, count=len(obj))
+    return ids, vals
+
+
+def _ids_arr(obj) -> np.ndarray:
+    """Normalize a migrated activation payload — an id array, or a
+    legacy list/set of vertex ids — to an int64 array."""
+    if isinstance(obj, np.ndarray):
+        return obj.astype(np.int64, copy=False)
+    obj = list(obj)
+    if not obj:
+        return np.empty(0, dtype=np.int64)
+    return np.asarray(obj, dtype=np.int64)
 
 
 class _VertexTable:
@@ -223,26 +258,26 @@ class Agent(Entity):
         self.perf = PerfCounters()
 
         # Edge stores: out-copy (keyed by source) and in-copy (keyed by
-        # destination) adjacency sets — "flat hash maps with vectors".
-        self.out_store: Dict[int, Set[int]] = {}
-        self.in_store: Dict[int, Set[int]] = {}
-        self.n_out_edges = 0
-        self.n_in_edges = 0
+        # destination) adjacency, as lexsorted parallel arrays — the
+        # paper's "flat hash maps with vectors", but array-native so
+        # batch ingest, migration scans, and table builds vectorize.
+        self.out_store = EdgeStore()
+        self.in_store = EdgeStore()
 
         # Algorithm state persisted across runs (locally persistent
-        # model): program name -> vertex -> (value, active).
-        self.persistent: Dict[str, Dict[int, float]] = {}
-        self.persistent_active: Dict[str, Set[int]] = {}
+        # model): program name -> id-indexed value/activation columns.
+        self.persistent: Dict[str, ValueColumn] = {}
+        self.persistent_active: Dict[str, IdSet] = {}
         # Delta-message programs additionally persist each vertex's
         # last-sent scatter value: a suspended delta run must resume
         # with the exact baseline, or unsent residuals are lost.
-        self.persistent_scatter: Dict[str, Dict[int, float]] = {}
+        self.persistent_scatter: Dict[str, ValueColumn] = {}
         # Dirty mutation rows applied since each program last consumed
-        # them — the activation seed of a delta run.  Ordered
-        # (role, key, other, action) with per-program watermarks;
+        # them — the activation seed of a delta run.  Array batches of
+        # (role, keys, others, actions) with per-program row watermarks;
         # ``finalize_run(persist=True)`` advances the finished program's
         # watermark and trims the prefix every known program consumed.
-        self._dirty_log: List[Tuple[str, int, int, int]] = []
+        self._dirty_log = DirtyLog()
         self._dirty_seen: Dict[str, int] = {}
 
         # Directory view.  ``placer`` is the persistent PlacementCache,
@@ -449,14 +484,19 @@ class Agent(Entity):
                 self._on_edge_update(payload, count_in_sketch)
 
     def _recheck_splits(self) -> None:
-        hosted = np.fromiter(
-            sorted(set(self.out_store) | set(self.in_store)), dtype=np.int64
-        )
+        hosted = np.union1d(self.out_store.unique_keys, self.in_store.unique_keys)
         self._check_split_threshold(hosted)
 
-    def _store_arrays(self, store: Dict[int, Set[int]]) -> Tuple[np.ndarray, np.ndarray]:
-        """Flatten an adjacency store to (keys, others) arrays, keys
-        ascending and values ascending within each key."""
+    def _store_arrays(self, store) -> Tuple[np.ndarray, np.ndarray]:
+        """(keys, others) arrays of an adjacency store, keys ascending
+        and values ascending within each key.
+
+        For an :class:`EdgeStore` this is a zero-copy view of the
+        storage itself (the store keeps exactly this layout, versioned
+        by its mutation counter); the dict path flattens legacy
+        dict-of-sets stores, for tests and WAL-replay scaffolding."""
+        if isinstance(store, EdgeStore):
+            return store.arrays()
         if not store:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
         keys = np.fromiter(store.keys(), dtype=np.int64, count=len(store))
@@ -500,23 +540,19 @@ class Agent(Entity):
             if not wrong.any():
                 continue
             moving_owner = owners[wrong]
-            moving_u = us[wrong]
-            moving_v = vs[wrong]
+            moving_u = us[wrong].copy()
+            moving_v = vs[wrong].copy()
+            wrong_k = keys[wrong].copy()
+            wrong_o = others[wrong].copy()
             self.charge(costs.elga_migrate_op * int(wrong.sum()))
             self.metrics.edges_migrated += int(wrong.sum())
-            # Remove locally.
-            for key, other in zip(keys[wrong], others[wrong]):
-                store[int(key)].discard(int(other))
+            # Remove locally, one vectorized pass over the store.
+            store.remove_pairs(wrong_k, wrong_o)
             self._wal_log(
                 role,
-                [(int(k), int(o), -1) for k, o in zip(keys[wrong], others[wrong])],
+                (wrong_k, wrong_o, np.full(len(wrong_k), -1, dtype=np.int64)),
                 sketched=False,
             )
-            removed = int(wrong.sum())
-            if role == "out":
-                self.n_out_edges -= removed
-            else:
-                self.n_in_edges -= removed
             # Group by destination agent and ship, with vertex state.
             order = np.argsort(moving_owner, kind="stable")
             moving_owner = moving_owner[order]
@@ -533,21 +569,19 @@ class Agent(Entity):
                 # the opposite endpoints may be stale leftovers from an
                 # earlier placement epoch and must not travel.
                 owned = np.unique(moving_u[s:e] if role == "out" else moving_v[s:e])
+                # Vectorized state join: the owned ids' rows of each
+                # program's columns, shipped as (ids, values) arrays.
                 values = {
-                    prog: {
-                        int(v): vals[int(v)] for v in owned if int(v) in vals
-                    }
-                    for prog, vals in self.persistent.items()
+                    prog: as_column(col).select(owned)
+                    for prog, col in self.persistent.items()
                 }
                 active = {
-                    prog: [int(v) for v in owned if int(v) in act]
-                    for prog, act in self.persistent_active.items()
+                    prog: owned[as_idset(aset).isin(owned)]
+                    for prog, aset in self.persistent_active.items()
                 }
                 scatter = {
-                    prog: {
-                        int(v): vals[int(v)] for v in owned if int(v) in vals
-                    }
-                    for prog, vals in self.persistent_scatter.items()
+                    prog: as_column(col).select(owned)
+                    for prog, col in self.persistent_scatter.items()
                 }
                 payload = {
                     "role": role,
@@ -574,18 +608,21 @@ class Agent(Entity):
         Keeps per-agent memory at O((n + m)/P) (Goal 2) and prevents
         stale values from ever being re-shipped or re-collected.
         """
-        hosted = set(self.out_store) | set(self.in_store)
-        for store in self.persistent.values():
-            for vertex in [v for v in store if v not in hosted]:
-                del store[vertex]
-        for act in self.persistent_active.values():
-            act &= hosted
-        for store in self.persistent_scatter.values():
-            for vertex in [v for v in store if v not in hosted]:
-                del store[vertex]
+        hosted = np.union1d(self.out_store.unique_keys, self.in_store.unique_keys)
+        for name, col in list(self.persistent.items()):
+            col = self.persistent[name] = as_column(col)
+            col.restrict(hosted)
+        for name, aset in list(self.persistent_active.items()):
+            aset = self.persistent_active[name] = as_idset(aset)
+            aset.restrict(hosted)
+        for name, col in list(self.persistent_scatter.items()):
+            col = self.persistent_scatter[name] = as_column(col)
+            col.restrict(hosted)
 
     def _prune_stores(self) -> None:
         for store in (self.out_store, self.in_store):
+            if isinstance(store, EdgeStore):
+                continue  # never keeps empty adjacency keys
             empty = [k for k, s in store.items() if not s]
             for k in empty:
                 del store[k]
@@ -747,17 +784,13 @@ class Agent(Entity):
                     self._migration_acks_pending += 1
                 self.push.push(self._agent_address(int(fwd_owner[s])), ptype, fwd)
 
-        # Apply local changes.
+        # Apply local changes (one vectorized batch over the store).
         store = self.out_store if role == "out" else self.in_store
         rows = np.nonzero(mine)[0]
-        applied_rows = self._apply_rows(store, own[rows], other[rows], actions[rows])
-        n_applied = len(applied_rows)
-        inserts = [k for k, _, a in applied_rows if a > 0]
-        removes = [k for k, _, a in applied_rows if a < 0]
-        if role == "out":
-            self.n_out_edges += len(inserts) - len(removes)
-        else:
-            self.n_in_edges += len(inserts) - len(removes)
+        app_k, app_o, app_a = self._apply_rows(store, own[rows], other[rows], actions[rows])
+        n_applied = len(app_k)
+        inserts = app_k[app_a > 0]
+        removes = app_k[app_a < 0]
         self.charge(costs.elga_ingest_op * max(n_applied, 1))
         self.metrics.updates_applied += n_applied
 
@@ -766,49 +799,59 @@ class Agent(Entity):
             # these rows seed the activation frontier of the next delta
             # run (and survive crashes — they are re-derived from the
             # WAL's sketched suffix at restore).
-            self._dirty_log.extend((role, k, o, a) for k, o, a in applied_rows)
-            if inserts:
-                self.sketch_delta.add(np.asarray(inserts, dtype=np.int64))
-            if removes:
-                self.sketch_delta.remove(np.asarray(removes, dtype=np.int64))
+            self._dirty_log.append_batch(role, app_k, app_o, app_a)
+            if len(inserts):
+                self.sketch_delta.add(inserts)
+            if len(removes):
+                self.sketch_delta.remove(removes)
             self._delta_count += n_applied
-            self._check_split_threshold(np.unique(np.asarray(inserts, dtype=np.int64)))
+            self._check_split_threshold(np.unique(inserts))
             if self._delta_count >= self.config.sketch_flush_every:
                 self.flush_sketch()
 
         # Migrated vertex state rides along with the edges — but only
         # the final owner keeps it (a forwarding hop that merged values
         # for edges passing through would hoard stale state).
-        wal_values: Optional[Dict[str, Dict[int, float]]] = None
-        wal_active: Optional[Dict[str, Set[int]]] = None
-        wal_scatter: Optional[Dict[str, Dict[int, float]]] = None
+        wal_values: Optional[Dict[str, Tuple[np.ndarray, np.ndarray]]] = None
+        wal_active: Optional[Dict[str, np.ndarray]] = None
+        wal_scatter: Optional[Dict[str, Tuple[np.ndarray, np.ndarray]]] = None
         if len(rows):
-            kept = set(map(int, np.unique(own[rows])))
-            for prog, values in payload.get("values", {}).items():
-                incoming = {int(k): v for k, v in values.items() if int(k) in kept}
-                if incoming:
-                    self.persistent.setdefault(prog, {}).update(incoming)
+            kept = np.unique(own[rows])
+            for prog, incoming in payload.get("values", {}).items():
+                ids, vals = _ids_vals(incoming)
+                m = np.isin(ids, kept)
+                if m.any():
+                    col = self.persistent[prog] = as_column(self.persistent.get(prog))
+                    col.set_many(ids[m], vals[m])
                     wal_values = wal_values or {}
-                    wal_values[prog] = incoming
+                    wal_values[prog] = (ids[m], vals[m])
             for prog, actives in payload.get("active", {}).items():
-                incoming_act = {int(v) for v in actives if int(v) in kept}
-                if incoming_act:
-                    self.persistent_active.setdefault(prog, set()).update(incoming_act)
+                ids = _ids_arr(actives)
+                ids = ids[np.isin(ids, kept)]
+                if len(ids):
+                    aset = self.persistent_active[prog] = as_idset(
+                        self.persistent_active.get(prog)
+                    )
+                    aset.update(ids)
                     wal_active = wal_active or {}
-                    wal_active[prog] = incoming_act
-            for prog, svals in payload.get("scatter", {}).items():
-                incoming_s = {int(k): v for k, v in svals.items() if int(k) in kept}
-                if incoming_s:
-                    self.persistent_scatter.setdefault(prog, {}).update(incoming_s)
+                    wal_active[prog] = ids
+            for prog, incoming in payload.get("scatter", {}).items():
+                ids, vals = _ids_vals(incoming)
+                m = np.isin(ids, kept)
+                if m.any():
+                    col = self.persistent_scatter[prog] = as_column(
+                        self.persistent_scatter.get(prog)
+                    )
+                    col.set_many(ids[m], vals[m])
                     wal_scatter = wal_scatter or {}
-                    wal_scatter[prog] = incoming_s
+                    wal_scatter[prog] = (ids[m], vals[m])
 
         # Durability: every applied mutation — and any migrated-in
         # vertex state — hits the write-ahead log before this handler
         # returns, so a replacement can reconstruct the shard exactly.
         self._wal_log(
             role,
-            applied_rows,
+            (app_k, app_o, app_a),
             sketched=count_in_sketch,
             values=wal_values,
             active=wal_active,
@@ -830,21 +873,27 @@ class Agent(Entity):
 
     def _apply_rows(
         self,
-        store: Dict[int, Set[int]],
+        store,
         keys: np.ndarray,
         vals: np.ndarray,
         actions: np.ndarray,
-    ) -> List[Tuple[int, int, int]]:
+    ):
         """Apply one batch of locally-owned edge mutations to ``store``.
 
-        Bulk path: rows group by (action, key) and apply as per-key set
-        operations, returning the *effective* mutations (duplicates and
-        no-ops drop out, exactly as the row-by-row walk would).  The
-        applied rows come back in deterministic (inserts-then-removes,
-        key, value) order; WAL replay is order-insensitive within a
-        batch unless the same (key, value) pair is both inserted and
-        removed, which is the one case routed to the sequential path.
+        With an :class:`EdgeStore` the whole batch applies array-native
+        (dedup, membership, and merge are all vectorized) and the
+        *effective* rows come back as ``(keys, others, actions)``
+        arrays in deterministic (inserts-then-removes, key, value)
+        order — duplicates and no-ops drop out exactly as a row-by-row
+        walk would.  A batch that both inserts and removes the same
+        pair is the one case routed through a strict-order sequential
+        path.  The legacy dict-of-sets path (tests, replay scaffolding)
+        returns a list of ``(key, other, action)`` tuples with the same
+        semantics.
         """
+        if isinstance(store, EdgeStore):
+            self.perf.add("ingest_rows_vectorized", len(keys))
+            return store.apply(keys, vals, actions)
         if len(keys) == 0:
             return []
         ins = actions > 0
@@ -1067,7 +1116,7 @@ class Agent(Entity):
     # ------------------------------------------------------------------
 
     def _hosted_vertex_ids(self) -> np.ndarray:
-        ids = set(self.out_store) | set(self.in_store)
+        ids = np.union1d(self.out_store.unique_keys, self.in_store.unique_keys)
         # A replica of a split vertex participates in replica sync even
         # if the second-level hash assigned it no edges.
         if self.dstate is not None and self.dstate.split_vertices:
@@ -1080,8 +1129,8 @@ class Agent(Entity):
             k, reps = self.placer.replica_matrix(split)
             self.perf.add("hosted_split_vectorized_rows", int(split.size))
             mine = (k > 1) & (reps == self.agent_id).any(axis=1)
-            ids.update(int(v) for v in split[mine])
-        return np.array(sorted(ids), dtype=np.int64)
+            ids = np.union1d(ids, split[mine])
+        return ids.astype(np.int64, copy=False)
 
     def _build_table(self, run: _RunState, resume: bool) -> None:
         costs = self.config.costs
@@ -1128,18 +1177,11 @@ class Agent(Entity):
         # Values: persisted (incremental/resume) or fresh.  Persisted
         # lookups are a searchsorted join against the sorted key array,
         # not a per-vertex dict probe.
-        persisted = self.persistent.get(program.name, {})
+        persisted = as_column(self.persistent.get(program.name))
         if len(ids):
             if (spec.incremental or resume) and persisted:
-                pkeys = np.fromiter(persisted.keys(), dtype=np.int64, count=len(persisted))
-                pvals = np.fromiter(
-                    persisted.values(), dtype=np.float64, count=len(persisted)
-                )
-                order = np.argsort(pkeys, kind="stable")
-                pkeys, pvals = pkeys[order], pvals[order]
-                ppos = np.minimum(np.searchsorted(pkeys, ids), len(pkeys) - 1)
-                found = pkeys[ppos] == ids
-                table.values = np.where(found, pvals[ppos], np.nan)
+                pvals, found = persisted.lookup(ids)
+                table.values = np.where(found, pvals, np.nan)
                 fresh = np.isnan(table.values)
                 if fresh.any():
                     table.values[fresh] = program.initial_value(ids[fresh], run.ctx)
@@ -1153,18 +1195,18 @@ class Agent(Entity):
         # from the mutations and from any residual still owed against
         # those baselines.
         if run.is_delta and not resume:
-            run.delta_pending = self._dirty_arrays(self._pending_dirty(program.name))
+            run.delta_pending = self._dirty_log.suffix(
+                self._dirty_seen.get(program.name, 0)
+            )
         if run.delta_msgs and len(ids):
             self._init_last_sent(run, table, resume)
 
         # Activation.
         if len(ids):
             if resume:
-                act = self.persistent_active.get(program.name, set())
+                act = as_idset(self.persistent_active.get(program.name))
                 if act:
-                    act_arr = np.fromiter(act, dtype=np.int64, count=len(act))
-                    act_arr.sort()
-                    table.active = np.isin(ids, act_arr, assume_unique=True)
+                    table.active = act.isin(ids)
                 else:
                     table.active = np.zeros(len(ids), dtype=bool)
             elif spec.incremental:
@@ -1245,21 +1287,6 @@ class Agent(Entity):
     # delta runs: frontier seeding, residual baselines, structural seeds
     # ------------------------------------------------------------------
 
-    def _pending_dirty(self, name: str) -> List[Tuple[str, int, int, int]]:
-        """Dirty mutation rows applied since ``name`` last consumed them."""
-        return self._dirty_log[self._dirty_seen.get(name, 0):]
-
-    @staticmethod
-    def _dirty_arrays(rows) -> Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]]:
-        """Split dirty rows by store role into (keys, others, actions)."""
-        out: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
-        for role in ("out", "in"):
-            sel = [(k, o, a) for r, k, o, a in rows if r == role]
-            if sel:
-                arr = np.asarray(sel, dtype=np.int64)
-                out[role] = (arr[:, 0], arr[:, 1], arr[:, 2])
-        return out
-
     def _delta_activation(
         self, run: _RunState, table: _VertexTable, activate
     ) -> np.ndarray:
@@ -1319,17 +1346,10 @@ class Agent(Entity):
         table.last_sent = np.full(n, np.nan)
         normal = table.split_k == 1
         if resume:
-            sstore = self.persistent_scatter.get(program.name, {})
+            sstore = as_column(self.persistent_scatter.get(program.name))
             if sstore:
-                skeys = np.fromiter(sstore.keys(), dtype=np.int64, count=len(sstore))
-                svals = np.fromiter(
-                    sstore.values(), dtype=np.float64, count=len(sstore)
-                )
-                order = np.argsort(skeys, kind="stable")
-                skeys, svals = skeys[order], svals[order]
-                spos = np.minimum(np.searchsorted(skeys, table.ids), len(skeys) - 1)
-                found = skeys[spos] == table.ids
-                table.last_sent = np.where(found, svals[spos], np.nan)
+                svals, found = sstore.lookup(table.ids)
+                table.last_sent = np.where(found, svals, np.nan)
             return
         base = program.scatter_values(table.values, np.maximum(table.out_deg_total, 1.0))
         table.last_sent[normal] = np.where(
@@ -1352,15 +1372,11 @@ class Agent(Entity):
                 table.values[pos], np.maximum(outdeg_old, 1.0)
             )
             table.last_sent[pos] = np.where(outdeg_old > 0, old_base, 0.0)
-        sstore = self.persistent_scatter.get(program.name, {})
+        sstore = as_column(self.persistent_scatter.get(program.name))
         if sstore:
-            skeys = np.fromiter(sstore.keys(), dtype=np.int64, count=len(sstore))
-            svals = np.fromiter(sstore.values(), dtype=np.float64, count=len(sstore))
-            order = np.argsort(skeys, kind="stable")
-            skeys, svals = skeys[order], svals[order]
-            spos = np.minimum(np.searchsorted(skeys, table.ids), len(skeys) - 1)
-            found = (skeys[spos] == table.ids) & normal
-            table.last_sent = np.where(found, svals[spos], table.last_sent)
+            svals, sfound = sstore.lookup(table.ids)
+            found = sfound & normal
+            table.last_sent = np.where(found, svals, table.last_sent)
 
     def _emit_delta_seeds(self, run: _RunState) -> None:
         """Round-0 structural correction messages of a delta run.
@@ -1380,18 +1396,10 @@ class Agent(Entity):
         keys, others, actions = pend["out"]
         program = run.program
         costs = self.config.costs
-        persisted = self.persistent.get(program.name, {})
+        persisted = as_column(self.persistent.get(program.name))
         uniq, inv = np.unique(keys, return_inverse=True)
-        vals_u = np.fromiter(
-            (persisted.get(int(u), 0.0) for u in uniq),
-            dtype=np.float64,
-            count=len(uniq),
-        )
-        outdeg_now = np.fromiter(
-            (len(self.out_store.get(int(u), ())) for u in uniq),
-            dtype=np.float64,
-            count=len(uniq),
-        )
+        vals_u, _ = persisted.lookup(uniq, default=0.0)
+        outdeg_now = self.out_store.degrees(uniq).astype(np.float64)
         net = np.zeros(len(uniq))
         np.add.at(net, inv, actions.astype(np.float64))
         outdeg_old = (outdeg_now - net)[inv]
@@ -1405,13 +1413,9 @@ class Agent(Entity):
         # from an earlier delta run it overrides the program's
         # old-degree reconstruction, exactly as _init_last_sent does —
         # seed and baseline must agree or residual accounting drifts.
-        sstore = self.persistent_scatter.get(program.name, {})
+        sstore = as_column(self.persistent_scatter.get(program.name))
         if sstore:
-            base_u = np.fromiter(
-                (sstore.get(int(u), np.nan) for u in uniq),
-                dtype=np.float64,
-                count=len(uniq),
-            )[inv]
+            base_u = sstore.lookup(uniq, default=np.nan)[0][inv]
             have = ~np.isnan(base_u)
             seed = np.where(have, actions * base_u, seed)
         live = seed != 0.0
@@ -2026,10 +2030,9 @@ class Agent(Entity):
                 dst, val = dst[hosted], val[hosted]
         if not len(dst):
             return
-        order = np.lexsort((val, dst))
-        pos = table.pos(dst[order])
-        run.program.ufunc.at(table.accum, pos, val[order])
-        table.got[pos] = True
+        kernels.fold_pairs(
+            table.accum, table.got, table.ids, dst, val, run.program.ufunc
+        )
 
     def _replay_future(self, step: int) -> None:
         run = self.run
@@ -2245,19 +2248,17 @@ class Agent(Entity):
         table = run.table
         if table is None:
             return
-        store = self.persistent.setdefault(run.program.name, {})
-        act = self.persistent_active.setdefault(run.program.name, set())
-        for v, value, active in zip(table.ids, table.values, table.active):
-            store[int(v)] = float(value)
-            if active:
-                act.add(int(v))
-            else:
-                act.discard(int(v))
+        name = run.program.name
+        store = self.persistent[name] = as_column(self.persistent.get(name))
+        act = self.persistent_active[name] = as_idset(self.persistent_active.get(name))
+        store.set_many(table.ids, table.values)
+        act.assign(table.ids, table.active)
         if run.delta_msgs and table.last_sent is not None:
-            sstore = self.persistent_scatter.setdefault(run.program.name, {})
-            for v, s in zip(table.ids, table.last_sent):
-                if not np.isnan(s):
-                    sstore[int(v)] = float(s)
+            sstore = self.persistent_scatter[name] = as_column(
+                self.persistent_scatter.get(name)
+            )
+            known = ~np.isnan(table.last_sent)
+            sstore.set_many(table.ids[known], table.last_sent[known])
         elif getattr(run.program, "delta_messages", False):
             # A full (scratch or dense) run re-converges every vertex:
             # baselines recorded by an earlier delta run no longer
@@ -2276,7 +2277,7 @@ class Agent(Entity):
         cut = min(self._dirty_seen.values())
         if cut <= 0:
             return
-        del self._dirty_log[:cut]
+        self._dirty_log.trim(cut)
         self._dirty_seen = {name: mark - cut for name, mark in self._dirty_seen.items()}
 
     def finalize_run(self, persist: bool) -> None:
@@ -2436,18 +2437,21 @@ class Agent(Entity):
     def _wal_log(
         self,
         role: str,
-        rows: List[Tuple[int, int, int]],
+        rows: Any,
         sketched: bool,
-        values: Optional[Dict[str, Dict[int, float]]] = None,
-        active: Optional[Dict[str, Set[int]]] = None,
-        scatter: Optional[Dict[str, Dict[int, float]]] = None,
+        values: Optional[Dict[str, Any]] = None,
+        active: Optional[Dict[str, Any]] = None,
+        scatter: Optional[Dict[str, Any]] = None,
     ) -> None:
-        if not rows and not values and not active and not scatter:
+        # ``rows`` is either a list of (key, other, action) tuples or a
+        # (keys, others, actions) array triple from the vectorized path.
+        n_rows = len(rows[0]) if isinstance(rows, tuple) else len(rows)
+        if not n_rows and not values and not active and not scatter:
             return
         self._recovery.wal.append(
             role, rows, sketched, values=values, active=active, scatter=scatter
         )
-        self.metrics.wal_records_logged += len(rows)
+        self.metrics.wal_records_logged += n_rows
 
     def _snapshot_prescatter(self, run: _RunState) -> None:
         """Stash this round's pre-scatter residual baselines.
@@ -2478,17 +2482,14 @@ class Agent(Entity):
         tracer = self.network.tracer
         trace_from = self.available_at() if tracer is not None else 0.0
         table = run.table
+        name = run.program.name
         persistent = copy_values(self.persistent)
         active = copy_active(self.persistent_active)
         if table is not None and len(table):
-            store = persistent.setdefault(run.program.name, {})
-            act = active.setdefault(run.program.name, set())
-            for v, value, is_active in zip(table.ids, table.values, table.active):
-                store[int(v)] = float(value)
-                if is_active:
-                    act.add(int(v))
-                else:
-                    act.discard(int(v))
+            store = persistent[name] = as_column(persistent.get(name))
+            act = active[name] = as_idset(active.get(name))
+            store.set_many(table.ids, table.values)
+            act.assign(table.ids, table.active)
         scatter = copy_values(self.persistent_scatter)
         if run.delta_msgs and table is not None and table.last_sent is not None:
             # Pre-scatter baselines: a rollback drops this round's
@@ -2500,10 +2501,9 @@ class Agent(Entity):
                 if run.prescatter_last_sent is not None
                 else table.last_sent
             )
-            sstore = scatter.setdefault(run.program.name, {})
-            for v, s in zip(table.ids, baselines):
-                if not np.isnan(s):
-                    sstore[int(v)] = float(s)
+            sstore = scatter[name] = as_column(scatter.get(name))
+            known = ~np.isnan(baselines)
+            sstore.set_many(table.ids[known], baselines[known])
         checkpoint = Checkpoint(
             out_store=copy_store(self.out_store),
             in_store=copy_store(self.in_store),
@@ -2513,7 +2513,7 @@ class Agent(Entity):
             run_id=run.spec.run_id,
             step=run.step,
             persistent_scatter=scatter,
-            dirty_log=list(self._dirty_log),
+            dirty_log=self._dirty_log.copy(),
             dirty_seen=dict(self._dirty_seen),
         )
         self._recovery.checkpoints.save(checkpoint)
@@ -2552,15 +2552,15 @@ class Agent(Entity):
                     f"{restore_checkpoint} but the durable slot lacks it"
                 )
         if base is not None:
-            self.out_store = copy_store(base.out_store)
-            self.in_store = copy_store(base.in_store)
+            self.out_store = as_edge_store(copy_store(base.out_store))
+            self.in_store = as_edge_store(copy_store(base.in_store))
             self.persistent = copy_values(base.persistent)
             self.persistent_active = copy_active(base.persistent_active)
             self.persistent_scatter = copy_values(base.persistent_scatter)
             # Dirty rows come from the *latest* base (the WAL suffix is
             # relative to it); they never change during a run, so the
             # rollback checkpoint would carry the same rows anyway.
-            self._dirty_log = list(base.dirty_log)
+            self._dirty_log = as_dirty_log(base.dirty_log).copy()
             self._dirty_seen = dict(base.dirty_seen)
             if base.sketch_delta is not None:
                 self.sketch_delta = base.sketch_delta.copy()
@@ -2595,8 +2595,6 @@ class Agent(Entity):
         # next delta run still sees its full frontier seed.
         self._dirty_log.extend(source.wal.sketched_rows())
         self.metrics.wal_records_replayed += replayed
-        self.n_out_edges = sum(len(s) for s in self.out_store.values())
-        self.n_in_edges = sum(len(s) for s in self.in_store.values())
         self._prune_stores()
         self.metrics.recoveries_participated += 1
         self.restored_from = {
@@ -2667,7 +2665,7 @@ class Agent(Entity):
         self.persistent = copy_values(checkpoint.persistent)
         self.persistent_active = copy_active(checkpoint.persistent_active)
         self.persistent_scatter = copy_values(checkpoint.persistent_scatter)
-        self._dirty_log = list(checkpoint.dirty_log)
+        self._dirty_log = as_dirty_log(checkpoint.dirty_log).copy()
         self._dirty_seen = dict(checkpoint.dirty_seen)
         # Serve the rolled-back checkpoint during the suspension: the
         # persistent store now holds exactly step-``step`` values, and
@@ -2822,12 +2820,26 @@ class Agent(Entity):
         ):
             table = self.run.table
             return {int(v): float(x) for v, x in zip(table.ids, table.values)}
-        hosted = set(self.out_store) | set(self.in_store)
-        return {
-            v: x
-            for v, x in self.persistent.get(program_name, {}).items()
-            if v in hosted
-        }
+        hosted = self._hosted_vertex_ids()
+        col = as_column(self.persistent.get(program_name))
+        ids, vals = col.select(hosted)
+        return {int(v): float(x) for v, x in zip(ids, vals)}
+
+    @property
+    def n_out_edges(self) -> int:
+        """Resident out-copy edge count (derived from the store)."""
+        store = self.out_store
+        return store.n_edges if isinstance(store, EdgeStore) else sum(
+            len(s) for s in store.values()
+        )
+
+    @property
+    def n_in_edges(self) -> int:
+        """Resident in-copy edge count (derived from the store)."""
+        store = self.in_store
+        return store.n_edges if isinstance(store, EdgeStore) else sum(
+            len(s) for s in store.values()
+        )
 
     @property
     def total_edges(self) -> int:

@@ -56,19 +56,9 @@ def combine_pairs(
     so sender-side and receive-side reduction are bit-identical.
     Returns (sorted unique dsts, folded values).
     """
-    if len(dst) == 0:
-        return dst, val
-    order = np.lexsort((val, dst))
-    d = dst[order]
-    v = val[order]
-    boundaries = np.empty(len(d), dtype=bool)
-    boundaries[0] = True
-    np.not_equal(d[1:], d[:-1], out=boundaries[1:])
-    unique_dst = d[boundaries]
-    group = np.cumsum(boundaries) - 1
-    acc = np.full(len(unique_dst), identity, dtype=np.float64)
-    ufunc.at(acc, group, v)
-    return unique_dst, acc
+    from repro import kernels
+
+    return kernels.combine_pairs(dst, val, ufunc, identity)
 
 
 def _merge_field(payloads: List[dict], key: str) -> np.ndarray:

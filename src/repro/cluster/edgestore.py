@@ -1,0 +1,769 @@
+"""Array-native shard storage: edge stores, value columns, dirty log.
+
+The agent's hot structures were dicts — ``Dict[int, Set[int]]``
+adjacency and ``Dict[int, float]`` per-program state — which cost a
+Python object per vertex on every touch.  This module replaces them
+with sorted-array equivalents whose *batch* operations are numpy
+vectorized end to end, while keeping enough of the dict surface
+(``in``, iteration, ``items``, ``==`` against plain dicts) that
+existing call sites and tests read them unchanged.
+
+* :class:`EdgeStore` — one shard role's edge copies as parallel
+  ``(keys, others)`` int64 arrays in (key asc, other asc) lexicographic
+  order.  ``arrays()`` returns zero-copy read-only views — what the
+  old ``_store_arrays`` rebuilt per call is now the storage itself,
+  and ``version`` is the mutation counter callers can key caches on.
+  ``apply`` ingests a whole mutation batch at once and reports the
+  *effective* rows (duplicates and no-ops dropped) in the same
+  deterministic inserts-then-removes, (key, other)-sorted order the
+  old per-row walk produced.
+* :class:`ValueColumn` — a ``{vertex: float}`` mapping as id-indexed
+  ndarray columns with vectorized ``lookup``/``set_many``/``select``
+  joins replacing per-vertex ``dict.get`` loops.
+* :class:`IdSet` — a ``Set[int]`` as a sorted id array.
+* :class:`DirtyLog` — the mutation dirty log as array batches with
+  row-count watermarks, so streaming ingest appends arrays instead of
+  per-edge tuples.
+
+Sorting uses signed int64 comparison throughout, so negative vertex
+ids order consistently everywhere; when both columns fit in 31 bits
+(the overwhelmingly common case) pair operations pack into a single
+int64 key, falling back to structured dtypes otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+_EMPTY_F64 = np.empty(0, dtype=np.float64)
+_PAIR_DT = np.dtype([("k", np.int64), ("o", np.int64)])
+_PACK_LIMIT = np.int64(1) << np.int64(31)
+
+
+def _as_i64(arr) -> np.ndarray:
+    return np.ascontiguousarray(np.asarray(arr), dtype=np.int64)
+
+
+def _pack_pairs(keys: np.ndarray, others: np.ndarray) -> np.ndarray:
+    """A 1-D representation of (key, other) pairs whose scalar order
+    equals (key asc, other asc): a packed int64 when both columns fit
+    in 31 unsigned bits, a structured array otherwise."""
+    if len(keys) and (
+        keys.min(initial=0) < 0
+        or others.min(initial=0) < 0
+        or keys.max(initial=0) >= _PACK_LIMIT
+        or others.max(initial=0) >= _PACK_LIMIT
+    ):
+        rec = np.empty(len(keys), dtype=_PAIR_DT)
+        rec["k"] = keys
+        rec["o"] = others
+        return rec
+    return (keys << np.int64(31)) | others
+
+
+def _ro(view: np.ndarray) -> np.ndarray:
+    view = view.view()
+    view.flags.writeable = False
+    return view
+
+
+class EdgeStore:
+    """One adjacency role's edges as lexsorted parallel arrays.
+
+    Invariants: ``keys``/``others`` are same-length int64 arrays sorted
+    by (key, other) with no duplicate pairs; a vertex with no edges has
+    no rows (matching the old dicts, which deleted emptied sets).
+    """
+
+    __slots__ = ("_keys", "_others", "_version", "_unique_keys", "_starts")
+
+    def __init__(self, keys: Optional[np.ndarray] = None, others: Optional[np.ndarray] = None):
+        self._keys = _EMPTY_I64 if keys is None else _as_i64(keys)
+        self._others = _EMPTY_I64 if others is None else _as_i64(others)
+        self._version = 0
+        self._unique_keys: Optional[np.ndarray] = None
+        self._starts: Optional[np.ndarray] = None
+
+    # -- construction / conversion -------------------------------------
+
+    @classmethod
+    def from_dict(cls, store: Dict[int, Set[int]]) -> "EdgeStore":
+        pairs = [(k, o) for k, vals in store.items() for o in vals]
+        if not pairs:
+            return cls()
+        arr = np.asarray(pairs, dtype=np.int64)
+        keys, others = arr[:, 0], arr[:, 1]
+        order = np.lexsort((others, keys))
+        return cls(keys[order], others[order])
+
+    def to_dict(self) -> Dict[int, Set[int]]:
+        out: Dict[int, Set[int]] = {}
+        for key, nbrs in self.items():
+            out[key] = set(map(int, nbrs))
+        return out
+
+    def copy(self) -> "EdgeStore":
+        return EdgeStore(self._keys.copy(), self._others.copy())
+
+    # -- array access ---------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumps on every state change, so callers
+        can key derived caches on it."""
+        return self._version
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._keys)
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Zero-copy read-only (keys, others) views, keys ascending and
+        others ascending within each key — O(1), this *is* the store."""
+        return _ro(self._keys), _ro(self._others)
+
+    def _index(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(unique keys, row start of each key's segment), cached per
+        version."""
+        if self._unique_keys is None:
+            if len(self._keys):
+                boundaries = np.empty(len(self._keys), dtype=bool)
+                boundaries[0] = True
+                np.not_equal(self._keys[1:], self._keys[:-1], out=boundaries[1:])
+                self._unique_keys = self._keys[boundaries]
+                self._starts = np.flatnonzero(boundaries)
+            else:
+                self._unique_keys = _EMPTY_I64
+                self._starts = _EMPTY_I64
+        return self._unique_keys, self._starts
+
+    @property
+    def unique_keys(self) -> np.ndarray:
+        """Sorted distinct keyed vertices (read-only view)."""
+        return _ro(self._index()[0])
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """The sorted adjacency of ``vertex`` (read-only view; empty if
+        absent)."""
+        lo = np.searchsorted(self._keys, vertex, side="left")
+        hi = np.searchsorted(self._keys, vertex, side="right")
+        return _ro(self._others[lo:hi])
+
+    def get(self, vertex: int, default=None):
+        nbrs = self.neighbors(vertex)
+        if len(nbrs) == 0 and vertex not in self:
+            return default if default is not None else nbrs
+        return nbrs
+
+    def degree(self, vertex: int) -> int:
+        lo = np.searchsorted(self._keys, vertex, side="left")
+        hi = np.searchsorted(self._keys, vertex, side="right")
+        return int(hi - lo)
+
+    def degrees(self, vertices: np.ndarray) -> np.ndarray:
+        """Vectorized per-vertex degree lookup."""
+        vertices = _as_i64(vertices)
+        lo = np.searchsorted(self._keys, vertices, side="left")
+        hi = np.searchsorted(self._keys, vertices, side="right")
+        return hi - lo
+
+    # -- dict-compatible surface ---------------------------------------
+
+    def __contains__(self, vertex) -> bool:
+        return self.degree(int(vertex)) > 0
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(map(int, self._index()[0]))
+
+    def __len__(self) -> int:
+        return len(self._index()[0])
+
+    def __bool__(self) -> bool:
+        return len(self._keys) > 0
+
+    def __getitem__(self, vertex: int) -> np.ndarray:
+        nbrs = self.neighbors(int(vertex))
+        if len(nbrs) == 0:
+            raise KeyError(vertex)
+        return nbrs
+
+    def items(self) -> Iterator[Tuple[int, np.ndarray]]:
+        uniq, starts = self._index()
+        ends = np.append(starts[1:], len(self._keys))
+        for key, s, e in zip(uniq, starts, ends):
+            yield int(key), _ro(self._others[int(s):int(e)])
+
+    def values(self) -> Iterator[np.ndarray]:
+        for _, nbrs in self.items():
+            yield nbrs
+
+    def keys(self) -> Iterator[int]:
+        return iter(self)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, EdgeStore):
+            return np.array_equal(self._keys, other._keys) and np.array_equal(
+                self._others, other._others
+            )
+        if isinstance(other, dict):
+            mine = {k for k, _ in self.items()}
+            theirs = {int(k) for k, v in other.items() if len(v)}
+            if mine != theirs:
+                return False
+            for key, nbrs in self.items():
+                if set(map(int, nbrs)) != {int(v) for v in other[key]}:
+                    return False
+            return True
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    # -- mutation -------------------------------------------------------
+
+    def _set(self, keys: np.ndarray, others: np.ndarray) -> None:
+        self._keys = keys
+        self._others = others
+        self._version += 1
+        self._unique_keys = None
+        self._starts = None
+
+    def contains_pairs(self, keys: np.ndarray, others: np.ndarray) -> np.ndarray:
+        """Vectorized membership test for (key, other) pairs."""
+        keys = _as_i64(keys)
+        others = _as_i64(others)
+        if len(self._keys) == 0 or len(keys) == 0:
+            return np.zeros(len(keys), dtype=bool)
+        store = _pack_pairs(self._keys, self._others)
+        query = _pack_pairs(keys, others)
+        if store.dtype != query.dtype:  # mixed packing regimes
+            rec = np.empty(len(self._keys), dtype=_PAIR_DT)
+            rec["k"], rec["o"] = self._keys, self._others
+            store = rec
+            rec = np.empty(len(keys), dtype=_PAIR_DT)
+            rec["k"], rec["o"] = keys, others
+            query = rec
+        pos = np.searchsorted(store, query)
+        pos_c = np.minimum(pos, len(store) - 1)
+        return store[pos_c] == query
+
+    def apply(
+        self, keys: np.ndarray, others: np.ndarray, actions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Apply one batch of edge mutations (+1 insert / -1 remove).
+
+        Returns the *effective* rows as ``(keys, others, actions)``
+        arrays in deterministic (inserts lexsorted, then removes
+        lexsorted) order — duplicates and no-ops drop out exactly as a
+        row-by-row walk would.  A batch that both inserts and removes
+        the same pair is the one case routed through the sequential
+        fallback, preserving strict batch order.
+        """
+        keys = _as_i64(keys)
+        others = _as_i64(others)
+        actions = np.asarray(actions)
+        if len(keys) == 0:
+            return _EMPTY_I64, _EMPTY_I64, _EMPTY_I64
+        ins = actions > 0
+        if ins.any() and not ins.all():
+            inserted = set(zip(keys[ins].tolist(), others[ins].tolist()))
+            removed = set(zip(keys[~ins].tolist(), others[~ins].tolist()))
+            if inserted & removed:
+                return self._apply_sequential(keys, others, actions)
+
+        eff_k: List[np.ndarray] = []
+        eff_o: List[np.ndarray] = []
+        eff_a: List[np.ndarray] = []
+        add_k = add_o = None
+        if ins.any():
+            ik, io = self._dedup_lex(keys[ins], others[ins])
+            fresh = ~self.contains_pairs(ik, io)
+            add_k, add_o = ik[fresh], io[fresh]
+            if len(add_k):
+                eff_k.append(add_k)
+                eff_o.append(add_o)
+                eff_a.append(np.ones(len(add_k), dtype=np.int64))
+        keep = None
+        if (~ins).any():
+            rk, ro = self._dedup_lex(keys[~ins], others[~ins])
+            present = self.contains_pairs(rk, ro)
+            rk, ro = rk[present], ro[present]
+            if len(rk):
+                keep = ~self.contains_pairs_mask(rk, ro)
+                eff_k.append(rk)
+                eff_o.append(ro)
+                eff_a.append(np.full(len(rk), -1, dtype=np.int64))
+        if add_k is not None and len(add_k) or keep is not None:
+            base_k = self._keys if keep is None else self._keys[keep]
+            base_o = self._others if keep is None else self._others[keep]
+            if add_k is not None and len(add_k):
+                new_k = np.concatenate([base_k, add_k])
+                new_o = np.concatenate([base_o, add_o])
+                order = np.lexsort((new_o, new_k))
+                self._set(new_k[order], new_o[order])
+            else:
+                self._set(base_k.copy(), base_o.copy())
+        if not eff_k:
+            return _EMPTY_I64, _EMPTY_I64, _EMPTY_I64
+        return (
+            np.concatenate(eff_k),
+            np.concatenate(eff_o),
+            np.concatenate(eff_a),
+        )
+
+    def contains_pairs_mask(self, keys: np.ndarray, others: np.ndarray) -> np.ndarray:
+        """Row mask over the store: True where the store row equals one
+        of the (sorted, deduped) query pairs."""
+        if len(self._keys) == 0 or len(keys) == 0:
+            return np.zeros(len(self._keys), dtype=bool)
+        store = _pack_pairs(self._keys, self._others)
+        query = _pack_pairs(_as_i64(keys), _as_i64(others))
+        if store.dtype != query.dtype:
+            rec = np.empty(len(self._keys), dtype=_PAIR_DT)
+            rec["k"], rec["o"] = self._keys, self._others
+            store = rec
+            rec = np.empty(len(keys), dtype=_PAIR_DT)
+            rec["k"], rec["o"] = _as_i64(keys), _as_i64(others)
+            query = rec
+        pos = np.searchsorted(query, store)
+        pos_c = np.minimum(pos, len(query) - 1)
+        return query[pos_c] == store
+
+    @staticmethod
+    def _dedup_lex(keys: np.ndarray, others: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        order = np.lexsort((others, keys))
+        k, o = keys[order], others[order]
+        if len(k) > 1:
+            first = np.empty(len(k), dtype=bool)
+            first[0] = True
+            np.logical_or(k[1:] != k[:-1], o[1:] != o[:-1], out=first[1:])
+            k, o = k[first], o[first]
+        return k, o
+
+    def _apply_sequential(
+        self, keys: np.ndarray, others: np.ndarray, actions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Strict batch-order fallback (same pair inserted *and*
+        removed in one batch): replay through a transient dict."""
+        store = self.to_dict()
+        eff: List[Tuple[int, int, int]] = []
+        for i in range(len(keys)):
+            key = int(keys[i])
+            val = int(others[i])
+            bucket = store.get(key)
+            if actions[i] > 0:
+                if bucket is None:
+                    bucket = store[key] = set()
+                if val not in bucket:
+                    bucket.add(val)
+                    eff.append((key, val, 1))
+            else:
+                if bucket is not None and val in bucket:
+                    bucket.remove(val)
+                    eff.append((key, val, -1))
+                    if not bucket:
+                        del store[key]
+        rebuilt = EdgeStore.from_dict(store)
+        self._set(rebuilt._keys, rebuilt._others)
+        if not eff:
+            return _EMPTY_I64, _EMPTY_I64, _EMPTY_I64
+        arr = np.asarray(eff, dtype=np.int64)
+        return arr[:, 0], arr[:, 1], arr[:, 2]
+
+    def remove_pairs(self, keys: np.ndarray, others: np.ndarray) -> int:
+        """Drop the given pairs (all assumed present); returns count."""
+        if len(keys) == 0:
+            return 0
+        rk, ro = self._dedup_lex(_as_i64(keys), _as_i64(others))
+        mask = self.contains_pairs_mask(rk, ro)
+        removed = int(mask.sum())
+        if removed:
+            self._set(self._keys[~mask], self._others[~mask])
+        return removed
+
+
+class ValueColumn:
+    """A ``{vertex_id: float}`` mapping as id-indexed ndarray columns.
+
+    ``ids`` is sorted unique int64; ``vals`` is parallel float64.  The
+    dict-like scalar surface exists for tests and cold paths; hot paths
+    use the vectorized ``lookup``/``set_many``/``select`` joins.
+    """
+
+    __slots__ = ("ids", "vals")
+
+    def __init__(self, ids: Optional[np.ndarray] = None, vals: Optional[np.ndarray] = None):
+        self.ids = _EMPTY_I64 if ids is None else _as_i64(ids)
+        self.vals = (
+            _EMPTY_F64
+            if vals is None
+            else np.ascontiguousarray(np.asarray(vals), dtype=np.float64)
+        )
+
+    @classmethod
+    def from_dict(cls, d: Dict[int, float]) -> "ValueColumn":
+        if not d:
+            return cls()
+        ids = np.fromiter(d.keys(), dtype=np.int64, count=len(d))
+        vals = np.fromiter(d.values(), dtype=np.float64, count=len(d))
+        order = np.argsort(ids, kind="stable")
+        return cls(ids[order], vals[order])
+
+    def to_dict(self) -> Dict[int, float]:
+        return {int(i): float(v) for i, v in zip(self.ids, self.vals)}
+
+    def copy(self) -> "ValueColumn":
+        return ValueColumn(self.ids.copy(), self.vals.copy())
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __bool__(self) -> bool:
+        return len(self.ids) > 0
+
+    def __contains__(self, vertex) -> bool:
+        pos = np.searchsorted(self.ids, int(vertex))
+        return pos < len(self.ids) and self.ids[pos] == int(vertex)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(map(int, self.ids))
+
+    def keys(self) -> Iterator[int]:
+        return iter(self)
+
+    def values(self) -> Iterator[float]:
+        return iter(map(float, self.vals))
+
+    def items(self) -> Iterator[Tuple[int, float]]:
+        return ((int(i), float(v)) for i, v in zip(self.ids, self.vals))
+
+    def get(self, vertex: int, default=None):
+        pos = np.searchsorted(self.ids, int(vertex))
+        if pos < len(self.ids) and self.ids[pos] == int(vertex):
+            return float(self.vals[pos])
+        return default
+
+    def __getitem__(self, vertex: int) -> float:
+        val = self.get(vertex)
+        if val is None:
+            raise KeyError(vertex)
+        return val
+
+    def __setitem__(self, vertex: int, value: float) -> None:
+        self.set_many(
+            np.asarray([int(vertex)], dtype=np.int64),
+            np.asarray([float(value)], dtype=np.float64),
+        )
+
+    def __delitem__(self, vertex: int) -> None:
+        pos = np.searchsorted(self.ids, int(vertex))
+        if pos >= len(self.ids) or self.ids[pos] != int(vertex):
+            raise KeyError(vertex)
+        self.ids = np.delete(self.ids, pos)
+        self.vals = np.delete(self.vals, pos)
+
+    def pop(self, vertex: int, default=None):
+        val = self.get(vertex)
+        if val is None:
+            return default
+        del self[vertex]
+        return val
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ValueColumn):
+            return np.array_equal(self.ids, other.ids) and np.array_equal(
+                self.vals, other.vals
+            )
+        if isinstance(other, dict):
+            if len(other) != len(self.ids):
+                return False
+            return all(other.get(int(i)) == float(v) for i, v in zip(self.ids, self.vals))
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    # -- vectorized joins ----------------------------------------------
+
+    def lookup(self, ids: np.ndarray, default: float = np.nan) -> Tuple[np.ndarray, np.ndarray]:
+        """(values, found) for each queried id; missing ids get
+        ``default`` and found=False."""
+        ids = _as_i64(ids)
+        if len(self.ids) == 0 or len(ids) == 0:
+            return np.full(len(ids), default), np.zeros(len(ids), dtype=bool)
+        pos = np.minimum(np.searchsorted(self.ids, ids), len(self.ids) - 1)
+        found = self.ids[pos] == ids
+        return np.where(found, self.vals[pos], default), found
+
+    def set_many(self, ids: np.ndarray, vals: np.ndarray) -> None:
+        """Upsert a batch (last write wins within the batch)."""
+        ids = _as_i64(ids)
+        vals = np.ascontiguousarray(np.asarray(vals), dtype=np.float64)
+        if len(ids) == 0:
+            return
+        order = np.argsort(ids, kind="stable")
+        ids, vals = ids[order], vals[order]
+        if len(ids) > 1:
+            last = np.empty(len(ids), dtype=bool)
+            last[-1] = True
+            np.not_equal(ids[1:], ids[:-1], out=last[:-1])
+            ids, vals = ids[last], vals[last]
+        if len(self.ids) == 0:
+            self.ids, self.vals = ids, vals
+            return
+        pos = np.minimum(np.searchsorted(self.ids, ids), len(self.ids) - 1)
+        hit = self.ids[pos] == ids
+        if hit.any():
+            self.vals[pos[hit]] = vals[hit]
+        if (~hit).any():
+            merged_ids = np.concatenate([self.ids, ids[~hit]])
+            merged_vals = np.concatenate([self.vals, vals[~hit]])
+            order = np.argsort(merged_ids, kind="stable")
+            self.ids = merged_ids[order]
+            self.vals = merged_vals[order]
+
+    def update(self, other) -> None:
+        if isinstance(other, ValueColumn):
+            self.set_many(other.ids, other.vals)
+        elif isinstance(other, dict):
+            col = ValueColumn.from_dict(other)
+            self.set_many(col.ids, col.vals)
+        else:  # (ids, vals) array pair
+            ids, vals = other
+            self.set_many(np.asarray(ids), np.asarray(vals))
+
+    def select(self, ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """(present ids, their values) — the subset join used to ship
+        migrating vertices' state."""
+        vals, found = self.lookup(ids)
+        ids = _as_i64(ids)
+        return ids[found], vals[found]
+
+    def restrict(self, ids: np.ndarray) -> None:
+        """Drop every entry whose id is not in the sorted ``ids``."""
+        if len(self.ids) == 0:
+            return
+        keep = np.isin(self.ids, _as_i64(ids))
+        if not keep.all():
+            self.ids = self.ids[keep]
+            self.vals = self.vals[keep]
+
+
+class IdSet:
+    """A ``Set[int]`` as a sorted unique int64 array."""
+
+    __slots__ = ("ids",)
+
+    def __init__(self, ids: Optional[np.ndarray] = None):
+        if ids is None:
+            self.ids = _EMPTY_I64
+        else:
+            self.ids = np.unique(_as_i64(ids))
+
+    @classmethod
+    def from_set(cls, s: Iterable[int]) -> "IdSet":
+        return cls(np.fromiter(s, dtype=np.int64) if s else None)
+
+    def to_set(self) -> Set[int]:
+        return set(map(int, self.ids))
+
+    def copy(self) -> "IdSet":
+        out = IdSet()
+        out.ids = self.ids.copy()
+        return out
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __bool__(self) -> bool:
+        return len(self.ids) > 0
+
+    def __contains__(self, vertex) -> bool:
+        pos = np.searchsorted(self.ids, int(vertex))
+        return pos < len(self.ids) and self.ids[pos] == int(vertex)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(map(int, self.ids))
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, IdSet):
+            return np.array_equal(self.ids, other.ids)
+        if isinstance(other, (set, frozenset)):
+            return self.to_set() == other
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def add(self, vertex: int) -> None:
+        self.update(np.asarray([int(vertex)], dtype=np.int64))
+
+    def discard(self, vertex: int) -> None:
+        pos = np.searchsorted(self.ids, int(vertex))
+        if pos < len(self.ids) and self.ids[pos] == int(vertex):
+            self.ids = np.delete(self.ids, pos)
+
+    def update(self, other) -> None:
+        if isinstance(other, IdSet):
+            arr = other.ids
+        elif isinstance(other, np.ndarray):
+            arr = other
+        else:
+            other = list(other)
+            arr = np.asarray(other, dtype=np.int64) if other else _EMPTY_I64
+        if len(arr):
+            self.ids = np.union1d(self.ids, _as_i64(arr))
+
+    def restrict(self, ids: np.ndarray) -> None:
+        if len(self.ids):
+            self.ids = self.ids[np.isin(self.ids, _as_i64(ids))]
+
+    def assign(self, universe: np.ndarray, member: np.ndarray) -> None:
+        """Batch re-assignment over ``universe``: ids in universe are
+        members iff their mask bit is set; ids outside are untouched."""
+        universe = _as_i64(universe)
+        if len(self.ids):
+            outside = self.ids[~np.isin(self.ids, universe)]
+        else:
+            outside = _EMPTY_I64
+        self.ids = np.union1d(outside, universe[member])
+
+    def isin(self, ids: np.ndarray) -> np.ndarray:
+        """Vectorized membership of ``ids`` in this set."""
+        ids = _as_i64(ids)
+        if len(self.ids) == 0:
+            return np.zeros(len(ids), dtype=bool)
+        pos = np.minimum(np.searchsorted(self.ids, ids), len(self.ids) - 1)
+        return self.ids[pos] == ids
+
+
+class DirtyLog:
+    """Effective mutation rows as array batches with row watermarks.
+
+    The old structure was a flat ``List[(role, key, other, action)]``;
+    streaming ingest now appends one ``(role, keys, others, actions)``
+    array batch per applied update, and delta runs slice suffixes by
+    *row count*, so watermark arithmetic is unchanged.
+    """
+
+    __slots__ = ("_batches", "_rows")
+
+    def __init__(self) -> None:
+        self._batches: List[Tuple[str, np.ndarray, np.ndarray, np.ndarray]] = []
+        self._rows = 0
+
+    def __len__(self) -> int:
+        """Total rows (matches the old flat-list semantics)."""
+        return self._rows
+
+    def append_batch(
+        self, role: str, keys: np.ndarray, others: np.ndarray, actions: np.ndarray
+    ) -> None:
+        if len(keys) == 0:
+            return
+        self._batches.append(
+            (role, _as_i64(keys), _as_i64(others), _as_i64(actions))
+        )
+        self._rows += len(keys)
+
+    def extend(self, rows) -> None:
+        """Accept either an iterable of (role, k, o, a) tuples (legacy
+        WAL interop) or another DirtyLog's batches."""
+        if isinstance(rows, DirtyLog):
+            for role, k, o, a in rows._batches:
+                self.append_batch(role, k.copy(), o.copy(), a.copy())
+            return
+        staged: Dict[str, List[Tuple[int, int, int]]] = {}
+        for role, k, o, a in rows:
+            if isinstance(k, np.ndarray):
+                self.append_batch(role, k, o, a)
+            else:
+                staged.setdefault(role, []).append((int(k), int(o), int(a)))
+        for role, triples in staged.items():
+            arr = np.asarray(triples, dtype=np.int64)
+            self.append_batch(role, arr[:, 0], arr[:, 1], arr[:, 2])
+
+    def copy(self) -> "DirtyLog":
+        out = DirtyLog()
+        for role, k, o, a in self._batches:
+            out.append_batch(role, k.copy(), o.copy(), a.copy())
+        return out
+
+    def rows(self) -> Iterator[Tuple[str, int, int, int]]:
+        """Flat-row view (legacy order), for interop and tests."""
+        for role, k, o, a in self._batches:
+            for i in range(len(k)):
+                yield role, int(k[i]), int(o[i]), int(a[i])
+
+    def suffix(self, start_row: int) -> Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Rows from ``start_row`` on, split by role into (keys,
+        others, actions) arrays — the delta-run seed format."""
+        parts: Dict[str, List[Tuple[np.ndarray, np.ndarray, np.ndarray]]] = {}
+        seen = 0
+        for role, k, o, a in self._batches:
+            end = seen + len(k)
+            if end > start_row:
+                lo = max(0, start_row - seen)
+                parts.setdefault(role, []).append((k[lo:], o[lo:], a[lo:]))
+            seen = end
+        out: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        for role, chunks in parts.items():
+            out[role] = (
+                np.concatenate([c[0] for c in chunks]),
+                np.concatenate([c[1] for c in chunks]),
+                np.concatenate([c[2] for c in chunks]),
+            )
+        return out
+
+    def trim(self, n_rows: int) -> None:
+        """Drop the first ``n_rows`` rows (watermark GC)."""
+        if n_rows <= 0:
+            return
+        remaining = []
+        to_cut = n_rows
+        for role, k, o, a in self._batches:
+            if to_cut >= len(k):
+                to_cut -= len(k)
+                continue
+            if to_cut > 0:
+                k, o, a = k[to_cut:], o[to_cut:], a[to_cut:]
+                to_cut = 0
+            remaining.append((role, k, o, a))
+        self._batches = remaining
+        self._rows = max(0, self._rows - n_rows)
+
+
+# ----------------------------------------------------------------------
+# polymorphic adapters: accept legacy dict/set forms anywhere
+# ----------------------------------------------------------------------
+
+
+def as_edge_store(obj) -> EdgeStore:
+    if isinstance(obj, EdgeStore):
+        return obj
+    return EdgeStore.from_dict(obj)
+
+
+def as_column(obj) -> ValueColumn:
+    if isinstance(obj, ValueColumn):
+        return obj
+    if obj is None:
+        return ValueColumn()
+    return ValueColumn.from_dict(obj)
+
+
+def as_idset(obj) -> IdSet:
+    if isinstance(obj, IdSet):
+        return obj
+    if obj is None:
+        return IdSet()
+    return IdSet.from_set(obj)
+
+
+def as_dirty_log(obj) -> DirtyLog:
+    if isinstance(obj, DirtyLog):
+        return obj
+    log = DirtyLog()
+    if obj:
+        log.extend(obj)
+    return log

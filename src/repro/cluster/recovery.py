@@ -31,19 +31,76 @@ cost.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.cluster.edgestore import DirtyLog, EdgeStore, IdSet, ValueColumn
 
 
-def copy_store(store: Dict[int, Set[int]]) -> Dict[int, Set[int]]:
+def copy_store(store) -> Any:
+    if isinstance(store, EdgeStore):
+        return store.copy()
     return {k: set(v) for k, v in store.items()}
 
 
-def copy_values(values: Dict[str, Dict[int, float]]) -> Dict[str, Dict[int, float]]:
-    return {prog: dict(vals) for prog, vals in values.items()}
+def copy_values(values: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        prog: vals.copy() if isinstance(vals, ValueColumn) else dict(vals)
+        for prog, vals in values.items()
+    }
 
 
-def copy_active(active: Dict[str, Set[int]]) -> Dict[str, Set[int]]:
-    return {prog: set(vs) for prog, vs in active.items()}
+def copy_active(active: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        prog: vs.copy() if isinstance(vs, IdSet) else set(vs)
+        for prog, vs in active.items()
+    }
+
+
+def _row_count(rows) -> int:
+    """Rows in a WAL batch: a list of triples or a (k, o, a) array
+    tuple from the vectorized ingest path."""
+    return len(rows[0]) if isinstance(rows, tuple) else len(rows)
+
+
+def _rows_arrays(rows):
+    """Normalize a WAL batch to (keys, others, actions) int64 arrays."""
+    import numpy as np
+
+    if isinstance(rows, tuple):
+        k, o, a = rows
+        return (
+            np.asarray(k, dtype=np.int64),
+            np.asarray(o, dtype=np.int64),
+            np.asarray(a, dtype=np.int64),
+        )
+    arr = np.asarray(list(rows), dtype=np.int64).reshape(-1, 3)
+    return arr[:, 0], arr[:, 1], arr[:, 2]
+
+
+def _state_ids_vals(obj):
+    """Normalize migrated-state payloads — {vertex: value} dicts or
+    (ids, vals) array pairs — to array form."""
+    import numpy as np
+
+    if isinstance(obj, tuple):
+        ids, vals = obj
+        return np.asarray(ids, dtype=np.int64), np.asarray(vals, dtype=np.float64)
+    ids = np.fromiter(obj.keys(), dtype=np.int64, count=len(obj))
+    vals = np.fromiter(obj.values(), dtype=np.float64, count=len(obj))
+    return ids, vals
+
+
+def _state_ids(obj):
+    import numpy as np
+
+    if isinstance(obj, (tuple, np.ndarray)):
+        arr = obj[0] if isinstance(obj, tuple) else obj
+        return np.asarray(arr, dtype=np.int64)
+    return np.fromiter(obj, dtype=np.int64, count=len(obj))
+
+
+def _copy_dirty(log) -> Any:
+    return log.copy() if isinstance(log, DirtyLog) else list(log)
 
 
 @dataclass
@@ -64,8 +121,9 @@ class Checkpoint:
     # log of dirty mutation rows ``(role, key, other, action)`` not yet
     # consumed by every program, and each program's consumption
     # watermark into that log.
-    persistent_scatter: Dict[str, Dict[int, float]] = field(default_factory=dict)
-    dirty_log: List[Tuple[str, int, int, int]] = field(default_factory=list)
+    persistent_scatter: Dict[str, Any] = field(default_factory=dict)
+    #: A flat list of (role, key, other, action) rows or a DirtyLog.
+    dirty_log: Any = field(default_factory=list)
     dirty_seen: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -90,13 +148,15 @@ class WALRecord:
     """
 
     role: str  # "out" | "in"
-    rows: List[Tuple[int, int, int]]
+    #: A list of (key, other, action) triples, or a (keys, others,
+    #: actions) array tuple from the vectorized ingest path.
+    rows: Any
     sketched: bool
-    values: Optional[Dict[str, Dict[int, float]]] = None
-    active: Optional[Dict[str, Set[int]]] = None
+    values: Optional[Dict[str, Any]] = None
+    active: Optional[Dict[str, Any]] = None
     #: Last-sent scatter state that rode along with a migration batch
     #: (delta-message programs must not lose it mid-suspension).
-    scatter: Optional[Dict[str, Dict[int, float]]] = None
+    scatter: Optional[Dict[str, Any]] = None
 
 
 class EdgeWAL:
@@ -109,23 +169,25 @@ class EdgeWAL:
     def append(
         self,
         role: str,
-        rows: List[Tuple[int, int, int]],
+        rows: Any,
         sketched: bool,
-        values: Optional[Dict[str, Dict[int, float]]] = None,
-        active: Optional[Dict[str, Set[int]]] = None,
-        scatter: Optional[Dict[str, Dict[int, float]]] = None,
+        values: Optional[Dict[str, Any]] = None,
+        active: Optional[Dict[str, Any]] = None,
+        scatter: Optional[Dict[str, Any]] = None,
     ) -> None:
-        if not rows and not values and not active and not scatter:
+        n_rows = _row_count(rows)
+        if not n_rows and not values and not active and not scatter:
             return
-        self._records.append(WALRecord(role, list(rows), sketched, values, active, scatter))
-        self.records_logged += len(rows)
+        stored = rows if isinstance(rows, tuple) else list(rows)
+        self._records.append(WALRecord(role, stored, sketched, values, active, scatter))
+        self.records_logged += n_rows
 
     def truncate(self) -> None:
         """Drop all records (a checkpoint now covers them)."""
         self._records = []
 
     def __len__(self) -> int:
-        return sum(len(r.rows) for r in self._records)
+        return sum(_row_count(r.rows) for r in self._records)
 
     def replay(
         self,
@@ -150,43 +212,87 @@ class EdgeWAL:
         replayed = 0
         for record in self._records:
             store = out_store if record.role == "out" else in_store
-            for key, other, action in record.rows:
-                if action > 0:
-                    store.setdefault(key, set()).add(other)
+            n_rows = _row_count(record.rows)
+            if n_rows:
+                keys, others, actions = _rows_arrays(record.rows)
+                if isinstance(store, EdgeStore):
+                    store.apply(keys, others, actions)
                 else:
-                    bucket = store.get(key)
-                    if bucket is not None:
-                        bucket.discard(other)
-                        if not bucket:
-                            del store[key]
-                replayed += 1
-            if record.sketched and sketch_delta is not None:
-                inserts = [k for k, _, a in record.rows if a > 0]
-                removes = [k for k, _, a in record.rows if a <= 0]
-                if inserts:
-                    sketch_delta.add(np.asarray(inserts, dtype=np.int64))
-                if removes:
-                    sketch_delta.remove(np.asarray(removes, dtype=np.int64))
+                    for key, other, action in zip(keys, others, actions):
+                        key, other = int(key), int(other)
+                        if action > 0:
+                            store.setdefault(key, set()).add(other)
+                        else:
+                            bucket = store.get(key)
+                            if bucket is not None:
+                                bucket.discard(other)
+                                if not bucket:
+                                    del store[key]
+                replayed += n_rows
+                if record.sketched and sketch_delta is not None:
+                    ins = actions > 0
+                    if ins.any():
+                        sketch_delta.add(keys[ins])
+                    if (~ins).any():
+                        sketch_delta.remove(keys[~ins])
             if record.values and persistent is not None:
                 for prog, vals in record.values.items():
-                    persistent.setdefault(prog, {}).update(vals)
+                    self._merge_values(persistent, prog, vals)
             if record.active and persistent_active is not None:
                 for prog, verts in record.active.items():
-                    persistent_active.setdefault(prog, set()).update(verts)
+                    self._merge_active(persistent_active, prog, verts)
             if record.scatter and persistent_scatter is not None:
                 for prog, vals in record.scatter.items():
-                    persistent_scatter.setdefault(prog, {}).update(vals)
+                    self._merge_values(persistent_scatter, prog, vals)
         return replayed
 
-    def sketched_rows(self) -> List[Tuple[str, int, int, int]]:
+    @staticmethod
+    def _merge_values(target: Dict[str, Any], prog: str, vals) -> None:
+        """Merge migrated-in values — dict or (ids, vals) arrays — into
+        the target map, whose entries may be dicts or ValueColumns."""
+        cur = target.get(prog)
+        if isinstance(cur, ValueColumn) or (cur is None and isinstance(vals, tuple)):
+            col = target[prog] = cur if cur is not None else ValueColumn()
+            ids, arr = _state_ids_vals(vals)
+            col.set_many(ids, arr)
+        else:
+            d = target.setdefault(prog, {})
+            if isinstance(vals, tuple):
+                ids, arr = vals
+                d.update((int(i), float(v)) for i, v in zip(ids, arr))
+            else:
+                d.update(vals)
+
+    @staticmethod
+    def _merge_active(target: Dict[str, Any], prog: str, verts) -> None:
+        import numpy as np
+
+        cur = target.get(prog)
+        if isinstance(cur, IdSet) or (cur is None and isinstance(verts, np.ndarray)):
+            aset = target[prog] = cur if cur is not None else IdSet()
+            aset.update(_state_ids(verts))
+        else:
+            s = target.setdefault(prog, set())
+            if isinstance(verts, np.ndarray):
+                s.update(map(int, verts))
+            else:
+                s.update(verts)
+
+    def sketched_rows(self) -> List[Tuple[str, Any, Any, Any]]:
         """The logged streaming mutations, in application order, as
-        ``(role, key, other, action)`` — exactly the rows a replacement
-        agent must re-append to its dirty log (migration records are
-        placement moves, not graph changes, and are excluded)."""
-        rows: List[Tuple[str, int, int, int]] = []
+        ``(role, key, other, action)`` rows or ``(role, keys, others,
+        actions)`` array batches — exactly what a replacement agent
+        re-appends to its dirty log (:meth:`DirtyLog.extend` accepts
+        both; migration records are placement moves, not graph changes,
+        and are excluded)."""
+        rows: List[Tuple[str, Any, Any, Any]] = []
         for record in self._records:
             if record.sketched:
-                rows.extend((record.role, k, o, a) for k, o, a in record.rows)
+                if isinstance(record.rows, tuple):
+                    k, o, a = record.rows
+                    rows.append((record.role, k, o, a))
+                else:
+                    rows.extend((record.role, k, o, a) for k, o, a in record.rows)
         return rows
 
 
@@ -277,7 +383,7 @@ class RecoveryStore:
             run_id=run_id,
             step=step,
             persistent_scatter=copy_values(getattr(agent, "persistent_scatter", {})),
-            dirty_log=list(getattr(agent, "_dirty_log", ())),
+            dirty_log=_copy_dirty(getattr(agent, "_dirty_log", ())),
             dirty_seen=dict(getattr(agent, "_dirty_seen", {})),
         )
         slot = self.slot(agent.agent_id)

@@ -8,9 +8,19 @@ tests.
 """
 
 from repro.core.algorithms.degree import DegreeCount
+from repro.core.algorithms.kcore import KCore
+from repro.core.algorithms.lpa import LabelPropagation
 from repro.core.algorithms.pagerank import PageRank
 from repro.core.algorithms.ppr import PersonalizedPageRank
 from repro.core.algorithms.sssp import SSSP
 from repro.core.algorithms.wcc import WCC
 
-__all__ = ["DegreeCount", "PageRank", "PersonalizedPageRank", "SSSP", "WCC"]
+__all__ = [
+    "DegreeCount",
+    "KCore",
+    "LabelPropagation",
+    "PageRank",
+    "PersonalizedPageRank",
+    "SSSP",
+    "WCC",
+]

@@ -1,0 +1,126 @@
+"""Label-propagation community detection via a max-ticket lottery.
+
+Classic LPA adopts the *most frequent* neighbor label each round — a
+mode, which is not a commutative/associative reduction and so cannot
+ride the agents' pre-aggregating data plane.  The lottery reformulation
+can: each vertex holds a (score, label) ticket packed into one float,
+re-drawing a fresh pseudo-random score for its label every round, and
+every vertex adopts the label of the best ticket among its neighbors
+and itself.  Because each neighbor holds an independent ticket, a label
+carried by many neighbors holds many lottery tickets and wins with
+probability proportional to its frequency — the mode in expectation —
+while the reduction itself is a plain ``max``, which replicas can fold
+in any grouping with bit-identical results (tickets are exact integers
+below 2**53).
+
+Scores are drawn by hashing the vertex id with the vertex's previous
+ticket, so the randomness is deterministic, reshuffles every round, and
+needs no round counter (programs are stateless and shared across
+agents).  Labels settle inside densely connected regions — where the
+winning ticket almost always carries the local consensus label — and
+cross sparse cuts rarely, which is what makes the fixpoint a community
+structure rather than connected components.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.core.program import VertexProgram
+from repro.hashing.hashes import wang64
+
+#: Bits reserved for the label in a packed ticket.  Labels are vertex
+#: ids, so graphs up to ~16.7M vertices fit; scores use 28 more bits,
+#: keeping every ticket an exact float64 integer (< 2**52).
+_LABEL_BITS = 24
+_LABEL_MOD = np.int64(1) << np.int64(_LABEL_BITS)
+_SCORE_MASK = np.uint64((1 << 28) - 1)
+_SALT = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _pack(scores: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    return (scores.astype(np.float64) * float(_LABEL_MOD)) + labels.astype(np.float64)
+
+
+def _draw_scores(ids: np.ndarray, entropy: np.ndarray) -> np.ndarray:
+    """28-bit per-vertex scores from (vertex id, previous ticket)."""
+    with np.errstate(over="ignore"):
+        mixed = wang64(
+            ids.astype(np.uint64) * _SALT ^ entropy.astype(np.int64).astype(np.uint64)
+        )
+    return (np.asarray(mixed, dtype=np.uint64) & _SCORE_MASK).astype(np.float64)
+
+
+class LabelPropagation(VertexProgram):
+    """Community detection by lottery-max label propagation.
+
+    Final values decode to labels via ``labels(values)``; vertices with
+    equal labels share a community.
+
+    Examples
+    --------
+    >>> LabelPropagation().aggregator
+    'max'
+    """
+
+    name = "lpa"
+    aggregator = "max"
+    needs_in_and_out = True
+    supports_async = False
+    supports_delta = False
+
+    def __init__(self, max_iters: int = 30):
+        self.max_iters = int(max_iters)
+
+    @staticmethod
+    def labels(values: np.ndarray) -> np.ndarray:
+        """Decode packed tickets to community labels."""
+        return (np.asarray(values, dtype=np.float64) % float(_LABEL_MOD)).astype(
+            np.int64
+        )
+
+    def initial_value(self, vertex_ids: np.ndarray, ctx: Dict[str, Any]) -> np.ndarray:
+        ids = np.asarray(vertex_ids, dtype=np.int64)
+        if len(ids) and ids.max(initial=0) >= int(_LABEL_MOD):
+            raise ValueError(
+                f"LabelPropagation packs labels into {_LABEL_BITS} bits; "
+                f"vertex id {int(ids.max())} does not fit"
+            )
+        return _pack(_draw_scores(ids, ids), ids)
+
+    def scatter_values(self, values: np.ndarray, out_deg_total: np.ndarray) -> np.ndarray:
+        # The message *is* the ticket.
+        return values
+
+    def apply(
+        self, old: np.ndarray, agg: np.ndarray, got: np.ndarray, ctx: Dict[str, Any]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        # Best ticket among the neighbors' and our own: a neighbor label
+        # displaces ours only when its lottery draw beats ours, which
+        # happens with frequency proportional to how many neighbors
+        # carry it.
+        best = np.where(got, np.maximum(old, agg), old)
+        labels = self.labels(best)
+        ids = np.asarray(ctx["_vertex_ids"], dtype=np.int64)
+        # Re-draw next round's score from (id, this round's winner) —
+        # deterministic, but fresh entropy every round.
+        new = _pack(_draw_scores(ids, best), labels)
+        return new, np.ones(len(old), dtype=bool)
+
+    def step_stats(
+        self, old: np.ndarray, new: np.ndarray, active: np.ndarray
+    ) -> Dict[str, float]:
+        return {
+            "active": float(active.sum()),
+            "changed": float((self.labels(old) != self.labels(new)).sum()),
+        }
+
+    def halt(self, step: int, stats: Dict[str, float], ctx: Dict[str, Any]) -> bool:
+        if step >= self.max_iters:
+            return True
+        # Labels at a fixpoint of the lottery dynamics: every vertex's
+        # own consensus ticket won.  Give the shuffle a few rounds
+        # before trusting a quiet step.
+        return step >= 3 and stats.get("changed", 0) == 0

@@ -95,8 +95,12 @@ class PageRank(VertexProgram):
     def apply(
         self, old: np.ndarray, agg: np.ndarray, got: np.ndarray, ctx: Dict[str, Any]
     ) -> Tuple[np.ndarray, np.ndarray]:
+        from repro import kernels
+
         n = max(int(ctx["global_n"]), 1)
-        new = (1.0 - self.damping) / n + self.damping * agg
+        new = kernels.pagerank_apply(
+            np.asarray(agg, dtype=np.float64), (1.0 - self.damping) / n, self.damping
+        )
         # PageRank is dense: every vertex recomputes and rescatters every
         # superstep until the global residual halts the run.
         return new, np.ones(len(old), dtype=bool)

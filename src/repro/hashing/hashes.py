@@ -68,7 +68,14 @@ def wang64(x: HashInput) -> HashInput:
     >>> out.dtype
     dtype('uint64')
     """
-    key = _as_u64(x).copy()
+    key = _as_u64(x)
+    if key.ndim == 1 and key.flags.c_contiguous:
+        from repro import kernels
+
+        fast = kernels.wang64_u64(key)
+        if fast is not None:
+            return _restore(fast, x)
+    key = key.copy()
     with np.errstate(over="ignore"):
         key = (~key) + (key << U64(21))
         key ^= key >> U64(24)

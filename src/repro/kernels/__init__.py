@@ -1,0 +1,222 @@
+"""Opt-in accelerated kernels for the three hottest array paths.
+
+The data plane bottoms out in three kernels: the placement hash
+(``wang64``), the canonical pair combine (``combine_pairs``), and the
+receive-side PageRank fold/apply.  This package provides a C backend
+for them (compiled at first use with the system compiler — see
+:mod:`repro.kernels.csrc`) plus the pure-numpy reference
+(:mod:`repro.kernels.reference`) that *defines* correct behaviour.
+
+Acceleration is strictly opt-in and strictly bit-identical:
+
+* ``REPRO_KERNELS=1`` in the environment (or :func:`set_enabled`)
+  turns the C backend on; anything else leaves the reference path in
+  production.
+* If the toolchain is missing, enabling degrades gracefully to the
+  reference path — ``available()`` reports what actually happened.
+* Parity is enforced by the hypothesis suite in
+  ``tests/kernels`` (marker: ``kernels``): for every dtype and shard
+  split, C results must equal the reference bit for bit.
+
+Dispatch helpers only engage the C backend above a small batch size
+(``MIN_HASH``/``MIN_PAIRS``): below it, ctypes call overhead exceeds
+the win and numpy is already fine.  Both paths are bit-identical, so
+the threshold is purely a performance knob.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.kernels import csrc, reference
+
+__all__ = [
+    "available",
+    "enabled",
+    "set_enabled",
+    "backend",
+    "wang64_u64",
+    "combine_pairs",
+    "fold_pairs",
+    "pagerank_apply",
+    "c_wang64_u64",
+    "c_combine_pairs",
+    "c_fold_pairs",
+    "c_pagerank_apply",
+    "MIN_HASH",
+    "MIN_PAIRS",
+]
+
+#: Minimum batch sizes before the dispatchers bother with the C call.
+MIN_HASH = 512
+MIN_PAIRS = 192
+
+_OPCODES = {np.add: 0, np.minimum: 1, np.maximum: 2}
+
+_enabled = os.environ.get("REPRO_KERNELS", "").strip().lower() in (
+    "1",
+    "on",
+    "c",
+    "auto",
+    "true",
+)
+
+
+def available() -> bool:
+    """Whether the C backend compiled and loaded successfully."""
+    return csrc.load() is not None
+
+
+def enabled() -> bool:
+    """Whether dispatchers currently try the C backend."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> bool:
+    """Enable/disable acceleration; returns the *effective* state
+    (enabling without a compiler stays off — graceful fallback)."""
+    global _enabled
+    _enabled = bool(flag) and available()
+    return _enabled
+
+
+def backend() -> str:
+    """The backend production calls currently resolve to."""
+    return "c" if (_enabled and available()) else "numpy"
+
+
+def _lib():
+    return csrc.load()
+
+
+# ----------------------------------------------------------------------
+# direct C entry points (raise if the backend is unavailable) — used by
+# the parity suite and microbenches to compare backends explicitly
+# ----------------------------------------------------------------------
+
+
+def c_wang64_u64(key: np.ndarray) -> np.ndarray:
+    lib = _lib()
+    if lib is None:
+        raise RuntimeError(f"C kernel backend unavailable: {csrc.build_error()}")
+    key = np.ascontiguousarray(key, dtype=np.uint64)
+    out = np.empty_like(key)
+    lib.repro_wang64(key, out, key.size)
+    return out
+
+
+def c_combine_pairs(
+    dst: np.ndarray, val: np.ndarray, ufunc: np.ufunc, identity: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    lib = _lib()
+    if lib is None:
+        raise RuntimeError(f"C kernel backend unavailable: {csrc.build_error()}")
+    op = _OPCODES[ufunc]
+    if len(dst) == 0:
+        return dst, val
+    d = np.ascontiguousarray(dst, dtype=np.int64)
+    v = np.ascontiguousarray(val, dtype=np.float64)
+    out_dst = np.empty(len(d), dtype=np.int64)
+    out_val = np.empty(len(d), dtype=np.float64)
+    m = lib.repro_combine_pairs(d, v, len(d), op, float(identity), out_dst, out_val)
+    if m < 0:  # pragma: no cover - allocation failure
+        raise MemoryError("combine_pairs C kernel allocation failed")
+    unique = out_dst[:m]
+    if unique.dtype != dst.dtype:
+        unique = unique.astype(dst.dtype)
+    return unique, out_val[:m]
+
+
+def c_fold_pairs(
+    accum: np.ndarray,
+    got: np.ndarray,
+    ids: np.ndarray,
+    dst: np.ndarray,
+    val: np.ndarray,
+    ufunc: np.ufunc,
+) -> None:
+    lib = _lib()
+    if lib is None:
+        raise RuntimeError(f"C kernel backend unavailable: {csrc.build_error()}")
+    op = _OPCODES[ufunc]
+    if len(dst) == 0:
+        return
+    d = np.ascontiguousarray(dst, dtype=np.int64)
+    v = np.ascontiguousarray(val, dtype=np.float64)
+    ids_c = np.ascontiguousarray(ids, dtype=np.int64)
+    if accum.dtype != np.float64 or not accum.flags.c_contiguous:
+        raise TypeError("fold_pairs needs a contiguous float64 accumulator")
+    got_u8 = got.view(np.uint8)
+    rc = lib.repro_fold_pairs(d, v, len(d), ids_c, len(ids_c), op, accum, got_u8)
+    if rc == -2:
+        raise KeyError("fold_pairs: destination not hosted in ids table")
+    if rc != 0:  # pragma: no cover - allocation failure
+        raise MemoryError("fold_pairs C kernel allocation failed")
+
+
+def c_pagerank_apply(agg: np.ndarray, base: float, damping: float) -> np.ndarray:
+    lib = _lib()
+    if lib is None:
+        raise RuntimeError(f"C kernel backend unavailable: {csrc.build_error()}")
+    a = np.ascontiguousarray(agg, dtype=np.float64)
+    out = np.empty_like(a)
+    lib.repro_pr_apply(a, out, a.size, float(base), float(damping))
+    return out
+
+
+# ----------------------------------------------------------------------
+# dispatchers — what production code calls
+# ----------------------------------------------------------------------
+
+
+def wang64_u64(key: np.ndarray) -> Optional[np.ndarray]:
+    """Accelerated Wang mix over uint64 keys, or None to signal the
+    caller to use its own numpy path (tiny batch / backend off)."""
+    if _enabled and key.size >= MIN_HASH and available():
+        return c_wang64_u64(key)
+    return None
+
+
+def combine_pairs(
+    dst: np.ndarray, val: np.ndarray, ufunc: np.ufunc, identity: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    if (
+        _enabled
+        and len(dst) >= MIN_PAIRS
+        and ufunc in _OPCODES
+        and available()
+    ):
+        return c_combine_pairs(dst, val, ufunc, identity)
+    return reference.combine_pairs(dst, val, ufunc, identity)
+
+
+def fold_pairs(
+    accum: np.ndarray,
+    got: np.ndarray,
+    ids: np.ndarray,
+    dst: np.ndarray,
+    val: np.ndarray,
+    ufunc: np.ufunc,
+) -> None:
+    if (
+        _enabled
+        and len(dst) >= MIN_PAIRS
+        and ufunc in _OPCODES
+        and accum.dtype == np.float64
+        and accum.flags.c_contiguous
+        and got.dtype == np.bool_
+        and got.flags.c_contiguous
+        and available()
+    ):
+        c_fold_pairs(accum, got, ids, dst, val, ufunc)
+        return
+    reference.fold_pairs(accum, got, ids, dst, val, ufunc)
+
+
+def pagerank_apply(agg: np.ndarray, base: float, damping: float) -> np.ndarray:
+    if _enabled and agg.size >= MIN_PAIRS and available():
+        return c_pagerank_apply(agg, base, damping)
+    return reference.pagerank_apply(agg, base, damping)

@@ -1,11 +1,25 @@
 """Deterministic discrete-event simulation kernel.
 
-The kernel is a priority queue of timestamped callbacks.  Ties are broken
-by insertion order, so given the same seeds a simulation is exactly
-reproducible: there is no dependence on wall-clock time, hashing order, or
-thread scheduling.  This is what makes the reproduction's "runtimes"
-meaningful — they are simulated seconds charged by cost models, not noisy
-interpreter timings.
+The kernel fires timestamped callbacks in (time, insertion-order)
+sequence, so given the same seeds a simulation is exactly reproducible:
+there is no dependence on wall-clock time, hashing order, or thread
+scheduling.  This is what makes the reproduction's "runtimes"
+meaningful — they are simulated seconds charged by cost models, not
+noisy interpreter timings.
+
+Dispatch is *cohort-batched*: events are bucketed by exact timestamp
+(a dict of insertion-ordered lists) and a small heap orders only the
+distinct timestamps.  One heap pop drains an entire same-time cohort,
+so the per-event cost is a list append and a deque pop — the O(log n)
+heap work amortizes across the cohort.  In a synchronous cluster round
+thousands of message deliveries share one timestamp, which is exactly
+where the old one-heap-pop-per-event loop burned its time.
+
+Cancellation stays O(1): handles flip a flag, an exact counter tracks
+cancelled-but-queued events, and once they dominate a large queue the
+buckets are filtered in one O(n) pass.  The timestamp heap is never
+rebuilt — bucket-less times are dropped lazily at pop time — so
+cancellation-heavy workloads never re-heapify at all.
 """
 
 from __future__ import annotations
@@ -13,15 +27,16 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse, e.g. scheduling into the past."""
 
 
-@dataclass(order=True)
+@dataclass
 class _Event:
     time: float
     seq: int
@@ -92,8 +107,20 @@ class SimKernel:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._queue: list[_Event] = []
+        # Events bucketed by exact timestamp, each bucket in insertion
+        # order; the heap orders only the *distinct* times.  A bucket
+        # removed by compaction leaves its time behind as a stale heap
+        # entry, skipped at pop time.
+        self._buckets: Dict[float, List[_Event]] = {}
+        self._times: List[float] = []
+        # The cohort currently being drained (popped bucket).  It is
+        # always the minimum outstanding time: the heap held no smaller
+        # time when it was popped, and scheduling into the past is
+        # rejected.
+        self._active: deque = deque()
+        self._active_time: Optional[float] = None
         self._seq = itertools.count()
+        self._n_queued = 0
         self._events_processed = 0
         self._running = False
         # Count of cancelled events still sitting in the queue, kept
@@ -125,7 +152,7 @@ class SimKernel:
     @property
     def pending(self) -> int:
         """Number of scheduled (possibly cancelled) events still queued."""
-        return len(self._queue)
+        return self._n_queued
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to fire ``delay`` seconds from now.
@@ -142,9 +169,38 @@ class SimKernel:
             raise SimulationError(
                 f"cannot schedule into the past: now={self._now}, requested={time}"
             )
-        event = _Event(time=float(time), seq=next(self._seq), callback=callback, args=args)
-        heapq.heappush(self._queue, event)
+        time = float(time)
+        event = _Event(time=time, seq=next(self._seq), callback=callback, args=args)
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [event]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(event)
+        self._n_queued += 1
         return EventHandle(event, self)
+
+    def _load_cohort(self, until: Optional[float]) -> bool:
+        """Pop the next timestamp's whole bucket into the active cohort.
+
+        Returns False when no bucket at time <= ``until`` remains.
+        Stale heap times (bucket removed by compaction) are discarded
+        on the way — the lazy half of heap-free cancellation.
+        """
+        while self._times:
+            t = self._times[0]
+            bucket = self._buckets.get(t)
+            if bucket is None:
+                heapq.heappop(self._times)  # stale: compacted away
+                continue
+            if until is not None and t > until:
+                return False
+            heapq.heappop(self._times)
+            del self._buckets[t]
+            self._active = deque(bucket)
+            self._active_time = t
+            return True
+        return False
 
     def step(self) -> bool:
         """Fire the single next non-cancelled event.
@@ -152,9 +208,12 @@ class SimKernel:
         Returns ``True`` if an event fired, ``False`` if the queue was
         empty (cancelled events are discarded without firing).
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        while True:
+            if not self._active and not self._load_cohort(None):
+                return False
+            event = self._active.popleft()
             event.in_queue = False
+            self._n_queued -= 1
             if event.cancelled:
                 self._cancelled_pending -= 1
                 continue
@@ -162,10 +221,10 @@ class SimKernel:
             self._events_processed += 1
             event.callback(*event.args)
             return True
-        return False
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
-        """Run events in timestamp order.
+        """Run events in timestamp order, a full same-time cohort per
+        heap pop (ties fire in insertion order, as always).
 
         Parameters
         ----------
@@ -186,17 +245,20 @@ class SimKernel:
         self._running = True
         fired = 0
         try:
-            while self._queue:
-                if max_events is not None and fired >= max_events:
+            while max_events is None or fired < max_events:
+                if not self._active:
+                    if not self._load_cohort(until):
+                        break
+                elif until is not None and self._active_time is not None and self._active_time > until:
+                    # A partially drained cohort (step()/max_events cut)
+                    # can sit beyond the horizon; leave it queued.
                     break
-                event = self._queue[0]
+                event = self._active.popleft()
+                event.in_queue = False
+                self._n_queued -= 1
                 if event.cancelled:
-                    heapq.heappop(self._queue).in_queue = False
                     self._cancelled_pending -= 1
                     continue
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(self._queue).in_queue = False
                 self._now = event.time
                 self._events_processed += 1
                 event.callback(*event.args)
@@ -222,30 +284,47 @@ class SimKernel:
         return fired
 
     def _has_live_events(self) -> bool:
-        return len(self._queue) > self._cancelled_pending
+        return self._n_queued > self._cancelled_pending
 
     def _note_cancel(self) -> None:
-        """Record the cancellation of a still-queued event, compacting
-        the heap lazily once cancelled events dominate it."""
+        """Record the cancellation of a still-queued event, filtering
+        the buckets lazily once cancelled events dominate."""
         self._cancelled_pending += 1
         if (
-            len(self._queue) >= self._COMPACT_MIN
-            and self._cancelled_pending * 2 > len(self._queue)
+            self._n_queued >= self._COMPACT_MIN
+            and self._cancelled_pending * 2 > self._n_queued
         ):
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled events from the queue in one O(n) pass.
+        """Drop cancelled events from every bucket in one O(n) pass.
 
-        Re-heapifying live events preserves firing order exactly: the
-        heap invariant depends only on the (time, seq) total order.
+        Firing order is untouched — buckets keep their insertion order
+        and the timestamp heap is not rebuilt (an emptied bucket just
+        leaves a stale time for :meth:`_load_cohort` to skip), so
+        cancellation storms never trigger quadratic re-heapify work.
         """
-        live = []
-        for event in self._queue:
-            if event.cancelled:
-                event.in_queue = False
-            else:
-                live.append(event)
-        heapq.heapify(live)
-        self._queue = live
+        for t in list(self._buckets):
+            bucket = self._buckets[t]
+            live = []
+            for event in bucket:
+                if event.cancelled:
+                    event.in_queue = False
+                    self._n_queued -= 1
+                else:
+                    live.append(event)
+            if len(live) != len(bucket):
+                if live:
+                    self._buckets[t] = live
+                else:
+                    del self._buckets[t]
+        if self._active:
+            live_active = deque()
+            for event in self._active:
+                if event.cancelled:
+                    event.in_queue = False
+                    self._n_queued -= 1
+                else:
+                    live_active.append(event)
+            self._active = live_active
         self._cancelled_pending = 0

@@ -1,0 +1,62 @@
+"""Dispatch gating: opt-in, graceful fallback, reversible."""
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.kernels import reference
+
+pytestmark = pytest.mark.kernels
+
+
+@pytest.fixture(autouse=True)
+def _restore_dispatch():
+    before = kernels.enabled()
+    yield
+    kernels.set_enabled(before)
+
+
+def test_disabled_backend_is_numpy():
+    kernels.set_enabled(False)
+    assert kernels.backend() == "numpy"
+    assert not kernels.enabled()
+
+
+def test_enable_reports_effective_state():
+    effective = kernels.set_enabled(True)
+    # Enabling only sticks when the C backend actually built; either
+    # way the report matches reality.
+    assert effective == (kernels.available() and kernels.enabled())
+    assert kernels.backend() == ("c" if effective else "numpy")
+
+
+def test_dispatcher_results_identical_across_backends():
+    rng = np.random.default_rng(3)
+    dst = rng.integers(0, 200, size=max(kernels.MIN_PAIRS * 4, 1024)).astype(np.int64)
+    val = rng.standard_normal(len(dst))
+
+    kernels.set_enabled(False)
+    off = kernels.combine_pairs(dst, val, np.add, 0.0)
+    on_state = kernels.set_enabled(True)
+    on = kernels.combine_pairs(dst, val, np.add, 0.0)
+
+    assert np.array_equal(off[0], on[0])
+    assert np.array_equal(
+        off[1].view(np.uint64), on[1].view(np.uint64)
+    ), f"dispatcher diverged (accel effective: {on_state})"
+
+
+def test_tiny_batches_stay_on_reference_path():
+    # Below MIN_PAIRS the dispatcher must not pay the ctypes overhead;
+    # both paths are bit-identical so this is observable only by the
+    # hash dispatcher's None convention.
+    kernels.set_enabled(True)
+    small = np.arange(4, dtype=np.uint64)
+    assert kernels.wang64_u64(small) is None  # caller uses its own numpy path
+    big = np.arange(max(kernels.MIN_HASH, 512), dtype=np.uint64)
+    out = kernels.wang64_u64(big)
+    if kernels.available():
+        assert out is not None
+        assert np.array_equal(out, reference.wang64_u64(big))
+    else:
+        assert out is None

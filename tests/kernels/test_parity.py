@@ -1,0 +1,178 @@
+"""Accelerated-kernel bit-identity: the C backend vs the numpy oracle.
+
+The contract the whole acceleration layer rests on: for every input the
+C kernels produce *bit-identical* output to the pure-numpy reference —
+same values, same order, same dtype widths — so turning acceleration on
+can never change a run's results, only its wall-clock.  The properties
+sweep input dtypes and shard splits (the two-level reduction: per-shard
+combines folded into one accumulator must equal the flat fold exactly).
+
+Value strategy notes: folds are canonically (dst, val)-lexsorted, so
+ties between +0.0 and -0.0 would make the *sort* ambiguous (they
+compare equal but differ bitwise); the documented determinism contract
+excludes -0.0, and so do the strategies.  NaN is excluded for the same
+reason (unsortable).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.kernels import reference
+
+pytestmark = [
+    pytest.mark.kernels,
+    pytest.mark.skipif(
+        not kernels.available(), reason="C kernel backend unavailable (no compiler)"
+    ),
+]
+
+# Finite, no NaN, no -0.0 (see module docstring).
+safe_floats = st.floats(
+    allow_nan=False, allow_infinity=False, width=64, min_value=-1e12, max_value=1e12
+).map(lambda x: 0.0 if x == 0.0 else x)
+
+pair_batches = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=500), safe_floats),
+    min_size=0,
+    max_size=400,
+)
+
+UFUNCS = [(np.add, 0.0), (np.minimum, np.inf), (np.maximum, -np.inf)]
+
+
+def bits(arr: np.ndarray) -> np.ndarray:
+    """Bit view for exact float comparison (0.0 vs -0.0 distinct)."""
+    arr = np.ascontiguousarray(arr)
+    return arr.view(np.uint64) if arr.dtype == np.float64 else arr
+
+
+@given(keys=st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=500))
+@settings(max_examples=60, deadline=None)
+def test_wang64_parity(keys):
+    arr = np.array(keys, dtype=np.uint64)
+    assert np.array_equal(reference.wang64_u64(arr), kernels.c_wang64_u64(arr))
+
+
+@pytest.mark.parametrize("dtype", [np.uint64, np.uint32, np.int64])
+def test_wang64_parity_across_key_dtypes(dtype):
+    rng = np.random.default_rng(7)
+    hi = min(np.iinfo(dtype).max, 2**63 - 1)
+    raw = rng.integers(0, hi, size=4096).astype(dtype)
+    arr = raw.astype(np.uint64)
+    assert np.array_equal(reference.wang64_u64(arr), kernels.c_wang64_u64(arr))
+
+
+@given(pairs=pair_batches, op=st.sampled_from(range(len(UFUNCS))))
+@settings(max_examples=80, deadline=None)
+def test_combine_pairs_parity(pairs, op):
+    ufunc, identity = UFUNCS[op]
+    dst = np.array([p[0] for p in pairs], dtype=np.int64)
+    val = np.array([p[1] for p in pairs], dtype=np.float64)
+    ref_d, ref_v = reference.combine_pairs(dst, val, ufunc, identity)
+    acc_d, acc_v = kernels.c_combine_pairs(dst, val, ufunc, identity)
+    assert np.array_equal(ref_d, acc_d)
+    assert np.array_equal(bits(ref_v), bits(acc_v))
+
+
+@pytest.mark.parametrize("dst_dtype", [np.int64, np.int32])
+def test_combine_pairs_parity_across_dst_dtypes(dst_dtype):
+    rng = np.random.default_rng(11)
+    dst = rng.integers(0, 300, size=2048).astype(dst_dtype)
+    val = rng.standard_normal(2048)
+    ref_d, ref_v = reference.combine_pairs(
+        dst.astype(np.int64), val, np.add, 0.0
+    )
+    acc_d, acc_v = kernels.c_combine_pairs(dst.astype(np.int64), val, np.add, 0.0)
+    assert np.array_equal(ref_d, acc_d)
+    assert np.array_equal(bits(ref_v), bits(acc_v))
+
+
+@given(
+    pairs=pair_batches,
+    op=st.sampled_from(range(len(UFUNCS))),
+    n_shards=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=60, deadline=None)
+def test_fold_pairs_parity_across_shard_splits(pairs, op, n_shards):
+    """Receiver-side folds, shard by shard, agree bit for bit — the
+    split-vertex case where each replica's partial arrives separately."""
+    ufunc, identity = UFUNCS[op]
+    dst = np.array([p[0] for p in pairs], dtype=np.int64)
+    val = np.array([p[1] for p in pairs], dtype=np.float64)
+    ids = np.unique(np.concatenate([dst, np.arange(0, 501, 50, dtype=np.int64)]))
+
+    ref_accum = np.full(len(ids), identity, dtype=np.float64)
+    ref_got = np.zeros(len(ids), dtype=bool)
+    acc_accum = np.full(len(ids), identity, dtype=np.float64)
+    acc_got = np.zeros(len(ids), dtype=bool)
+    for shard in range(n_shards):
+        mask = (dst % n_shards) == shard
+        reference.fold_pairs(ref_accum, ref_got, ids, dst[mask], val[mask], ufunc)
+        kernels.c_fold_pairs(acc_accum, acc_got, ids, dst[mask], val[mask], ufunc)
+    assert np.array_equal(bits(ref_accum), bits(acc_accum))
+    assert np.array_equal(ref_got, acc_got)
+
+
+@given(pairs=pair_batches, n_shards=st.integers(min_value=1, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_two_level_reduction_is_bit_identical(pairs, n_shards):
+    """Sender-side combine + fold of partials == flat receiver fold,
+    and both backends agree: the determinism contract that lets
+    combining toggle per packet without changing any bit."""
+    dst = np.array([p[0] for p in pairs], dtype=np.int64)
+    val = np.array([p[1] for p in pairs], dtype=np.float64)
+    ids = np.unique(np.concatenate([dst, np.asarray([0], dtype=np.int64)]))
+
+    # Level 1 on each shard (both backends must agree), then level 2
+    # folds the concatenated partials exactly like a receiver would.
+    flat = np.zeros(len(ids)), np.zeros(len(ids), dtype=bool)
+    two = np.zeros(len(ids)), np.zeros(len(ids), dtype=bool)
+    reference.fold_pairs(flat[0], flat[1], ids, dst, val, np.add)
+
+    part_d, part_v = [], []
+    for shard in range(n_shards):
+        mask = (dst % n_shards) == shard
+        rd, rv = reference.combine_pairs(dst[mask], val[mask], np.add, 0.0)
+        cd, cv = kernels.c_combine_pairs(dst[mask], val[mask], np.add, 0.0)
+        assert np.array_equal(rd, cd) and np.array_equal(bits(rv), bits(cv))
+        part_d.append(rd)
+        part_v.append(rv)
+    if part_d:
+        pd = np.concatenate(part_d)
+        pv = np.concatenate(part_v)
+        kernels.c_fold_pairs(two[0], two[1], ids, pd, pv, np.add)
+    # The two-level fold regroups float additions, so it equals the
+    # flat fold canonically (same (dst, val)-sorted order) only when
+    # each dst's values arrive in one shard; across shards it is the
+    # *backend agreement* that must be exact, checked above.  Here we
+    # additionally pin the single-shard case to the flat fold.
+    if n_shards == 1:
+        assert np.array_equal(bits(flat[0]), bits(two[0]))
+        assert np.array_equal(flat[1], two[1])
+
+
+@given(
+    agg=st.lists(safe_floats, max_size=300),
+    base=safe_floats,
+    damping=st.floats(min_value=0.01, max_value=0.99),
+)
+@settings(max_examples=60, deadline=None)
+def test_pagerank_apply_parity(agg, base, damping):
+    arr = np.array(agg, dtype=np.float64)
+    ref = reference.pagerank_apply(arr, base, damping)
+    acc = kernels.c_pagerank_apply(arr, base, damping)
+    assert np.array_equal(bits(ref), bits(acc))
+
+
+def test_fold_pairs_unhosted_destination_raises_in_both():
+    ids = np.asarray([1, 2, 3], dtype=np.int64)
+    dst = np.asarray([9], dtype=np.int64)
+    val = np.asarray([1.0])
+    for impl in (reference.fold_pairs, kernels.c_fold_pairs):
+        accum = np.zeros(3)
+        got = np.zeros(3, dtype=bool)
+        with pytest.raises(KeyError):
+            impl(accum, got, ids, dst, val, np.add)

@@ -1,0 +1,92 @@
+"""End-to-end at RMAT scale 14: acceleration changes wall-clock only.
+
+The micro parity suite (test_parity.py) proves each kernel bit-exact in
+isolation; this module proves the *composition* — placement hashing,
+sender combines, receiver folds, PageRank apply, split-vertex replicas
+— stays bit-identical through a real engine run, and that the chaos
+suite (drops, duplicates, retransmits, mid-run crash recovery) holds
+its bit-equality invariant with the C backend underneath.
+"""
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.core import ElGA, PageRank
+from repro.core.algorithms import WCC
+from repro.gen import rmat_graph
+from repro.net.faults import CrashEvent, FaultPlan
+
+from tests.chaos.harness import assert_chaos_survives
+
+pytestmark = [
+    pytest.mark.kernels,
+    pytest.mark.skipif(
+        not kernels.available(), reason="C kernel backend unavailable (no compiler)"
+    ),
+]
+
+
+@pytest.fixture(autouse=True)
+def _restore_dispatch():
+    before = kernels.enabled()
+    yield
+    kernels.set_enabled(before)
+
+
+@pytest.fixture(scope="module")
+def graph14():
+    us, vs, n = rmat_graph(14, edge_factor=4, seed=23)
+    return us, vs, n
+
+
+def _run(us, vs, accel: bool, program):
+    effective = kernels.set_enabled(accel)
+    assert effective == accel, "backend toggle did not take effect"
+    engine = ElGA(
+        nodes=2,
+        agents_per_node=2,
+        seed=5,
+        # Low threshold so the heavy-tailed RMAT hubs actually split:
+        # the two-level (combine, fold-of-partials) path must be hit.
+        replication_threshold=256,
+        keep_reference=False,
+    )
+    engine.ingest_edges(us, vs)
+    result = engine.run(program)
+    return result.values
+
+
+def test_scale14_pagerank_bit_identical_with_acceleration(graph14):
+    us, vs, _ = graph14
+    accel = _run(us, vs, True, PageRank(max_iters=5))
+    ref = _run(us, vs, False, PageRank(max_iters=5))
+    # Dict == on float values is bitwise-exact apart from 0.0/-0.0;
+    # pin the bits too so even a signed-zero drift would fail.
+    assert accel == ref
+    a = np.asarray([accel[k] for k in sorted(accel)])
+    r = np.asarray([ref[k] for k in sorted(ref)])
+    assert np.array_equal(a.view(np.uint64), r.view(np.uint64))
+
+
+def test_scale14_wcc_bit_identical_with_acceleration(graph14):
+    us, vs, _ = graph14
+    accel = _run(us, vs, True, WCC())
+    ref = _run(us, vs, False, WCC())
+    assert accel == ref
+
+
+def test_scale14_chaos_suite_with_acceleration(graph14):
+    """The whole chaos invariant — faulted run converges bit-equal to
+    the fault-free reference — with the C kernels doing the math."""
+    us, vs, _ = graph14
+    kernels.set_enabled(True)
+    plan = FaultPlan.data_plane_chaos(
+        seed=29, drop_p=0.02, dup_p=0.02, crashes=[CrashEvent(after_step=2)]
+    )
+    report = assert_chaos_survives(
+        plan, us=us, vs=vs, programs=[PageRank(max_iters=6)]
+    )
+    assert report.ok
+    assert report.recoveries >= 0  # crash path exercised (abrupt or drain)
+    assert kernels.backend() == "c"  # acceleration stayed on throughout

@@ -1,5 +1,8 @@
 """O(1) live-event accounting and lazy heap compaction."""
 
+import heapq
+
+import repro.sim.kernel as kernel_mod
 from repro.sim.kernel import SimKernel
 
 
@@ -76,3 +79,68 @@ def test_firing_order_preserved_across_compaction():
         h.cancel()
     k.run()
     assert order == sorted(order)
+
+
+def test_cancel_storm_never_reheapifies(monkeypatch):
+    """Cancellation-heavy workloads must not rebuild the timestamp heap.
+
+    Compaction filters buckets in one pass and leaves stale times for
+    the pop path to skip; a quadratic regression would show up as
+    ``heapq.heapify`` calls (or a replaced heap list) during the storm.
+    """
+
+    def forbidden(*_a, **_k):  # pragma: no cover - only fires on regression
+        raise AssertionError("SimKernel rebuilt its timestamp heap")
+
+    monkeypatch.setattr(kernel_mod.heapq, "heapify", forbidden)
+
+    k = SimKernel()
+    heap_before = k._times
+    fired = []
+    # Many distinct timestamps so the heap is non-trivial, then cancel
+    # waves big enough to trigger compaction repeatedly.
+    for wave in range(8):
+        doomed = [k.schedule(100.0 + wave + i * 1e-6, noop) for i in range(300)]
+        k.schedule(float(wave + 1), fired.append, wave)
+        for h in doomed:
+            h.cancel()
+        assert k._cancelled_pending * 2 <= max(k._n_queued, 1) or k._n_queued < 64
+    assert k._times is heap_before  # same heap object throughout
+    assert k.run() == 8
+    assert fired == list(range(8))
+
+
+def test_cancel_storm_cost_is_linear_in_pops(monkeypatch):
+    """Stale times cost one lazy heap pop each, never a re-sort: total
+    pops are bounded by distinct timestamps ever pushed."""
+    pops = []
+    real_pop = heapq.heappop
+    monkeypatch.setattr(kernel_mod.heapq, "heappop", lambda h: pops.append(1) or real_pop(h))
+
+    k = SimKernel()
+    distinct_times = 0
+    for i in range(500):
+        h = k.schedule(10.0 + i, noop)  # each its own timestamp
+        distinct_times += 1
+        h.cancel()
+    k.schedule(1.0, noop)
+    distinct_times += 1
+    k.run()
+    assert len(pops) <= distinct_times
+    assert k.pending == 0 and k._cancelled_pending == 0
+
+
+def test_same_time_cohort_drains_on_one_heap_pop(monkeypatch):
+    """Batched dispatch: N events sharing a timestamp cost one heap pop
+    and fire in insertion order."""
+    pops = []
+    real_pop = heapq.heappop
+    monkeypatch.setattr(kernel_mod.heapq, "heappop", lambda h: pops.append(1) or real_pop(h))
+
+    k = SimKernel()
+    order = []
+    for i in range(1000):
+        k.schedule(5.0, order.append, i)
+    assert k.run() == 1000
+    assert len(pops) == 1
+    assert order == list(range(1000))

@@ -1,0 +1,79 @@
+"""Count-sketch triangle estimation vs the exact sparse oracle."""
+
+import numpy as np
+import pytest
+
+from repro.gen import rmat_graph
+from repro.sketch.triangles import (
+    triangle_count,
+    triangle_count_exact,
+    triangle_count_sketch,
+)
+
+
+def test_single_triangle_exact():
+    us = np.asarray([0, 1, 2])
+    vs = np.asarray([1, 2, 0])
+    assert triangle_count_exact(us, vs) == 1
+
+
+def test_exact_ignores_direction_duplicates_and_self_loops():
+    # K3 written with reversed duplicates and a self-loop still has
+    # exactly one triangle.
+    us = np.asarray([0, 1, 2, 1, 2, 0, 3])
+    vs = np.asarray([1, 2, 0, 0, 1, 2, 3])
+    assert triangle_count_exact(us, vs) == 1
+
+
+def test_exact_matches_networkx():
+    nx = pytest.importorskip("networkx")
+    us, vs, _ = rmat_graph(9, edge_factor=8, seed=4)
+    g = nx.Graph()
+    g.add_edges_from(zip(us.tolist(), vs.tolist()))
+    g.remove_edges_from(nx.selfloop_edges(g))
+    expected = sum(nx.triangles(g).values()) // 3
+    assert triangle_count_exact(us, vs) == expected
+
+
+def test_empty_and_triangle_free():
+    assert triangle_count_exact(np.asarray([], dtype=np.int64), np.asarray([], dtype=np.int64)) == 0
+    assert triangle_count_sketch(np.asarray([], dtype=np.int64), np.asarray([], dtype=np.int64)) == 0.0
+    # A star has no triangles; the sketch should say so approximately.
+    us = np.zeros(20, dtype=np.int64)
+    vs = np.arange(1, 21, dtype=np.int64)
+    assert triangle_count_exact(us, vs) == 0
+    assert abs(triangle_count_sketch(us, vs, width=128, seed=2)) < 5.0
+
+
+def test_sketch_tracks_exact_within_tolerance():
+    us, vs, _ = rmat_graph(10, edge_factor=8, seed=4)
+    exact = triangle_count_exact(us, vs)
+    assert exact > 0
+    est = triangle_count_sketch(us, vs, width=256, depth=5, seed=0)
+    assert abs(est - exact) / exact < 0.15
+
+
+def test_sketch_deterministic_for_fixed_seed():
+    us, vs, _ = rmat_graph(9, edge_factor=4, seed=6)
+    a = triangle_count_sketch(us, vs, width=64, seed=3)
+    b = triangle_count_sketch(us, vs, width=64, seed=3)
+    assert a == b
+    # A different hash family gives a different (still unbiased) draw.
+    c = triangle_count_sketch(us, vs, width=64, seed=4)
+    assert a != c
+
+
+def test_wider_sketch_is_more_accurate():
+    us, vs, _ = rmat_graph(10, edge_factor=8, seed=4)
+    exact = triangle_count_exact(us, vs)
+    err_narrow = abs(triangle_count_sketch(us, vs, width=32, seed=0) - exact)
+    err_wide = abs(triangle_count_sketch(us, vs, width=512, seed=0) - exact)
+    assert err_wide < err_narrow
+
+
+def test_router():
+    us = np.asarray([0, 1, 2])
+    vs = np.asarray([1, 2, 0])
+    assert triangle_count(us, vs, exact=True) == 1.0
+    est = triangle_count(us, vs, width=64, seed=1)
+    assert isinstance(est, float)
