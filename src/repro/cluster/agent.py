@@ -302,6 +302,16 @@ class Agent(Entity):
         # Elasticity.
         self.leaving = False
         self._migration_acks_pending = 0
+        # Outbound migration ledger: token -> (role, keys, others) for
+        # batches removed from our stores but not yet acked by the
+        # receiving hop.  The WAL removal is logged only on ack: until
+        # the rows are durably *somewhere else*, a replacement must
+        # restore them from its checkpoint + WAL and re-ship under the
+        # current directory (receiver application is idempotent).
+        # Logging the removal at send time lost edges when this agent
+        # crashed abruptly with the EDGE_MIGRATE still in flight.
+        self._pending_migrations: Dict[int, Tuple[str, np.ndarray, np.ndarray]] = {}
+        self._migration_seq = 0
 
         self.run: Optional[_RunState] = None
 
@@ -391,7 +401,7 @@ class Agent(Entity):
         elif ptype == PacketType.EDGE_MIGRATE:
             self._on_edge_update(message.payload, count_in_sketch=False)
         elif ptype == PacketType.EDGE_MIGRATE_ACK:
-            self._on_migrate_ack()
+            self._on_migrate_ack(message.payload)
         elif ptype == PacketType.EDGE_UPDATE_ACK:
             pass  # agents don't originate EDGE_UPDATEs
         elif ptype == PacketType.RUN_START:
@@ -450,6 +460,11 @@ class Agent(Entity):
         self._adopt_state(state)
 
     def _adopt_state(self, state: DirectoryState) -> None:
+        if self.dstate is not None and state.weights != self.dstate.weights:
+            # A re-weight landed (planner adoption or heterogeneous
+            # join): the ring below shifts arcs, and _migrate_misplaced
+            # re-homes whatever this agent no longer owns.
+            self.metrics.rebalance_adoptions += 1
         self.dstate = state
         self._pending_state = None
         self.ring = ConsistentHashRing(
@@ -546,13 +561,11 @@ class Agent(Entity):
             wrong_o = others[wrong].copy()
             self.charge(costs.elga_migrate_op * int(wrong.sum()))
             self.metrics.edges_migrated += int(wrong.sum())
-            # Remove locally, one vectorized pass over the store.
+            # Remove locally, one vectorized pass over the store.  The
+            # WAL removal is NOT logged here: it enters the ledger per
+            # destination batch below and hits the log only when that
+            # batch's hop ack arrives (see _pending_migrations).
             store.remove_pairs(wrong_k, wrong_o)
-            self._wal_log(
-                role,
-                (wrong_k, wrong_o, np.full(len(wrong_k), -1, dtype=np.int64)),
-                sketched=False,
-            )
             # Group by destination agent and ship, with vertex state.
             order = np.argsort(moving_owner, kind="stable")
             moving_owner = moving_owner[order]
@@ -583,13 +596,17 @@ class Agent(Entity):
                     prog: as_column(col).select(owned)
                     for prog, col in self.persistent_scatter.items()
                 }
+                token = self._new_migration_token()
+                batch_keys = moving_u[s:e] if role == "out" else moving_v[s:e]
+                batch_others = moving_v[s:e] if role == "out" else moving_u[s:e]
+                self._pending_migrations[token] = (role, batch_keys, batch_others)
                 payload = {
                     "role": role,
                     "actions": np.ones(e - s, dtype=np.int8),
                     "us": moving_u[s:e],
                     "vs": moving_v[s:e],
                     "reply_to": self.address,
-                    "token": -1,
+                    "token": token,
                     "values": values,
                     "active": active,
                     "scatter": scatter,
@@ -627,7 +644,29 @@ class Agent(Entity):
             for k in empty:
                 del store[k]
 
-    def _on_migrate_ack(self) -> None:
+    def _new_migration_token(self) -> int:
+        """A ledger token unique across agents (hop acks echo foreign
+        tokens back; two agents' seq counters must not collide).
+        Negative, so it can never be mistaken for an update token."""
+        self._migration_seq += 1
+        return -(self.agent_id * 1_048_576 + self._migration_seq + 1)
+
+    def _resolve_migration(self, token) -> None:
+        """The batch is durably elsewhere (or re-routed): log the
+        deferred removal.  Unknown tokens — foreign (a hop ack for rows
+        that merely passed through us) or already resolved — are
+        no-ops."""
+        entry = self._pending_migrations.pop(token, None) if token is not None else None
+        if entry is not None:
+            role, keys, others = entry
+            self._wal_log(
+                role,
+                (keys, others, np.full(len(keys), -1, dtype=np.int64)),
+                sketched=False,
+            )
+
+    def _on_migrate_ack(self, payload: dict) -> None:
+        self._resolve_migration(payload.get("token"))
         self._migration_acks_pending -= 1
         self._maybe_finish_leaving()
 
@@ -637,10 +676,14 @@ class Agent(Entity):
         a departed peer never received the edges — re-process the
         payload under the current directory (which excludes the
         leaver), re-routing the rows and acking ourselves so the hop
-        ledger drains instead of deadlocking ``consistent()``."""
+        ledger drains instead of deadlocking ``consistent()``.  The
+        ledger entry resolves *now*, before the re-process: the
+        original removal must precede any local re-insert in the WAL,
+        or a replacement would replay them out of order."""
         if self.crashed or message.ptype != PacketType.EDGE_MIGRATE:
             return
         self.perf.add("migrations_bounced")
+        self._resolve_migration(message.payload.get("token"))
         self._on_edge_update(dict(message.payload), count_in_sketch=False)
 
     def _maybe_finish_leaving(self) -> None:

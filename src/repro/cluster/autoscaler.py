@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 
 @dataclass
@@ -41,6 +41,14 @@ class ReactiveAutoscaler:
         Maximum decision points retained in :attr:`history`.  A serving
         loop polls ``desired()`` indefinitely, so the record must be a
         ring buffer, not an unbounded log.
+    deadband:
+        Hysteresis band, in agent-load units, around the integer
+        boundaries of ``ema / scaling_factor``.  ``ceil`` turns an EMA
+        hovering at a boundary (say 3.0 agents' worth of load wobbling
+        ±ε) into a 3↔4 flap as soon as each cooldown expires; with the
+        deadband, a scale-up needs the raw target to clear
+        ``current + deadband`` and a scale-down needs it to drop below
+        ``target - deadband``, so boundary noise holds steady instead.
     """
 
     scaling_factor: float
@@ -49,6 +57,7 @@ class ReactiveAutoscaler:
     min_agents: int = 1
     max_agents: int = 4096
     history_limit: int = 4096
+    deadband: float = 0.25
     _ema: Optional[float] = field(default=None, repr=False)
     _last_obs_time: Optional[float] = field(default=None, repr=False)
     _last_scale_time: float = field(default=-math.inf, repr=False)
@@ -61,6 +70,8 @@ class ReactiveAutoscaler:
             raise ValueError("ema_window must be positive and cooldown non-negative")
         if self.history_limit < 1:
             raise ValueError("history_limit must be >= 1")
+        if not 0.0 <= self.deadband < 1.0:
+            raise ValueError(f"deadband must be in [0, 1), got {self.deadband}")
         self.history = deque(self.history, maxlen=self.history_limit)
 
     @property
@@ -104,5 +115,91 @@ class ReactiveAutoscaler:
             return None
         if tgt == current_agents:
             return None
+        # Hysteresis: hold inside the deadband around the boundary the
+        # raw (unclamped, un-ceiled) target just crossed.
+        raw = self.ema / self.scaling_factor
+        if tgt > current_agents and raw <= current_agents + self.deadband:
+            return None
+        if tgt < current_agents and raw >= tgt - self.deadband:
+            return None
         self._last_scale_time = now
         return tgt
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """A partition-aware scaling action: how many agents *and* what to
+    move.
+
+    Attributes
+    ----------
+    target:
+        Desired agent count (same meaning as ``desired()``'s return).
+    donors:
+        Agent ids carrying above-mean load, hottest first — the
+        partitions a scale-up should relieve (or a scale-down must not
+        evict the peers of).
+    weights:
+        Suggested post-scale ring weights for the surviving members:
+        inverse-load, normalized so the mean weight is unchanged.  The
+        directory adopts these through the same fenced re-weight path
+        the rebalance planner uses.
+    reason:
+        Human-readable decision summary for logs/benchmarks.
+    """
+
+    target: int
+    donors: List[int]
+    weights: Dict[int, float]
+    reason: str
+
+
+@dataclass
+class PartitionAwareAutoscaler(ReactiveAutoscaler):
+    """A :class:`ReactiveAutoscaler` whose decisions name what to move.
+
+    The reactive policy answers *how many* agents; this subclass also
+    consumes the per-agent load map (edge counts or per-round compute
+    charges) and attaches the hottest partitions as migration donors
+    plus an inverse-load weight suggestion, so the control plane can
+    re-home load in the same stroke as the membership change rather
+    than waiting for hash placement to even things out by luck.
+
+    ``donor_fraction`` bounds how many donors a decision names (top
+    fraction of members by load, at least one).
+    """
+
+    donor_fraction: float = 0.25
+
+    def plan(
+        self, loads: Dict[int, float], now: float
+    ) -> Optional[ScaleDecision]:
+        """Scaling decision from the load map, or None to hold.
+
+        ``loads`` maps agent id -> load measure (edges held, or summed
+        compute charges from the trace).  Cooldown/deadband semantics
+        are exactly :meth:`desired`'s.
+        """
+        if not 0.0 < self.donor_fraction <= 1.0:
+            raise ValueError(
+                f"donor_fraction must be in (0, 1], got {self.donor_fraction}"
+            )
+        current = len(loads)
+        tgt = self.desired(current, now)
+        if tgt is None:
+            return None
+        mean = sum(loads.values()) / max(len(loads), 1)
+        ranked = sorted(loads, key=lambda a: (-loads[a], a))
+        n_donors = max(1, math.ceil(len(ranked) * self.donor_fraction))
+        donors = [a for a in ranked[:n_donors] if loads[a] > mean]
+        if not donors and ranked:
+            donors = ranked[:1]
+        from repro.rebalance import inverse_load_weights
+
+        weights = inverse_load_weights(loads)
+        verb = "scale-up" if tgt > current else "scale-down"
+        reason = (
+            f"{verb} {current}->{tgt} (ema={self.ema:.3f}); "
+            f"relieve agents {donors} (mean load {mean:.1f})"
+        )
+        return ScaleDecision(target=tgt, donors=donors, weights=weights, reason=reason)

@@ -213,6 +213,17 @@ class ClientProxy(Entity):
         )
         if previous is not None:
             self._failover_pending(state)
+            if self.cache is not None and (
+                state.batch_id > previous.batch_id
+                or state.epoch_token != previous.epoch_token
+            ):
+                # Ingest progressed (the batch clock moved — including
+                # flush-less batches, which bump no epoch and emit no
+                # RESULT_NOTICE) or placement churned: a cached "vertex
+                # does not exist" may have just been falsified.  Drop
+                # negatives rather than waiting out the TTL; positive
+                # entries keep their version/epoch fencing.
+                self.cache.invalidate_negative()
 
     def _on_result_notice(self, payload: dict, assign: bool = False) -> None:
         """Adopt new per-program result versions.

@@ -371,6 +371,26 @@ class ElGACluster:
         if settle:
             self.settle()
 
+    def rebalance(self, weights: Dict[int, float], settle: bool = True) -> None:
+        """Adopt a ring re-weight plan (load-adaptive repartitioning).
+
+        The lead directory adopts the plan exactly like a membership
+        change — term-fenced, epoch-bumping, broadcast at once — and
+        every agent that observes the new weights re-homes its
+        misplaced edges over the existing EDGE_MIGRATE path.  With
+        ``settle`` the call returns only once migration traffic has
+        drained; pass ``settle=False`` mid-run and poll
+        :meth:`consistent` instead (the engine's suspension hook does).
+        """
+        self.lead.adopt_rebalance(weights)
+        if settle:
+            self.settle()
+
+    def current_weights(self) -> Dict[int, float]:
+        """Ring weight per live agent (1.0 unless re-weighted)."""
+        weights = self.lead.state.weights
+        return {aid: float(weights.get(aid, 1.0)) for aid in sorted(self.agents)}
+
     def settle(self, max_events: int = 50_000_000) -> None:
         """Run the simulator until the system is quiescent."""
         self.kernel.run_until_idle(max_events=max_events)

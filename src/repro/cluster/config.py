@@ -164,6 +164,17 @@ class ClusterConfig:
     master_restart_delay:
         Simulated seconds after a master crash before the chaos harness
         restarts it (the operator's MTTR in the simulation).
+    rebalance_skew_threshold:
+        Per-agent load skew (max/mean) below which the rebalance
+        planner holds still.  1.0 would chase every wobble; the default
+        tolerates 15% imbalance before moving anything.
+    rebalance_min_weight, rebalance_max_weight:
+        Absolute clamp on planner-emitted ring weights (1.0 is the
+        homogeneous default; the clamp keeps a mis-measured agent from
+        being starved of keys or handed the whole ring).
+    rebalance_max_weight_delta:
+        Largest per-member weight change one plan may apply — bounds
+        the migration volume a single adoption can trigger.
     """
 
     nodes: int = 4
@@ -202,6 +213,10 @@ class ClusterConfig:
     master_query_backoff: float = 2.0
     master_query_retries: int = 16
     master_restart_delay: float = 5e-3
+    rebalance_skew_threshold: float = 1.15
+    rebalance_min_weight: float = 0.25
+    rebalance_max_weight: float = 4.0
+    rebalance_max_weight_delta: float = 1.0
     transport: TransportModel = field(default_factory=TransportModel.zeromq)
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
 
@@ -255,6 +270,14 @@ class ClusterConfig:
             raise ValueError("master_query_retries must be >= 1")
         if self.master_restart_delay < 0:
             raise ValueError("master_restart_delay must be >= 0")
+        if self.rebalance_skew_threshold < 1.0:
+            raise ValueError("rebalance_skew_threshold must be >= 1")
+        if not 0 < self.rebalance_min_weight <= 1.0 <= self.rebalance_max_weight:
+            raise ValueError(
+                "rebalance weights must satisfy 0 < min_weight <= 1 <= max_weight"
+            )
+        if self.rebalance_max_weight_delta <= 0:
+            raise ValueError("rebalance_max_weight_delta must be positive")
 
     @property
     def hash_fn(self) -> Callable:

@@ -368,6 +368,8 @@ class Directory(Entity):
             self._to_lead(message)
         elif ptype == PacketType.SPLIT_REPORT:
             self._to_lead(message)
+        elif ptype == PacketType.REBALANCE_PLAN:
+            self._to_lead(message)
         elif ptype == PacketType.HEARTBEAT:
             self._to_lead(message)
         elif ptype == PacketType.EVICT_CONFIRM:
@@ -466,6 +468,7 @@ class Directory(Entity):
                 PacketType.AGENT_LEAVE: self._lead_leave,
                 PacketType.SKETCH_DELTA: self._lead_sketch_delta,
                 PacketType.SPLIT_REPORT: self._lead_split_report,
+                PacketType.REBALANCE_PLAN: self._lead_rebalance,
                 PacketType.HEARTBEAT: self._lead_heartbeat,
             }[message.ptype]
             handler(message.payload)
@@ -499,6 +502,53 @@ class Directory(Entity):
         self._membership_version += 1
         self._replace_state(agents=agents, bump_batch=False)
         self._broadcast_now()
+
+    def _lead_rebalance(self, payload) -> None:
+        """Adopt a planner re-weight plan (lead only).
+
+        Exactly the shape of a membership change: the weight map merges
+        into lead-only state, the membership version bumps (so every
+        participant's placement cache invalidates — weights change the
+        ring), and the new state broadcasts at once under the current
+        term.  Adoption is idempotent: a plan that would leave every
+        weight unchanged (a duplicate delivery, or a controller-replay
+        after an election) neither bumps the epoch nor re-broadcasts.
+        """
+        weights = payload["weights"] if isinstance(payload, dict) else payload
+        members = set(self.state.agents)
+        merged = dict(self._weights)
+        for agent_id, weight in weights.items():
+            agent_id = int(agent_id)
+            if agent_id not in members:
+                continue  # stale plan naming a departed member
+            weight = float(weight)
+            if weight <= 0:
+                raise ValueError(f"rebalance weight must be positive, got {weight}")
+            if weight == 1.0:
+                merged.pop(agent_id, None)
+            else:
+                merged[agent_id] = weight
+        if merged == self._weights:
+            return
+        self._weights = merged
+        self.network.stats.rebalance_adoptions += 1
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.instant(
+                self.name,
+                "rebalance_adopt",
+                "control",
+                {"weights": {k: merged.get(k, 1.0) for k in sorted(members)}},
+            )
+        self._membership_version += 1
+        self._replace_state(agents=self.state.agents, bump_batch=False)
+        self._broadcast_now()
+
+    def adopt_rebalance(self, weights: Dict[int, float]) -> None:
+        """Direct-call form of a REBALANCE_PLAN adoption (lead only)."""
+        if not self.is_lead:
+            raise RuntimeError("rebalance plans are adopted by the lead directory")
+        self._lead_rebalance({"weights": weights})
 
     def _lead_sketch_delta(self, delta: CountMinSketch) -> None:
         # Bump at merge time, not broadcast time: the live master sketch
@@ -727,11 +777,17 @@ class Directory(Entity):
         now = self.now
         # While recovery reshapes the cluster — or an apply-only drain /
         # suspension holds the barrier — agents legitimately go quiet;
-        # refresh instead of suspecting.
+        # refresh instead of suspecting.  But only for endpoints that
+        # still answer: blanket refreshes during a suspension meant an
+        # agent crashing with EDGE_MIGRATE traffic in flight was never
+        # suspected, and the migration-quiescence poll deadlocked on an
+        # ack the victim could no longer send.  A detached endpoint is a
+        # dead process (the connection refuses), quiet phase or not.
         quiet = self._recovering or getattr(controller, "phase", "") == "apply_only"
         for agent_id in sorted(self.state.agents):
             last = self._leases.get(agent_id)
-            if last is None or quiet:
+            alive = self.network.is_attached(self.state.agents[agent_id])
+            if last is None or (quiet and alive):
                 self._leases[agent_id] = now
                 continue
             if agent_id in self._suspected:

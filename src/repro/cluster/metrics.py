@@ -23,6 +23,7 @@ class AgentMetrics:
     updates_forwarded: int = 0     # stale-placement forwards
     queries_served: int = 0        # client queries answered
     edges_migrated: int = 0        # edges sent away on rebalance
+    rebalance_adoptions: int = 0   # directory states adopted with changed weights
     supersteps: int = 0
     replica_syncs: int = 0
     # Data-plane fast path: raw (dst, val) pairs the sender-side

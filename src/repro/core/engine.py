@@ -89,6 +89,12 @@ class ElGA:
         # already reshaped membership (which invalidates rollback).
         self._run_members: Set[int] = set()
         self._scaled_mid_run = False
+        # High-water mark (spans, events) into the trace consumed by
+        # maybe_rebalance.  Round ids reset per run, so TraceSummary
+        # rows from successive runs merge; planning from the cumulative
+        # trace would mix pre- and post-migration load.  Each planning
+        # pass therefore only reads the window recorded since the last.
+        self._rebalance_trace_mark = (0, 0)
 
     # ------------------------------------------------------------------
     # graph mutation
@@ -245,6 +251,7 @@ class ElGA:
         activate: Optional[np.ndarray] = None,
         scale_plan: Optional[Dict[int, int]] = None,
         crash_plan: Optional[Dict[int, int]] = None,
+        rebalance_plan: Optional[Dict[int, Dict[int, float]]] = None,
     ) -> RunResult:
         """Execute a vertex program to convergence.
 
@@ -274,6 +281,14 @@ class ElGA:
             ``heartbeat_interval > 0``); a lead crash requires directory
             failover (``dir_lease_interval > 0`` and at least two
             directories).  Sync mode only.
+        rebalance_plan:
+            Mid-run ring re-weighting: ``{superstep: {agent_id:
+            weight}}`` adopts the weight map after that superstep
+            completes, through the same apply-only/suspend/resume
+            choreography as ``scale_plan`` (and composable with it at
+            the same step).  The directory adoption is term-fenced and
+            epoch-bumping; misplaced edges re-home over EDGE_MIGRATE
+            before the run resumes.  Sync mode only.
 
         Notes
         -----
@@ -312,11 +327,13 @@ class ElGA:
         if mode == "async":
             if crash_plan:
                 raise ValueError("crash_plan requires synchronous mode")
+            if rebalance_plan:
+                raise ValueError("rebalance_plan requires synchronous mode")
             result = self._run_async(spec)
         elif mode != "sync":
             raise ValueError(f"unknown mode {mode!r}")
         else:
-            result = self._run_sync(spec, scale_plan, crash_plan)
+            result = self._run_sync(spec, scale_plan, crash_plan, rebalance_plan)
         self._record_program_meta(program.name)
         return result
 
@@ -325,6 +342,7 @@ class ElGA:
         spec: RunSpec,
         scale_plan: Optional[Dict[int, int]],
         crash_plan: Optional[Dict[int, int]] = None,
+        rebalance_plan: Optional[Dict[int, Dict[int, float]]] = None,
     ) -> RunResult:
         if crash_plan:
             targets_agents = any(
@@ -353,6 +371,7 @@ class ElGA:
             crash_plan=crash_plan,
             on_crash=self._on_crash_due,
             tracer=self.tracer,
+            rebalance_plan=rebalance_plan,
         )
         self._active_controller = controller
         self._run_members = set(self.cluster.agents)
@@ -400,19 +419,41 @@ class ElGA:
             strategy=spec.strategy,
         )
 
-    def _on_run_suspended(self, round_id: int, step: int, target_agents: int) -> None:
-        """Mid-run elastic scaling: reshape, wait for quiescence, resume.
+    def _on_run_suspended(
+        self,
+        round_id: int,
+        step: int,
+        target_agents: Optional[int],
+        weights: Optional[Dict[int, float]] = None,
+    ) -> None:
+        """Mid-run elastic scaling and/or re-weighting: reshape, wait
+        for quiescence, resume.
 
         Runs inside the simulator (scheduled from the barrier callback),
         so the whole sequence happens in simulated time, like the
         paper's operator issuing pdsh/SIGINT commands mid-computation.
+        Either plan invalidates rollback recovery: checkpoints were
+        taken under the pre-reshape partition, and rolling values back
+        under the new one would resurrect a residency the migration
+        already moved.
         """
         controller = self._active_controller
         self._scaled_mid_run = True
-        self.cluster.scale_to(target_agents, settle=False)
+        if weights:
+            self.cluster.rebalance(weights, settle=False)
+        if target_agents is not None:
+            self.cluster.scale_to(target_agents, settle=False)
         self._run_members = set(self.cluster.agents)
 
         def poll() -> None:
+            if controller.done or controller.phase != "apply_only":
+                # Recovery restarted (or halt ended) the run while the
+                # suspension was draining — e.g. an agent died with
+                # migrations in flight and eviction forced a restart.
+                # The restarted run owns the barrier now; a late resume
+                # from the pre-crash suspension would replay a stale
+                # round into it.
+                return
             if self.cluster.consistent():
                 self.cluster.lead.send_advance(
                     controller.resume_payload(round_id + 1, step)
@@ -630,6 +671,77 @@ class ElGA:
             "migrate_messages": int(moved),
         }
 
+    def rebalance(self, weights: Dict[int, float]) -> dict:
+        """Adopt a ring re-weight plan between runs; returns move stats."""
+        from repro.net.message import PacketType
+
+        stats_before = self.cluster.network.stats.snapshot()
+        start = self.cluster.kernel.now
+        self.cluster.rebalance(weights)
+        moved = (
+            self.cluster.network.stats.by_type_count[PacketType.EDGE_MIGRATE]
+            - stats_before.by_type_count[PacketType.EDGE_MIGRATE]
+        )
+        return {
+            "weights": dict(weights),
+            "sim_seconds": self.cluster.kernel.now - start,
+            "migrate_messages": int(moved),
+        }
+
+    def maybe_rebalance(self, summary=None) -> Optional[dict]:
+        """Close the loop: observed load -> plan -> fenced adoption.
+
+        Builds a :class:`~repro.rebalance.RebalancePlanner` from the
+        ``rebalance_*`` config knobs and feeds it the per-agent compute
+        totals of ``summary``.  With tracing on and no explicit
+        summary, the load signal is the trace *window* recorded since
+        the previous call — round ids reset per run, so summarising the
+        cumulative trace would merge pre- and post-migration rows and
+        feed the planner stale load.  Without any trace signal it falls
+        back to resident edge counts.  When the planner emits a plan,
+        the lead directory adopts it — term-fenced, epoch-bumping — and
+        the call blocks (in simulated time) until the resulting
+        EDGE_MIGRATE traffic drains.
+
+        Returns the adoption report (plan + move stats), or None when
+        balance is already within threshold.  Results are unaffected up
+        to the data plane's partition-dependent float grouping: the
+        persistent fixpoint moves with the edges.
+        """
+        from repro.rebalance import RebalancePlanner, normalize_loads
+
+        planner = RebalancePlanner(
+            skew_threshold=self.config.rebalance_skew_threshold,
+            min_weight=self.config.rebalance_min_weight,
+            max_weight=self.config.rebalance_max_weight,
+            max_weight_delta=self.config.rebalance_max_weight_delta,
+        )
+        if summary is None and self.tracer is not None:
+            summary = self.trace_summary_window()
+        live = set(self.cluster.agents)
+        loads: Dict[int, float] = {}
+        if summary is not None:
+            loads = {
+                aid: load
+                for aid, load in normalize_loads(
+                    summary.per_agent_compute_totals()
+                ).items()
+                if aid in live
+            }
+        if len(loads) < len(live):
+            # No (or partial) trace signal: fall back to edge residency.
+            loads = {aid: float(n) for aid, n in self.cluster.edge_loads().items()}
+        plan = planner.plan(loads, self.cluster.current_weights())
+        if plan is None:
+            return None
+        report = self.rebalance(plan.weights)
+        report.update(
+            skew_before=plan.skew_before,
+            skew_predicted=plan.skew_predicted,
+            reason=plan.reason,
+        )
+        return report
+
     @property
     def n_agents(self) -> int:
         return len(self.cluster.agents)
@@ -660,6 +772,29 @@ class ElGA:
         from repro.obs.summary import TraceSummary
 
         return TraceSummary.from_trace(self.trace())
+
+    def trace_summary_window(self):
+        """Summary of the trace recorded since the previous window.
+
+        Each call consumes the spans/events appended since the last
+        one (the first consumes everything so far).  Because round ids
+        restart at zero for every run, :class:`TraceSummary` rows from
+        different runs share keys and merge; windowing is the only way
+        to read one run's — or one planning interval's — load in
+        isolation.  Used by :meth:`maybe_rebalance` so each planning
+        pass sees current load, and by benchmarks to score runs
+        individually.
+        """
+        from repro.obs.summary import TraceSummary
+        from repro.obs.trace import Trace
+
+        trace = self.trace()
+        spans_mark, events_mark = self._rebalance_trace_mark
+        self._rebalance_trace_mark = (len(trace.spans), len(trace.events))
+        window = Trace(
+            spans=trace.spans[spans_mark:], events=trace.events[events_mark:]
+        )
+        return TraceSummary.from_trace(window)
 
     def prometheus_text(self) -> str:
         """Prometheus text exposition of cluster metrics, fabric stats

@@ -126,14 +126,21 @@ class SyncRunController:
         spec: RunSpec,
         kernel,
         scale_plan: Optional[Dict[int, int]] = None,
-        on_suspended: Optional[Callable[[int, int, int], None]] = None,
+        on_suspended: Optional[Callable[..., None]] = None,
         crash_plan: Optional[Dict[int, int]] = None,
         on_crash: Optional[Callable[[int], None]] = None,
         tracer=None,
+        rebalance_plan: Optional[Dict[int, Dict[int, float]]] = None,
     ):
         self.spec = spec
         self.kernel = kernel
         self.scale_plan = dict(scale_plan or {})
+        # Mid-run re-weights: {superstep: {agent_id: ring weight}}.
+        # Shares the scale plan's apply_only/suspend/resume choreography
+        # — the barrier drains in-flight state, the engine adopts the
+        # weights (migrating edges), and the run resumes from persisted
+        # values.  A step may carry both a scale and a re-weight.
+        self.rebalance_plan = dict(rebalance_plan or {})
         self.on_suspended = on_suspended
         self.crash_plan = dict(crash_plan or {})
         self.on_crash = on_crash
@@ -208,23 +215,38 @@ class SyncRunController:
                 return self._halt_payload(step)
             if self.on_suspended is None:
                 raise RuntimeError("apply_only completed but no suspension handler")
-            self.on_suspended(round_id, step, self.scale_plan.pop(step - 1))
+            self.on_suspended(
+                round_id,
+                step,
+                self.scale_plan.pop(step - 1, None),
+                self.rebalance_plan.pop(step - 1, None),
+            )
             return None
 
         # A resume round only re-scatters — no applies ran, so its stats
         # are empty and must not be mistaken for quiescence.
         if self.phase != "resume" and halts(step, stats, self._ctx):
             return self._halt_payload(step)
-        if step in self.scale_plan:
+        if step in self.scale_plan or step in self.rebalance_plan:
             # Drain in-flight state, then the engine reshapes the cluster.
+            # A crash due at this step fires too — otherwise the entry
+            # was silently swallowed (this branch returned before the
+            # crash check ever ran) and "crash mid-reshape" could not be
+            # exercised at all.  The victim dies with the apply_only /
+            # migration window open; the lead's lease sweep still
+            # detects it because detached endpoints are never lease-
+            # refreshed, quiet phase or not.
+            if self.crash_plan and self.on_crash is not None:
+                due = self.crash_plan.pop(step, None)
+                if due:
+                    self.on_crash(due)
             return self._payload(round_id + 1, step + 1, "apply_only")
         if self.crash_plan and self.on_crash is not None:
             due = self.crash_plan.pop(step, None)
             if due:
                 # The ADVANCE for the next step goes out now; fire the
                 # crash while that round is in flight (abrupt: nothing
-                # drains).  Only armed on plain steps so the failure
-                # detector is never quiesced when the crash lands.
+                # drains).
                 self.on_crash(due)
         return self._payload(round_id + 1, step + 1, "delta_step" if self._delta else "step")
 

@@ -92,8 +92,17 @@ class ConsistentHashRing:
         §3.4.2 future-work extension for heterogeneous systems: a
         member with weight 2.0 contributes twice the virtual agents and
         therefore claims roughly twice the keys.
+
+        Re-adding an existing member is idempotent: its old virtual
+        positions are replaced (remove-then-insert), never duplicated.
+        The rebalance planner leans on this to re-weight a live member
+        in place.
         """
-        self._insert(int(member_id), weight=float(weight))
+        member_id = int(member_id)
+        if member_id in self._members:
+            del self._members[member_id]
+            self._weights.pop(member_id, None)
+        self._insert(member_id, weight=float(weight))
         self._dirty = True
 
     def remove(self, member_id: int) -> None:

@@ -82,6 +82,9 @@ class NetworkStats:
     # and term-fenced control packets dropped by receivers as stale.
     lead_elections: int = 0
     stale_term_drops: int = 0
+    # Load-adaptive repartitioning: ring re-weight plans the lead
+    # directory actually adopted (no-op plans are not counted).
+    rebalance_adoptions: int = 0
     # Data-plane fast path observability: total packets a cumulative
     # VERTEX_MSG_ACK acknowledged (its ``count`` field), and how many
     # of those acks covered more than one packet.
@@ -130,6 +133,7 @@ class NetworkStats:
             lease_expirations=self.lease_expirations,
             lead_elections=self.lead_elections,
             stale_term_drops=self.stale_term_drops,
+            rebalance_adoptions=self.rebalance_adoptions,
             data_ack_credits=self.data_ack_credits,
             data_acks_batched=self.data_acks_batched,
         )

@@ -136,6 +136,35 @@ class TraceSummary:
     def total_compute(self) -> float:
         return sum(r.compute for r in self.rows)
 
+    def per_agent_compute_totals(self) -> Dict[str, float]:
+        """Summed compute seconds per agent over plain supersteps.
+
+        The rebalance planner's load signal: who actually burned the
+        cycles, not who holds the edges.  Keys are trace entity names
+        (``agent-3``).
+        """
+        totals: Dict[str, float] = {}
+        for row in self.steps():
+            for agent, seconds in row.per_agent_compute.items():
+                totals[agent] = totals.get(agent, 0.0) + seconds
+        return totals
+
+    def straggler_excess(self) -> float:
+        """Summed straggler excess over plain supersteps, seconds.
+
+        Per round: max per-agent compute minus the mean — the time
+        every other agent idles at the barrier waiting for the
+        straggler.  Zero is perfect balance; the rebalance benchmark
+        gates on reducing this.
+        """
+        total = 0.0
+        for row in self.steps():
+            if not row.per_agent_compute:
+                continue
+            values = list(row.per_agent_compute.values())
+            total += max(values) - sum(values) / len(values)
+        return total
+
     def total_wait(self) -> float:
         return sum(r.wait for r in self.rows)
 

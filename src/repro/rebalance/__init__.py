@@ -1,0 +1,15 @@
+"""Load-adaptive repartitioning: trace signals -> bounded ring re-weights."""
+
+from repro.rebalance.planner import (
+    RebalancePlan,
+    RebalancePlanner,
+    inverse_load_weights,
+    normalize_loads,
+)
+
+__all__ = [
+    "RebalancePlan",
+    "RebalancePlanner",
+    "inverse_load_weights",
+    "normalize_loads",
+]

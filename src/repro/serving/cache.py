@@ -60,6 +60,7 @@ class ResultCache:
         self.expirations = 0          # TTL lapsed
         self.version_invalidations = 0  # result version moved on
         self.epoch_invalidations = 0    # membership/sketch/split churn
+        self.negative_invalidations = 0  # negative entries dropped on ingest signals
         self.evictions = 0
 
     def __len__(self) -> int:
@@ -135,6 +136,30 @@ class ResultCache:
             del self._entries[key]
         return len(stale)
 
+    def invalidate_negative(self, program: Optional[str] = None) -> int:
+        """Drop cached *negative* results (``value is None``).
+
+        A negative entry means "this vertex does not exist"; unlike a
+        positive result it can be falsified by ingest alone — a batch
+        that inserts the vertex bumps the batch clock but not the
+        result version (no run happened) and, for a flush-less ingest,
+        not even the placement epoch.  The TTL was the only thing
+        retiring such entries; the proxy now calls this whenever it
+        observes ingest progress (batch clock or epoch movement), so a
+        vertex that appears is reported promptly.  Positive entries
+        stay — the values they cache are still the latest published
+        fixpoint.  Returns entries dropped.
+        """
+        stale = [
+            k
+            for k, entry in self._entries.items()
+            if entry.value is None and (program is None or k[0] == program)
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.negative_invalidations += len(stale)
+        return len(stale)
+
     def clear(self) -> int:
         """Drop every entry (e.g. on a control-plane term bump, where a
         new lead re-assigns result versions and nothing cached under the
@@ -152,6 +177,7 @@ class ResultCache:
             "serving_cache_expirations": self.expirations,
             "serving_cache_version_invalidations": self.version_invalidations,
             "serving_cache_epoch_invalidations": self.epoch_invalidations,
+            "serving_cache_negative_invalidations": self.negative_invalidations,
             "serving_cache_evictions": self.evictions,
             "serving_cache_entries": len(self._entries),
         }

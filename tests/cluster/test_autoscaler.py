@@ -158,6 +158,80 @@ def test_zero_cooldown_allows_back_to_back_actions():
 
 
 # ---------------------------------------------------------------------------
+# Integer-boundary hysteresis (deadband)
+# ---------------------------------------------------------------------------
+
+
+def test_boundary_noise_does_not_flap():
+    """An EMA wobbling ±ε around an integer boundary must not oscillate
+    the cluster.  ``ceil`` alone turns raw=3.05 into target 4 and
+    raw=2.95 back into target 3, so each cooldown expiry flapped 3↔4;
+    the deadband holds both directions."""
+    a = ReactiveAutoscaler(scaling_factor=1.0, cooldown=10.0, ema_window=0.1)
+    a.observe(3.05, 0.0)
+    # raw=3.05 -> ceil says 4, but 3.05 <= 3 + deadband: hold at 3.
+    assert a.desired(current_agents=3, now=0.0) is None
+    # Noise dips below the boundary: raw=2.95 from a cluster of 4 says
+    # target 3, but 2.95 >= 3 - deadband: hold at 4.
+    for t in range(1, 6):
+        now = float(t) * 20.0  # every probe is past the cooldown
+        a.observe(3.05 if t % 2 else 2.95, now)
+        assert a.desired(current_agents=4 if t % 2 else 3, now=now) is None
+
+
+def test_deadband_crossing_still_scales():
+    """Hysteresis must not make the policy inert: demand clearly past
+    the band scales in both directions."""
+    a = ReactiveAutoscaler(scaling_factor=1.0, cooldown=0.0, ema_window=0.1)
+    a.observe(3.4, 0.0)  # raw=3.4 > 3 + 0.25
+    assert a.desired(current_agents=3, now=0.0) == 4
+    for t in range(1, 60):
+        a.observe(2.6, float(t))  # raw -> 2.6 < 3 - 0.25
+    assert a.desired(current_agents=4, now=60.0) == 3
+
+
+def test_deadband_zero_restores_pure_ceil_policy():
+    a = ReactiveAutoscaler(scaling_factor=1.0, cooldown=0.0, deadband=0.0)
+    a.observe(3.05, 0.0)
+    assert a.desired(current_agents=3, now=0.0) == 4
+
+
+def test_deadband_validated():
+    with pytest.raises(ValueError):
+        ReactiveAutoscaler(scaling_factor=1.0, deadband=1.0)
+    with pytest.raises(ValueError):
+        ReactiveAutoscaler(scaling_factor=1.0, deadband=-0.1)
+
+
+# ---------------------------------------------------------------------------
+# Partition-aware decisions
+# ---------------------------------------------------------------------------
+
+
+def test_partition_aware_plan_names_donors_and_weights():
+    from repro.cluster.autoscaler import PartitionAwareAutoscaler
+
+    a = PartitionAwareAutoscaler(scaling_factor=10.0, cooldown=0.0)
+    a.observe(75.0, 0.0)  # raw=7.5 -> target 8 from 4 members
+    loads = {0: 100.0, 1: 10.0, 2: 10.0, 3: 10.0}
+    decision = a.plan(loads, now=0.0)
+    assert decision is not None and decision.target == 8
+    assert decision.donors == [0]  # only the above-mean agent
+    # Inverse-load weights: the hot agent sheds, the idle ones gain.
+    assert decision.weights[0] < 1.0 < decision.weights[1]
+    assert decision.weights[1] == decision.weights[2] == decision.weights[3]
+    assert "scale-up 4->8" in decision.reason
+
+
+def test_partition_aware_plan_holds_like_desired():
+    from repro.cluster.autoscaler import PartitionAwareAutoscaler
+
+    a = PartitionAwareAutoscaler(scaling_factor=10.0, cooldown=0.0)
+    a.observe(40.0, 0.0)  # raw=4.0 == current: no action
+    assert a.plan({0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0}, now=0.0) is None
+
+
+# ---------------------------------------------------------------------------
 # Load-snapshot hygiene under failures
 # ---------------------------------------------------------------------------
 

@@ -44,7 +44,9 @@ def test_halts_on_iteration_cap():
 def test_scale_plan_triggers_apply_only():
     suspended = []
     ctrl, _ = make_controller(
-        WCC(), scale_plan={1: 8}, on_suspended=lambda r, s, t: suspended.append((r, s, t))
+        WCC(),
+        scale_plan={1: 8},
+        on_suspended=lambda r, s, t, w: suspended.append((r, s, t, w)),
     )
     ctrl(0, 0, {"active": 5})
     payload = ctrl(1, 1, {"active": 5})
@@ -52,10 +54,26 @@ def test_scale_plan_triggers_apply_only():
     # apply_only completion hands control to the engine.
     result = ctrl(2, 2, {"active": 3})
     assert result is None
-    assert suspended == [(2, 2, 8)]
+    assert suspended == [(2, 2, 8, None)]
     resume = ctrl.resume_payload(3, 2)
     assert resume["phase"] == "resume"
     assert "spec" in resume
+
+
+def test_rebalance_plan_triggers_apply_only():
+    suspended = []
+    ctrl, _ = make_controller(
+        WCC(),
+        rebalance_plan={1: {0: 2.0, 1: 0.5}},
+        on_suspended=lambda r, s, t, w: suspended.append((r, s, t, w)),
+    )
+    ctrl(0, 0, {"active": 5})
+    payload = ctrl(1, 1, {"active": 5})
+    assert payload["phase"] == "apply_only"
+    result = ctrl(2, 2, {"active": 3})
+    assert result is None
+    # No scale target, but the weight map rides through.
+    assert suspended == [(2, 2, None, {0: 2.0, 1: 0.5})]
 
 
 def test_resume_round_never_halts():

@@ -23,10 +23,38 @@ def test_empty_ring_raises():
         ring.lookup(1)
 
 
-def test_duplicate_member_rejected():
-    ring = ConsistentHashRing([1])
+def test_readd_is_idempotent():
+    """Re-adding a member replaces its virtual positions, never
+    duplicates them (regression: planner re-weighting relies on it)."""
+    ring = ConsistentHashRing([1, 2], virtual_factor=50)
+    before_positions, _ = ring.position_vector()
+    ring.add(1)  # same weight: a no-op on the position vector
+    after_positions, _ = ring.position_vector()
+    assert np.array_equal(before_positions, after_positions)
+    assert len(ring) == 2
+
+
+def test_readd_with_new_weight_replaces_positions():
+    ring = ConsistentHashRing([1, 2], virtual_factor=50)
+    ring.add(1, weight=2.0)
+    assert ring.weight_of(1) == 2.0
+    positions, owners = ring.position_vector()
+    # Total positions = sum of per-member counts, not old + new.
+    assert len(positions) == 100 + 50
+    assert int((owners == 1).sum()) == 100
+    # Positions are unique — no duplicated virtual agents.
+    assert len(np.unique(positions)) == len(positions)
+    # Re-weighting back restores the original ring exactly.
+    fresh = ConsistentHashRing([1, 2], virtual_factor=50)
+    ring.add(1, weight=1.0)
+    a_pos, a_own = ring.position_vector()
+    b_pos, b_own = fresh.position_vector()
+    assert np.array_equal(a_pos, b_pos) and np.array_equal(a_own, b_own)
+
+
+def test_duplicate_member_in_constructor_rejected():
     with pytest.raises(ValueError):
-        ring.add(1)
+        ConsistentHashRing([1, 1])
 
 
 def test_negative_member_rejected():

@@ -1,0 +1,121 @@
+"""RebalancePlanner unit behavior: thresholds, bounds, fixpoints."""
+
+import numpy as np
+import pytest
+
+from repro.rebalance import (
+    RebalancePlan,
+    RebalancePlanner,
+    inverse_load_weights,
+    normalize_loads,
+)
+
+pytestmark = pytest.mark.rebalance
+
+
+def test_normalize_loads_parses_trace_entity_names():
+    loads = normalize_loads({"agent-3": 7, 1: 2.5, "agent-12": 0})
+    assert loads == {3: 7.0, 1: 2.5, 12: 0.0}
+
+
+def test_balanced_load_emits_no_plan():
+    planner = RebalancePlanner(skew_threshold=1.15)
+    assert planner.plan({0: 100.0, 1: 101.0, 2: 99.0, 3: 100.0}) is None
+    # The decision was still recorded (skew, predicted, emitted=False).
+    assert planner.history[-1][2] is False
+
+
+def test_single_agent_never_planned():
+    assert RebalancePlanner().plan({0: 1e9}) is None
+
+
+def test_skewed_load_emits_improving_plan():
+    planner = RebalancePlanner(skew_threshold=1.15)
+    plan = planner.plan({0: 400.0, 1: 100.0, 2: 100.0, 3: 100.0})
+    assert plan is not None
+    assert plan.skew_before == pytest.approx(400.0 / 175.0)
+    assert plan.skew_predicted < plan.skew_before
+    # The hot agent sheds weight; the cold ones gain.
+    assert plan.weights[0] < 1.0
+    assert all(plan.weights[i] > 1.0 for i in (1, 2, 3))
+    assert "agent-0" in plan.reason
+
+
+def test_weight_deltas_are_bounded_and_quantized():
+    planner = RebalancePlanner(
+        max_weight_delta=0.5, min_weight=0.25, max_weight=4.0, granularity=0.01
+    )
+    current = {0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0}
+    plan = planner.plan({0: 10_000.0, 1: 1.0, 2: 1.0, 3: 1.0}, current)
+    assert plan is not None
+    for i, w in plan.weights.items():
+        assert abs(w - current[i]) <= 0.5 + 1e-9
+        assert 0.25 - 1e-9 <= w <= 4.0 + 1e-9
+        # Quantized to the planning granularity.
+        assert abs(w - round(w / 0.01) * 0.01) < 1e-9
+
+
+def test_absolute_clamp_dominates_delta():
+    planner = RebalancePlanner(max_weight_delta=10.0, min_weight=0.25, max_weight=2.0)
+    plan = planner.plan({0: 1e6, 1: 1.0})
+    assert plan is not None
+    assert plan.weights[0] >= 0.25 - 1e-9
+    assert plan.weights[1] <= 2.0 + 1e-9
+
+
+def test_replanning_converges_to_fixpoint():
+    """Feeding the planner the load profile its own plan predicts must
+    converge — quantization plus the noop guard stop the dithering."""
+    planner = RebalancePlanner()
+    loads = {0: 320.0, 1: 80.0, 2: 80.0, 3: 80.0}
+    weights = {0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0}
+    for _ in range(10):
+        plan = planner.plan(loads, weights)
+        if plan is None:
+            break
+        # Proportional model: load follows the weight ratio.
+        loads = {i: loads[i] * plan.weights[i] / weights[i] for i in loads}
+        weights = plan.weights
+    assert plan is None  # reached "balanced enough" within the horizon
+    skews = [h[0] for h in planner.history]
+    assert skews[-1] < skews[0]
+
+
+def test_noop_plan_is_withheld():
+    """Loads skewed but weights already compensating: the bounded plan
+    reproduces the current weights, so nothing is emitted."""
+    planner = RebalancePlanner(granularity=0.5, max_weight_delta=0.2)
+    current = {0: 1.0, 1: 1.0}
+    # Mild skew above threshold, but delta clamp + coarse quantization
+    # bring the bounded plan back to exactly the current weights.
+    assert planner.plan({0: 118.0, 1: 100.0}, current) is None
+
+
+def test_inverse_load_weights_preserves_mean():
+    weights = inverse_load_weights({0: 90.0, 1: 30.0, 2: 30.0})
+    assert np.mean(list(weights.values())) == pytest.approx(1.0, abs=0.02)
+
+
+def test_inverse_load_weights_handles_idle_agents():
+    weights = inverse_load_weights({0: 100.0, 1: 0.0})
+    assert all(np.isfinite(w) and w > 0 for w in weights.values())
+
+
+def test_plan_is_noop_tolerance():
+    plan = RebalancePlan(weights={0: 1.0, 1: 1.0 + 1e-12}, skew_before=2.0, skew_predicted=1.0)
+    assert plan.is_noop({0: 1.0})  # missing members default to 1.0
+
+
+def test_planner_validation():
+    with pytest.raises(ValueError):
+        RebalancePlanner(skew_threshold=0.9)
+    with pytest.raises(ValueError):
+        RebalancePlanner(min_weight=0.0)
+    with pytest.raises(ValueError):
+        RebalancePlanner(min_weight=1.5)
+    with pytest.raises(ValueError):
+        RebalancePlanner(max_weight=0.5)
+    with pytest.raises(ValueError):
+        RebalancePlanner(max_weight_delta=0.0)
+    with pytest.raises(ValueError):
+        RebalancePlanner(granularity=-0.1)

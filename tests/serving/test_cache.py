@@ -70,6 +70,22 @@ def test_invalidate_program_only_hits_that_program():
     assert cache.get("wcc", 1, now=0.1, epoch=EPOCH, version=1) is not None
 
 
+def test_invalidate_negative_drops_only_negative_entries():
+    cache = ResultCache(ttl=10.0, capacity=8)
+    cache.put("pr", 1, 0.1, now=0.0, epoch=EPOCH, version=1, snapshot=(1, 1))
+    cache.put("pr", 2, None, now=0.0, epoch=EPOCH, version=1, snapshot=(1, 1))
+    cache.put("wcc", 3, None, now=0.0, epoch=EPOCH, version=1, snapshot=(1, 1))
+    assert cache.invalidate_negative("pr") == 1
+    assert cache.negative_invalidations == 1
+    # The positive entry and the other program's negative both survive.
+    assert cache.get("pr", 1, now=0.1, epoch=EPOCH, version=1) is not None
+    assert cache.get("pr", 2, now=0.1, epoch=EPOCH, version=1) is None
+    assert cache.get("wcc", 3, now=0.1, epoch=EPOCH, version=1) is not None
+    # No program filter sweeps every remaining negative.
+    assert cache.invalidate_negative() == 1
+    assert cache.negative_invalidations == 2
+
+
 def test_zero_ttl_is_rejected():
     with pytest.raises(ValueError):
         ResultCache(ttl=0.0, capacity=8)
@@ -114,6 +130,30 @@ def test_version_notice_invalidates_after_incremental_run():
     assert second == result.values[3]
     assert second != first  # the degree changes moved vertex 3's rank
     assert client.cache.hits == 0  # nothing was served across the bump
+
+
+def test_flushless_ingest_invalidates_negative_entries():
+    """A cached "vertex does not exist" must not outlive the ingest that
+    creates the vertex.  A flush-less batch bumps only the batch clock —
+    no epoch bump, no RESULT_NOTICE — so before this fix the negative
+    entry was replayed from cache until the TTL lapsed."""
+    elga = _ring_engine(serving_cache_ttl=60.0)
+    elga.run(WCC())
+    client = elga.cluster.new_client()
+    assert elga.query(42, "wcc") is None  # vertex not ingested yet
+    fanouts = client.fanouts_dispatched
+    assert elga.query(42, "wcc") is None  # replayed from cache
+    assert client.fanouts_dispatched == fanouts
+    assert client.cache.hits >= 1
+    # Flush-less insert of vertex 42: the batch clock moves, the
+    # placement epoch does not.
+    epoch_before = client.dstate.epoch_token
+    elga.ingest_edges(np.array([42]), np.array([0]), flush=False)
+    assert client.dstate.epoch_token == epoch_before
+    assert client.cache.negative_invalidations == 1
+    # The re-query goes back to the agents instead of the stale negative.
+    elga.query(42, "wcc")
+    assert client.fanouts_dispatched == fanouts + 1
 
 
 def test_ttl_expiry_through_proxy_sim_clock():
